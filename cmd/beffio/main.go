@@ -1,0 +1,82 @@
+// Command beffio generates synthetic b_eff_io benchmark output files
+// (the workload of the paper's §5 application example), plus the
+// matching perfbase experiment definition and input description.
+//
+// Usage:
+//
+//	beffio [-out DIR] [-site NAME] [-techniques a,b] [-fs a,b]
+//	       [-procs 4,8] [-reps N] [-seed S] [-noise CV] [-xml]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"perfbase/internal/beffio"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory")
+	site := flag.String("site", "grisu", "site name encoded in the file names")
+	techniques := flag.String("techniques", "listbased,listless", "comma-separated techniques")
+	fss := flag.String("fs", "ufs", "comma-separated file systems")
+	procs := flag.String("procs", "4", "comma-separated process counts")
+	reps := flag.Int("reps", 3, "repetitions per configuration")
+	seed := flag.Int64("seed", 1, "base random seed")
+	noise := flag.Float64("noise", 0.10, "noise coefficient of variation (negative disables)")
+	writeXML := flag.Bool("xml", false, "also write experiment.xml and input.xml")
+	flag.Parse()
+
+	var procList []int
+	for _, p := range strings.Split(*procs, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			fatal(fmt.Errorf("bad -procs entry %q: %v", p, err))
+		}
+		procList = append(procList, n)
+	}
+	cfgs := beffio.SweepConfigs(
+		splitList(*techniques), splitList(*fss), procList, *reps, *seed)
+	for i := range cfgs {
+		cfgs[i].Noise = *noise
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	paths, err := beffio.GenerateFiles(*out, *site, cfgs)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d benchmark output file(s) to %s\n", len(paths), *out)
+	if *writeXML {
+		for name, content := range map[string]string{
+			"experiment.xml": beffio.ExperimentXML,
+			"input.xml":      beffio.InputXML,
+		} {
+			path := filepath.Join(*out, name)
+			if err := os.WriteFile(path, []byte(strings.TrimSpace(content)+"\n"), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Println("wrote", path)
+		}
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "beffio:", err)
+	os.Exit(1)
+}

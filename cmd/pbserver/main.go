@@ -1,0 +1,60 @@
+// Command pbserver runs a perfbase database server.
+//
+// The paper's architecture (§4.2) stores all persistent data in an SQL
+// server that "a user can either run ... on his local workstation, or
+// store his data on any connected ... server"; the parallel query
+// processing of §4.3 additionally places worker servers on cluster
+// nodes. pbserver is that server: it exposes a (durable or in-memory)
+// database over TCP using the perfbase wire protocol.
+//
+// Usage:
+//
+//	pbserver [-addr HOST:PORT] [-db DIR] [-mem]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"perfbase/internal/sqldb"
+	"perfbase/internal/sqldb/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7337", "listen address")
+	dbDir := flag.String("db", "perfbase.db", "database directory")
+	mem := flag.Bool("mem", false, "serve an in-memory database (worker node mode)")
+	flag.Parse()
+
+	var db *sqldb.DB
+	var err error
+	if *mem {
+		db = sqldb.NewMemory()
+	} else {
+		db, err = sqldb.Open(*dbDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pbserver:", err)
+			os.Exit(1)
+		}
+	}
+
+	srv := wire.NewServer(db)
+	if err := srv.Listen(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, "pbserver:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("pbserver: serving on %s (durable=%v)\n", srv.Addr(), !*mem)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("pbserver: shutting down")
+	srv.Close()
+	if err := db.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "pbserver:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,74 @@
+package perfbase_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"perfbase"
+)
+
+// Example walks the complete perfbase workflow: define an experiment,
+// import a benchmark output file, and query the average runtime per
+// parameter setting.
+func Example() {
+	const experimentXML = `
+<experiment>
+  <name>demo</name>
+  <parameter><name>threads</name><datatype>integer</datatype></parameter>
+  <result><name>seconds</name><datatype>float</datatype>
+    <unit><base_unit>s</base_unit></unit></result>
+</experiment>`
+
+	const inputXML = `
+<input experiment="demo">
+  <tabular start="threads seconds">
+    <column variable="threads" pos="1"/>
+    <column variable="seconds" pos="2"/>
+  </tabular>
+</input>`
+
+	const queryXML = `
+<query experiment="demo">
+  <source id="s"><parameter name="threads"/><value name="seconds"/></source>
+  <operator id="m" type="avg" input="s"/>
+  <output input="m" format="csv"/>
+</query>`
+
+	// A benchmark's raw ASCII output, as any tool would print it.
+	out := "benchmark run\nthreads seconds\n1 10.0\n2 5.5\n1 10.2\n2 5.3\n"
+	dir, err := os.MkdirTemp("", "pbexample")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	file := filepath.Join(dir, "run1.txt")
+	if err := os.WriteFile(file, []byte(out), 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	session := perfbase.OpenMemory()
+	defer session.Close()
+	if _, err := session.Setup(strings.NewReader(experimentXML)); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := session.Import("demo", strings.NewReader(inputXML),
+		perfbase.ImportOptions{}, file); err != nil {
+		log.Fatal(err)
+	}
+	res, err := session.Query(strings.NewReader(queryXML))
+	if err != nil {
+		log.Fatal(err)
+	}
+	docs, err := perfbase.RenderAll(res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(string(docs[0].Content))
+	// Output:
+	// threads,seconds [s]
+	// 1,10.1
+	// 2,5.4
+}

@@ -1,0 +1,18 @@
+package main
+
+import "os"
+
+// tempDir is a tiny helper holding a removable temp directory.
+type tempDir struct {
+	path string
+}
+
+func tmpDir() (*tempDir, error) {
+	p, err := os.MkdirTemp("", "pbcluster")
+	if err != nil {
+		return nil, err
+	}
+	return &tempDir{path: p}, nil
+}
+
+func (d *tempDir) remove() { os.RemoveAll(d.path) }

@@ -1,0 +1,169 @@
+// Option pricing: the experiment-management workload from the paper's
+// introduction (ref [13] — "the price calculation of stock options ...
+// a large number of parameterised simulation runs is required. The
+// results of these runs, which often depend on half a dozen of
+// parameters, need to be stored for further evaluation").
+//
+// The example sweeps volatility and strike over a Monte-Carlo option
+// pricer (with a binomial tree and the Black-Scholes closed form as
+// comparators), stores every simulation run in perfbase, and queries
+// the pricing error by method and work — showing how perfbase manages
+// simulation campaigns outside classic HPC benchmarking.
+//
+//	go run ./examples/optionpricing [-out DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"perfbase"
+	"perfbase/internal/pricing"
+)
+
+const experimentXML = `
+<experiment>
+  <name>optionpricing</name>
+  <info><synopsis>European option pricing simulation campaign</synopsis></info>
+  <parameter occurence="once"><name>S0</name><datatype>float</datatype></parameter>
+  <parameter occurence="once"><name>K</name><datatype>float</datatype></parameter>
+  <parameter occurence="once"><name>r</name><datatype>float</datatype></parameter>
+  <parameter occurence="once"><name>sigma</name><datatype>float</datatype></parameter>
+  <parameter occurence="once"><name>maturity</name><datatype>float</datatype></parameter>
+  <parameter occurence="once"><name>kind</name><datatype>string</datatype>
+    <valid>call</valid><valid>put</valid></parameter>
+  <parameter><name>method</name><datatype>string</datatype>
+    <valid>analytic</valid><valid>montecarlo</valid><valid>binomial</valid></parameter>
+  <parameter><name>work</name><datatype>integer</datatype></parameter>
+  <result><name>price</name><datatype>float</datatype>
+    <unit><base_unit>dollar</base_unit></unit></result>
+  <result><name>stderr</name><datatype>float</datatype></result>
+  <result><name>abserr</name><datatype>float</datatype></result>
+</experiment>`
+
+const inputXML = `
+<input experiment="optionpricing">
+  <named variable="S0" match="S0 ="/>
+  <named variable="K" match="K ="/>
+  <named variable="r" match="r ="/>
+  <named variable="sigma" match="sigma ="/>
+  <named variable="maturity" match="maturity ="/>
+  <named variable="kind" match="kind ="/>
+  <tabular start="method work price stderr abserr">
+    <column variable="method" pos="1"/>
+    <column variable="work" pos="2"/>
+    <column variable="price" pos="3"/>
+    <column variable="stderr" pos="4"/>
+    <column variable="abserr" pos="5"/>
+  </tabular>
+</input>`
+
+// convergenceQuery: average absolute pricing error by method and work,
+// across the whole parameter sweep.
+const convergenceQuery = `
+<query experiment="optionpricing">
+  <source id="mc">
+    <parameter name="method" value="montecarlo"/>
+    <parameter name="work"/>
+    <value name="abserr"/>
+  </source>
+  <source id="tree">
+    <parameter name="method" value="binomial"/>
+    <parameter name="work"/>
+    <value name="abserr"/>
+  </source>
+  <operator id="mc_mean" type="avg" input="mc"/>
+  <operator id="tree_mean" type="avg" input="tree"/>
+  <output input="mc_mean" format="ascii"
+          title="mean absolute Monte-Carlo pricing error by paths" target="convergence_mc.txt"/>
+  <output input="tree_mean" format="ascii"
+          title="mean absolute binomial pricing error by steps" target="convergence_tree.txt"/>
+  <output input="mc_mean" format="gnuplot" style="linespoints"
+          title="Monte Carlo convergence" xlabel="paths" target="mc.gp"/>
+</query>`
+
+func main() {
+	outDir := flag.String("out", "pricing_out", "directory for generated files and results")
+	flag.Parse()
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	session := perfbase.OpenMemory()
+	defer session.Close()
+	if _, err := session.Setup(strings.NewReader(experimentXML)); err != nil {
+		log.Fatal(err)
+	}
+
+	// Parameter sweep: volatility × strike.
+	mcPaths := []int{1000, 10000, 100000}
+	binSteps := []int{16, 64, 256, 1024}
+	var files []string
+	seed := int64(1)
+	for _, sigma := range []float64{0.1, 0.2, 0.4} {
+		for _, strike := range []float64{90, 100, 110} {
+			opt := pricing.Option{S0: 100, K: strike, R: 0.05, Sigma: sigma, T: 1}
+			results := pricing.Campaign(opt, mcPaths, binSteps, seed)
+			seed += 1000
+			name := fmt.Sprintf("pricing_sigma%.2f_K%.0f.txt", sigma, strike)
+			path := filepath.Join(*outDir, name)
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := pricing.Report(f, opt, results); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+			files = append(files, path)
+		}
+	}
+	fmt.Printf("simulated %d pricing campaigns\n", len(files))
+
+	ids, err := session.Import("optionpricing", strings.NewReader(inputXML),
+		perfbase.ImportOptions{Missing: perfbase.MissingFail}, files...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("imported %d runs\n", len(ids))
+
+	res, err := session.Query(strings.NewReader(convergenceQuery))
+	if err != nil {
+		log.Fatal(err)
+	}
+	docs, err := perfbase.RenderAll(res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := perfbase.WriteDocuments(*outDir, docs); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote convergence tables and mc.gp to %s\n\n", *outDir)
+
+	// Show the headline tables inline, too.
+	for _, label := range []struct {
+		idx  int
+		name string
+	}{{0, "Monte Carlo (paths)"}, {1, "binomial tree (steps)"}} {
+		out := res.Outputs[label.idx]
+		data := out.Data[0]
+		vec := out.Vectors[0]
+		wi, ei := -1, -1
+		for i, c := range vec.Cols {
+			switch c.Name {
+			case "work":
+				wi = i
+			case "abserr":
+				ei = i
+			}
+		}
+		fmt.Printf("%s — mean absolute error:\n", label.name)
+		for _, row := range data.Rows {
+			fmt.Printf("  %-7d %9.5f\n", row[wi].Int(), row[ei].Float())
+		}
+	}
+}

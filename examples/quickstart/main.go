@@ -1,0 +1,110 @@
+// Quickstart: the smallest end-to-end perfbase workflow.
+//
+// It defines an experiment, imports the ASCII output of two runs,
+// computes the average and standard deviation of a timing result per
+// parameter setting, and prints the resulting table.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"perfbase"
+)
+
+// experimentXML declares the experiment: one swept input parameter
+// (threads), one environment parameter (host) and one result (seconds).
+const experimentXML = `
+<experiment>
+  <name>quickstart</name>
+  <info><synopsis>Quickstart timing experiment</synopsis></info>
+  <parameter occurence="once"><name>host</name><datatype>string</datatype></parameter>
+  <parameter><name>threads</name><datatype>integer</datatype></parameter>
+  <result><name>seconds</name><datatype>float</datatype>
+    <unit><base_unit>s</base_unit></unit></result>
+</experiment>`
+
+// inputXML tells perfbase where each variable sits in the output text.
+const inputXML = `
+<input experiment="quickstart">
+  <named variable="host" match="running on"/>
+  <tabular start="threads seconds">
+    <column variable="threads" pos="1"/>
+    <column variable="seconds" pos="2"/>
+  </tabular>
+</input>`
+
+// queryXML asks for avg and stddev of the runtime per thread count.
+const queryXML = `
+<query experiment="quickstart">
+  <source id="all">
+    <parameter name="threads"/>
+    <value name="seconds"/>
+  </source>
+  <operator id="mean" type="avg" input="all"/>
+  <operator id="spread" type="stddev" input="all"/>
+  <combiner id="stats" input="mean spread"/>
+  <output input="stats" format="ascii" title="runtime by thread count"/>
+</query>`
+
+// Two fake benchmark outputs, as a real tool would print them.
+var runOutputs = []string{
+	`benchmark v2 running on nodeA
+threads seconds
+1 10.10
+2 5.25
+4 2.80
+8 1.65
+`,
+	`benchmark v2 running on nodeA
+threads seconds
+1 10.30
+2 5.05
+4 2.90
+8 1.55
+`,
+}
+
+func main() {
+	session := perfbase.OpenMemory()
+	defer session.Close()
+
+	if _, err := session.Setup(strings.NewReader(experimentXML)); err != nil {
+		log.Fatal(err)
+	}
+
+	dir, err := os.MkdirTemp("", "quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	for i, content := range runOutputs {
+		path := filepath.Join(dir, fmt.Sprintf("run%d.txt", i+1))
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		ids, err := session.Import("quickstart", strings.NewReader(inputXML),
+			perfbase.ImportOptions{}, path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("imported %s as run %d\n", filepath.Base(path), ids[0])
+	}
+
+	res, err := session.Query(strings.NewReader(queryXML))
+	if err != nil {
+		log.Fatal(err)
+	}
+	docs, err := perfbase.RenderAll(res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	os.Stdout.Write(docs[0].Content)
+	fmt.Printf("\nquery took %v\n", res.Elapsed)
+}

@@ -1,0 +1,168 @@
+// Regression tracking: performance development over software
+// revisions.
+//
+// The paper's introduction motivates tracking "the performance
+// development over a longer period of time or multiple software and
+// hardware revisions", which the naive file-per-run approach makes
+// painful. This example simulates nightly benchmark outputs of an MPI
+// library across versions (with a regression planted in one release),
+// imports them into perfbase, and uses run-index filtered sources plus
+// a percentof comparison to find the release that regressed.
+//
+//	go run ./examples/regression
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"perfbase"
+)
+
+const experimentXML = `
+<experiment>
+  <name>nightly</name>
+  <info><synopsis>Nightly message-passing latency tracking</synopsis></info>
+  <parameter occurence="once"><name>version</name><datatype>version</datatype></parameter>
+  <parameter><name>size</name><datatype>integer</datatype>
+    <unit><base_unit>byte</base_unit></unit></parameter>
+  <result><name>latency</name><datatype>float</datatype>
+    <unit><base_unit>s</base_unit><scaling>Micro</scaling></unit></result>
+</experiment>`
+
+const inputXML = `
+<input experiment="nightly">
+  <named variable="version" match="library version"/>
+  <tabular start="size latency">
+    <column variable="size" pos="1"/>
+    <column variable="latency" pos="2"/>
+  </tabular>
+</input>`
+
+// trendQuery: average latency per version and message size — the
+// "over time" view.
+const trendQuery = `
+<query experiment="nightly">
+  <source id="all">
+    <parameter name="version"/>
+    <parameter name="size"/>
+    <value name="latency"/>
+  </source>
+  <operator id="mean" type="avg" input="all"/>
+  <output input="mean" format="ascii" title="latency by version and size"/>
+</query>`
+
+// compareQuery template: one version against its predecessor.
+const compareQuery = `
+<query experiment="nightly">
+  <source id="prev">
+    <parameter name="version" value="%s"/>
+    <parameter name="size"/>
+    <value name="latency"/>
+  </source>
+  <source id="cur">
+    <parameter name="version" value="%s"/>
+    <parameter name="size"/>
+    <value name="latency"/>
+  </source>
+  <operator id="m_prev" type="avg" input="prev"/>
+  <operator id="m_cur" type="avg" input="cur"/>
+  <operator id="rel" type="above" input="m_cur m_prev"/>
+  <output input="rel" format="ascii"/>
+</query>`
+
+// simulate produces a nightly benchmark output for one library
+// version. Version 1.2.0 plants a latency regression for small
+// messages.
+func simulate(version string, rng *rand.Rand) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "mpi benchmark suite\nlibrary version %s\n\nsize latency\n", version)
+	for _, size := range []int{8, 1024, 65536} {
+		base := 4.0 + float64(size)/8192.0
+		if version == "1.2.0" && size <= 1024 {
+			base *= 1.35 // the regression
+		}
+		for rep := 0; rep < 3; rep++ {
+			lat := base * (1 + 0.03*rng.NormFloat64())
+			fmt.Fprintf(&sb, "%d %.3f\n", size, lat)
+		}
+	}
+	return sb.String()
+}
+
+func main() {
+	session := perfbase.OpenMemory()
+	defer session.Close()
+	if _, err := session.Setup(strings.NewReader(experimentXML)); err != nil {
+		log.Fatal(err)
+	}
+
+	versions := []string{"1.0.0", "1.1.0", "1.1.1", "1.2.0", "1.2.1"}
+	rng := rand.New(rand.NewSource(7))
+	dir, err := os.MkdirTemp("", "nightly")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	for _, v := range versions {
+		path := filepath.Join(dir, "nightly_"+v+".txt")
+		if err := os.WriteFile(path, []byte(simulate(v, rng)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := session.Import("nightly", strings.NewReader(inputXML),
+			perfbase.ImportOptions{}, path); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("imported nightly runs for %d versions\n\n", len(versions))
+
+	// The long-term trend table.
+	res, err := session.Query(strings.NewReader(trendQuery))
+	if err != nil {
+		log.Fatal(err)
+	}
+	docs, err := perfbase.RenderAll(res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(docs[0].Content)
+
+	// Pairwise version comparison: flag releases that slowed down by
+	// more than 10% for any message size.
+	fmt.Println("\nregression scan (latency increase vs previous version):")
+	for i := 1; i < len(versions); i++ {
+		spec := fmt.Sprintf(compareQuery, versions[i-1], versions[i])
+		res, err := session.Query(strings.NewReader(spec))
+		if err != nil {
+			log.Fatal(err)
+		}
+		data := res.Outputs[0].Data[0]
+		vec := res.Outputs[0].Vectors[0]
+		si, li := -1, -1
+		for ci, c := range vec.Cols {
+			switch c.Name {
+			case "size":
+				si = ci
+			case "latency":
+				li = ci
+			}
+		}
+		worst := 0.0
+		worstSize := int64(0)
+		for _, row := range data.Rows {
+			if d := row[li].Float(); d > worst {
+				worst = d
+				worstSize = row[si].Int()
+			}
+		}
+		verdict := "ok"
+		if worst > 10 {
+			verdict = fmt.Sprintf("REGRESSION (+%.0f%% at %d bytes)", worst, worstSize)
+		}
+		fmt.Printf("  %s -> %s: %s\n", versions[i-1], versions[i], verdict)
+	}
+}

@@ -1,0 +1,3 @@
+module perfbase
+
+go 1.24

@@ -1,0 +1,84 @@
+package beffio
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// techniqueArg renders the technique the way the benchmark's command
+// line echo prints it (Fig. 4: "-i list-based_io.info").
+func techniqueArg(technique string) string {
+	if technique == TechniqueListLess {
+		return "list-less_io.info"
+	}
+	return "list-based_io.info"
+}
+
+// WriteOutput renders the run in the b_eff_io summary file format of
+// paper Fig. 4. prefix is the output file prefix (see Run.Prefix).
+func (r *Run) WriteOutput(w io.Writer, prefix string) error {
+	c := r.Config
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "MEMORY PER PROCESSOR = %d MBytes [1MBytes = 1024*1024 bytes, 1MB = 1e6 bytes]\n",
+		c.MemPerProc)
+	fmt.Fprintf(&b, "Maximum chunk size =      %.3f MBytes\n",
+		float64(PatternChunks[len(PatternChunks)-1])/(1024*1024))
+	fmt.Fprintf(&b, "-N %d T=%d, MT=%d MBytes -i %s, -rewrite\n",
+		c.NProcs, c.T, c.MemPerProc*c.NProcs, techniqueArg(c.Technique))
+	fmt.Fprintf(&b, "PATH=/tmp, PREFIX=%s\n", prefix)
+	fmt.Fprintf(&b, "      system name : Linux\n")
+	fmt.Fprintf(&b, "      hostname : %s\n", c.Hostname)
+	fmt.Fprintf(&b, "      OS release : %s\n", c.OSRelease)
+	fmt.Fprintf(&b, "      OS version : #1 SMP Tue Jun 22 14:37:05 CEST 2004\n")
+	fmt.Fprintf(&b, "      machine : %s\n", c.Machine)
+	fmt.Fprintf(&b, "Date of measurement: %s\n\n", c.Date.Format("Mon Jan 2 15:04:05 2006"))
+
+	fmt.Fprintf(&b, "Summary of file I/O bandwidth accumulated on %d processes with %d MByte/PE\n\n",
+		c.NProcs, c.MemPerProc)
+	b.WriteString("number pos chunk- access type=0 type=1 type=2 type=3 type=4\n")
+	b.WriteString("of PEs size (1) methode scatter shared separate segmened seg-coll\n")
+	b.WriteString("         [bytes] methode [MB/s] [MB/s] [MB/s] [MB/s]\n")
+
+	for oi, op := range Ops {
+		for _, cell := range r.Cells {
+			if cell.Op != op {
+				continue
+			}
+			fmt.Fprintf(&b, "%3d PEs %d %9d %s %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+				c.NProcs, cell.Pattern, cell.Chunk, op,
+				cell.BW[0], cell.BW[1], cell.BW[2], cell.BW[3], cell.BW[4])
+		}
+		tot := r.Totals[op]
+		fmt.Fprintf(&b, "%3d PEs   total-%s %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+			c.NProcs, op, tot[0], tot[1], tot[2], tot[3], tot[4])
+		if oi < len(Ops)-1 {
+			b.WriteString("\n")
+		}
+	}
+
+	b.WriteString("\nThis table shows all results, except pattern 2 (scatter, l=1MBytes, L=2MBytes):\n")
+	fmt.Fprintf(&b, " bw_pat2= %.3f MB/s write, %.3f MB/s rewrite, %.3f MB/s read\n\n",
+		r.Pat2["write"], r.Pat2["rewrite"], r.Pat2["read"])
+
+	for _, op := range Ops {
+		fmt.Fprintf(&b, "weighted average bandwidth for %-7s: %.3f MB/s on %d processes\n",
+			op, r.WeightedAvg[op], c.NProcs)
+	}
+	fmt.Fprintf(&b, "\nb_eff_io of these measurements = %.3f MB/s on %d processes with %d MByte/PE and scheduled time=%.1f min\n\n",
+		r.BEffIO, c.NProcs, c.MemPerProc, float64(c.T)/60.0)
+	b.WriteString("Maximum over all number of PEs\n")
+	fmt.Fprintf(&b, "b_eff_io = %.3f MB/s on %d processes with %d MByte/PE, scheduled time=%.1f Min, on Linux %s %s #1 SMP %s\n",
+		r.BEffIO, c.NProcs, c.MemPerProc, float64(c.T)/60.0, c.Hostname, c.OSRelease, c.Machine)
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Output renders the run to a string.
+func (r *Run) Output(prefix string) string {
+	var sb strings.Builder
+	r.WriteOutput(&sb, prefix) //nolint:errcheck // strings.Builder cannot fail
+	return sb.String()
+}

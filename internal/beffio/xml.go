@@ -1,0 +1,265 @@
+package beffio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ExperimentXML is the canonical perfbase experiment definition for
+// b_eff_io runs — the full version of the paper's Fig. 5 excerpt.
+const ExperimentXML = `
+<experiment>
+  <name>b_eff_io</name>
+  <info>
+    <performed_by>
+      <name>Joachim Worringen</name>
+      <organization>C&amp;C Research Laboratories, NEC Europe Ltd.</organization>
+    </performed_by>
+    <project>Optimization of MPI I/O Operations</project>
+    <synopsis>Results of b_eff_io Benchmark</synopsis>
+    <description>We want to track the performance changes that we achieve with
+      new algorithms and parameter optimization of I/O operations.</description>
+  </info>
+  <parameter occurence="once">
+    <name>T</name>
+    <synopsis>specified runtime of the test</synopsis>
+    <datatype>integer</datatype>
+    <unit><base_unit>s</base_unit></unit>
+  </parameter>
+  <parameter occurence="once">
+    <name>N_total</name>
+    <synopsis>number of processes of the run</synopsis>
+    <datatype>integer</datatype>
+    <unit><base_unit>process</base_unit></unit>
+  </parameter>
+  <parameter occurence="once">
+    <name>mem_pe</name>
+    <synopsis>memory per processor</synopsis>
+    <datatype>integer</datatype>
+    <unit><base_unit>byte</base_unit><scaling>Mebi</scaling></unit>
+  </parameter>
+  <parameter occurence="once">
+    <name>fs</name>
+    <synopsis>type of file system for the used path</synopsis>
+    <datatype>string</datatype>
+    <valid>ufs</valid><valid>nfs</valid><valid>pfs</valid><valid>sfs</valid><valid>unknown</valid>
+    <default>unknown</default>
+  </parameter>
+  <parameter occurence="once">
+    <name>technique</name>
+    <synopsis>non-contiguous I/O technique</synopsis>
+    <datatype>string</datatype>
+    <valid>listbased</valid><valid>listless</valid>
+  </parameter>
+  <parameter occurence="once">
+    <name>hostname</name>
+    <synopsis>host the benchmark ran on</synopsis>
+    <datatype>string</datatype>
+  </parameter>
+  <parameter occurence="once">
+    <name>os_release</name>
+    <synopsis>operating system release</synopsis>
+    <datatype>version</datatype>
+  </parameter>
+  <parameter occurence="once">
+    <name>machine</name>
+    <synopsis>machine architecture</synopsis>
+    <datatype>string</datatype>
+  </parameter>
+  <parameter occurence="once">
+    <name>date_run</name>
+    <synopsis>date and time the run was performed</synopsis>
+    <datatype>timestamp</datatype>
+  </parameter>
+  <parameter>
+    <name>N_proc</name>
+    <synopsis>number of processes involved in the operation</synopsis>
+    <datatype>integer</datatype>
+    <unit><base_unit>process</base_unit></unit>
+  </parameter>
+  <parameter>
+    <name>pattern</name>
+    <synopsis>access pattern index</synopsis>
+    <datatype>integer</datatype>
+  </parameter>
+  <parameter>
+    <name>S_chunk</name>
+    <synopsis>amount of data that is written or read</synopsis>
+    <datatype>integer</datatype>
+    <unit><base_unit>byte</base_unit></unit>
+  </parameter>
+  <parameter>
+    <name>op</name>
+    <synopsis>I/O operation</synopsis>
+    <datatype>string</datatype>
+    <valid>write</valid><valid>rewrite</valid><valid>read</valid>
+  </parameter>
+  <result>
+    <name>B_scatter</name>
+    <synopsis>bandwidth for access type 0 (scatter)</synopsis>
+    <datatype>float</datatype>
+    <unit><fraction>
+      <dividend><base_unit>byte</base_unit><scaling>Mega</scaling></dividend>
+      <divisor><base_unit>s</base_unit></divisor>
+    </fraction></unit>
+  </result>
+  <result>
+    <name>B_shared</name>
+    <synopsis>bandwidth for access type 1 (shared)</synopsis>
+    <datatype>float</datatype>
+    <unit><fraction>
+      <dividend><base_unit>byte</base_unit><scaling>Mega</scaling></dividend>
+      <divisor><base_unit>s</base_unit></divisor>
+    </fraction></unit>
+  </result>
+  <result>
+    <name>B_separate</name>
+    <synopsis>bandwidth for access type 2 (separate)</synopsis>
+    <datatype>float</datatype>
+    <unit><fraction>
+      <dividend><base_unit>byte</base_unit><scaling>Mega</scaling></dividend>
+      <divisor><base_unit>s</base_unit></divisor>
+    </fraction></unit>
+  </result>
+  <result>
+    <name>B_segmented</name>
+    <synopsis>bandwidth for access type 3 (segmented)</synopsis>
+    <datatype>float</datatype>
+    <unit><fraction>
+      <dividend><base_unit>byte</base_unit><scaling>Mega</scaling></dividend>
+      <divisor><base_unit>s</base_unit></divisor>
+    </fraction></unit>
+  </result>
+  <result>
+    <name>B_segcoll</name>
+    <synopsis>bandwidth for access type 4 (seg-coll)</synopsis>
+    <datatype>float</datatype>
+    <unit><fraction>
+      <dividend><base_unit>byte</base_unit><scaling>Mega</scaling></dividend>
+      <divisor><base_unit>s</base_unit></divisor>
+    </fraction></unit>
+  </result>
+  <result occurence="once">
+    <name>bw_write</name>
+    <synopsis>weighted average write bandwidth</synopsis>
+    <datatype>float</datatype>
+    <unit><fraction>
+      <dividend><base_unit>byte</base_unit><scaling>Mega</scaling></dividend>
+      <divisor><base_unit>s</base_unit></divisor>
+    </fraction></unit>
+  </result>
+  <result occurence="once">
+    <name>bw_rewrite</name>
+    <synopsis>weighted average rewrite bandwidth</synopsis>
+    <datatype>float</datatype>
+    <unit><fraction>
+      <dividend><base_unit>byte</base_unit><scaling>Mega</scaling></dividend>
+      <divisor><base_unit>s</base_unit></divisor>
+    </fraction></unit>
+  </result>
+  <result occurence="once">
+    <name>bw_read</name>
+    <synopsis>weighted average read bandwidth</synopsis>
+    <datatype>float</datatype>
+    <unit><fraction>
+      <dividend><base_unit>byte</base_unit><scaling>Mega</scaling></dividend>
+      <divisor><base_unit>s</base_unit></divisor>
+    </fraction></unit>
+  </result>
+  <result occurence="once">
+    <name>b_eff_io</name>
+    <synopsis>effective I/O bandwidth</synopsis>
+    <datatype>float</datatype>
+    <unit><fraction>
+      <dividend><base_unit>byte</base_unit><scaling>Mega</scaling></dividend>
+      <divisor><base_unit>s</base_unit></divisor>
+    </fraction></unit>
+  </result>
+</experiment>`
+
+// InputXML is the canonical perfbase input description for b_eff_io
+// summary files — the full version of the paper's Fig. 6 excerpt.
+// The technique and file system are encoded in the output file name
+// (paper §5), the scalar parameters anchor on keywords, and the result
+// matrix is parsed from the summary table.
+const InputXML = `
+<input experiment="b_eff_io">
+  <filename variable="technique" split="_" index="3"/>
+  <filename variable="fs" split="_" index="4"/>
+  <named variable="mem_pe" match="MEMORY PER PROCESSOR ="/>
+  <named variable="T" match="T="/>
+  <named variable="N_total" match="-N" field="1"/>
+  <named variable="hostname" match="hostname :"/>
+  <named variable="os_release" match="OS release :"/>
+  <named variable="machine" match="machine :"/>
+  <named variable="date_run" match="Date of measurement:"/>
+  <named variable="bw_write" match="weighted average bandwidth for write"/>
+  <named variable="bw_rewrite" match="weighted average bandwidth for rewrite"/>
+  <named variable="bw_read" match="weighted average bandwidth for read"/>
+  <named variable="b_eff_io" match="b_eff_io of these measurements ="/>
+  <tabular start="number pos chunk-" offset="2" skipblank="true" end="This table shows">
+    <column variable="N_proc" pos="1"/>
+    <column variable="pattern" pos="3"/>
+    <column variable="S_chunk" pos="4"/>
+    <column variable="op" pos="5"/>
+    <column variable="B_scatter" pos="6"/>
+    <column variable="B_shared" pos="7"/>
+    <column variable="B_separate" pos="8"/>
+    <column variable="B_segmented" pos="9"/>
+    <column variable="B_segcoll" pos="10"/>
+  </tabular>
+</input>`
+
+// GenerateFiles simulates a batch of runs and writes one output file
+// per run into dir, named "<prefix>.txt". It returns the file paths.
+func GenerateFiles(dir, site string, configs []Config) ([]string, error) {
+	var paths []string
+	for i, cfg := range configs {
+		run := Simulate(cfg)
+		prefix := run.Prefix(site, i+1)
+		path := filepath.Join(dir, prefix+".txt")
+		f, err := os.Create(path)
+		if err != nil {
+			return paths, fmt.Errorf("beffio: %w", err)
+		}
+		if err := run.WriteOutput(f, prefix); err != nil {
+			f.Close()
+			return paths, fmt.Errorf("beffio: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return paths, fmt.Errorf("beffio: %w", err)
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+// SweepConfigs builds the §5 measurement campaign: every combination
+// of technique × file system × process count, repeated reps times with
+// distinct seeds.
+func SweepConfigs(techniques, fss []string, procs []int, reps int, baseSeed int64) []Config {
+	var cfgs []Config
+	seed := baseSeed
+	for _, tech := range techniques {
+		for _, fs := range fss {
+			for _, np := range procs {
+				for r := 0; r < reps; r++ {
+					seed++
+					cfgs = append(cfgs, Config{
+						NProcs: np, FS: fs, Technique: tech, Seed: seed,
+					})
+				}
+			}
+		}
+	}
+	return cfgs
+}
+
+// FileBase returns the base name without extension for a generated
+// path (useful when deriving filename-encoded parameters in tests).
+func FileBase(path string) string {
+	base := filepath.Base(path)
+	return strings.TrimSuffix(base, filepath.Ext(base))
+}

@@ -1,0 +1,395 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"perfbase/internal/pbxml"
+	"perfbase/internal/units"
+	"perfbase/internal/value"
+)
+
+// Var is a resolved experiment variable: a declared input parameter or
+// result value with its storage type, unit and content constraints.
+type Var struct {
+	Name        string
+	Result      bool // result value rather than input parameter
+	Once        bool // constant per run rather than per data set
+	Type        value.Type
+	Unit        units.Unit
+	Synopsis    string
+	Description string
+
+	// DefaultText and ValidTexts carry the raw declaration strings;
+	// Default and Valid the parsed forms (see finish).
+	DefaultText string
+	ValidTexts  []string
+	Default     value.Value
+	Valid       []value.Value
+}
+
+// finish parses DefaultText/ValidTexts into typed values.
+func (v *Var) finish() error {
+	if v.DefaultText != "" {
+		d, err := value.Parse(v.Type, v.DefaultText)
+		if err != nil {
+			return fmt.Errorf("variable %s: default: %w", v.Name, err)
+		}
+		v.Default = d
+	} else {
+		v.Default = value.Null(v.Type)
+	}
+	v.Valid = v.Valid[:0]
+	for _, s := range v.ValidTexts {
+		val, err := value.Parse(v.Type, s)
+		if err != nil {
+			return fmt.Errorf("variable %s: valid value: %w", v.Name, err)
+		}
+		v.Valid = append(v.Valid, val)
+	}
+	return nil
+}
+
+// Accepts reports whether content val satisfies the variable's
+// valid-content restriction (paper Fig. 5: "all other content will be
+// rejected"). Variables without a valid list accept everything.
+func (v *Var) Accepts(val value.Value) bool {
+	if len(v.Valid) == 0 || val.IsNull() {
+		return true
+	}
+	for _, ok := range v.Valid {
+		if value.Equal(val, ok) {
+			return true
+		}
+	}
+	return false
+}
+
+// resolveVars converts the XML variable declarations into resolved Vars.
+func resolveVars(def *pbxml.Experiment) ([]Var, error) {
+	var vars []Var
+	add := func(list []pbxml.Variable, isResult bool) error {
+		for i := range list {
+			xv := &list[i]
+			typ, err := xv.Type()
+			if err != nil {
+				return err
+			}
+			u, err := xv.Unit.Unit()
+			if err != nil {
+				return err
+			}
+			if strings.EqualFold(xv.Name, "run_id") {
+				return fmt.Errorf("core: variable name run_id is reserved")
+			}
+			v := Var{
+				Name: xv.Name, Result: isResult, Once: xv.Once(),
+				Type: typ, Unit: u, Synopsis: xv.Synopsis, Description: xv.Description,
+				DefaultText: xv.Default, ValidTexts: xv.Valid,
+			}
+			if err := v.finish(); err != nil {
+				return err
+			}
+			vars = append(vars, v)
+		}
+		return nil
+	}
+	if err := add(def.Parameters, false); err != nil {
+		return nil, err
+	}
+	if err := add(def.Results, true); err != nil {
+		return nil, err
+	}
+	return vars, nil
+}
+
+// Experiment is an open experiment.
+type Experiment struct {
+	store *Store
+	name  string
+	def   *pbxml.Experiment
+	vars  []Var
+}
+
+// Name returns the experiment name.
+func (e *Experiment) Name() string { return e.name }
+
+// Store returns the store the experiment lives in.
+func (e *Experiment) Store() *Store { return e.store }
+
+// Def returns the (possibly reconstructed) experiment definition.
+func (e *Experiment) Def() *pbxml.Experiment { return e.def }
+
+// Vars returns all resolved variables.
+func (e *Experiment) Vars() []Var { return e.vars }
+
+// Var looks up a variable by name (case-insensitive).
+func (e *Experiment) Var(name string) (*Var, bool) {
+	for i := range e.vars {
+		if strings.EqualFold(e.vars[i].Name, name) {
+			return &e.vars[i], true
+		}
+	}
+	return nil, false
+}
+
+// OnceVars returns the constant-per-run variables in declaration order.
+func (e *Experiment) OnceVars() []Var {
+	var out []Var
+	for _, v := range e.vars {
+		if v.Once {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// MultiVars returns the per-data-set variables in declaration order.
+func (e *Experiment) MultiVars() []Var {
+	var out []Var
+	for _, v := range e.vars {
+		if !v.Once {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// onceTable is the table holding one row per run with all
+// constant-per-run variables.
+func (e *Experiment) onceTable() string { return e.name + "_once" }
+
+// DataTable is the per-run table holding the data sets of run id
+// (paper §4.2).
+func (e *Experiment) DataTable(id int64) string {
+	return fmt.Sprintf("%s_run_%d", e.name, id)
+}
+
+func (e *Experiment) createOnceTable() error {
+	cols := []string{"run_id integer"}
+	for _, v := range e.OnceVars() {
+		cols = append(cols, v.Name+" "+v.Type.String())
+	}
+	_, err := e.store.q.Exec("CREATE TABLE " + e.onceTable() + " (" + strings.Join(cols, ", ") + ")")
+	if err != nil {
+		return fmt.Errorf("core: create once table: %w", err)
+	}
+	return nil
+}
+
+// ------------------------------------------------------ access model
+
+// AccessClass orders the perfbase user classes (paper §4.2).
+type AccessClass int
+
+// Access classes, weakest first.
+const (
+	AccessQuery AccessClass = iota + 1
+	AccessInput
+	AccessAdmin
+)
+
+// String returns the class name used in the meta tables.
+func (c AccessClass) String() string {
+	switch c {
+	case AccessQuery:
+		return "query"
+	case AccessInput:
+		return "input"
+	case AccessAdmin:
+		return "admin"
+	}
+	return "none"
+}
+
+// ParseAccessClass resolves a class name.
+func ParseAccessClass(s string) (AccessClass, error) {
+	switch strings.ToLower(s) {
+	case "query":
+		return AccessQuery, nil
+	case "input":
+		return AccessInput, nil
+	case "admin":
+		return AccessAdmin, nil
+	}
+	return 0, fmt.Errorf("core: unknown access class %q", s)
+}
+
+// Can reports whether user may act at the given class level. A class
+// implies all weaker classes (admin ⊇ input ⊇ query). An experiment
+// with no registered users at all is open to everybody (single-user
+// operation without a shared server).
+func (e *Experiment) Can(user string, class AccessClass) (bool, error) {
+	res, err := execArgs(e.store.q, "SELECT usr, class FROM "+tblAccess+" WHERE exp = ?",
+		value.NewString(e.name))
+	if err != nil {
+		return false, fmt.Errorf("core: access check: %w", err)
+	}
+	if len(res.Rows) == 0 {
+		return true, nil
+	}
+	for _, r := range res.Rows {
+		if r[0].Str() != user {
+			continue
+		}
+		have, err := ParseAccessClass(r[1].Str())
+		if err != nil {
+			return false, err
+		}
+		if have >= class {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Grant gives user the access class, replacing any previous grant.
+func (e *Experiment) Grant(user string, class AccessClass) error {
+	if err := e.Revoke(user); err != nil {
+		return err
+	}
+	_, err := execArgs(e.store.q, "INSERT INTO "+tblAccess+" (exp, usr, class) VALUES (?, ?, ?)",
+		value.NewString(e.name), value.NewString(user), value.NewString(class.String()))
+	if err != nil {
+		return fmt.Errorf("core: grant: %w", err)
+	}
+	return nil
+}
+
+// Revoke removes all access grants of user.
+func (e *Experiment) Revoke(user string) error {
+	_, err := execArgs(e.store.q, "DELETE FROM "+tblAccess+" WHERE exp = ? AND usr = ?",
+		value.NewString(e.name), value.NewString(user))
+	if err != nil {
+		return fmt.Errorf("core: revoke: %w", err)
+	}
+	return nil
+}
+
+// --------------------------------------------------- schema evolution
+
+// Update evolves the experiment to a new definition (paper §3.1:
+// "values and parameters can be added, modified or removed"). Added
+// variables appear as NULL in existing runs (or their default at query
+// time); removed variables lose their content; a changed data type is
+// applied by dropping and re-adding the column, which also clears
+// existing content. Occurrence changes are rejected.
+func (e *Experiment) Update(def *pbxml.Experiment) error {
+	if err := def.Validate(); err != nil {
+		return err
+	}
+	if def.Name != e.name {
+		return fmt.Errorf("core: update: definition is for %q, experiment is %q", def.Name, e.name)
+	}
+	newVars, err := resolveVars(def)
+	if err != nil {
+		return err
+	}
+	oldByName := map[string]*Var{}
+	for i := range e.vars {
+		oldByName[strings.ToLower(e.vars[i].Name)] = &e.vars[i]
+	}
+	newByName := map[string]*Var{}
+	for i := range newVars {
+		newByName[strings.ToLower(newVars[i].Name)] = &newVars[i]
+	}
+
+	// Removed and retyped variables.
+	for _, old := range e.vars {
+		nv, keep := newByName[strings.ToLower(old.Name)]
+		if keep {
+			if nv.Once != old.Once {
+				return fmt.Errorf("core: update: cannot change occurrence of %q", old.Name)
+			}
+			if nv.Result != old.Result {
+				return fmt.Errorf("core: update: cannot move %q between parameters and results", old.Name)
+			}
+		}
+		if keep && nv.Type == old.Type {
+			continue
+		}
+		// Drop the column everywhere it exists.
+		if err := e.alterAll(old.Once, "DROP COLUMN "+old.Name); err != nil {
+			return err
+		}
+		if !keep {
+			if _, err := execArgs(e.store.q, "DELETE FROM "+tblVariables+" WHERE exp = ? AND name = ?",
+				value.NewString(e.name), value.NewString(old.Name)); err != nil {
+				return fmt.Errorf("core: update: %w", err)
+			}
+		}
+	}
+	// Added and retyped variables.
+	for _, nv := range newVars {
+		old, existed := oldByName[strings.ToLower(nv.Name)]
+		if existed && old.Type == nv.Type {
+			// Possibly changed meta only: refresh the meta row.
+			if _, err := execArgs(e.store.q, "DELETE FROM "+tblVariables+" WHERE exp = ? AND name = ?",
+				value.NewString(e.name), value.NewString(nv.Name)); err != nil {
+				return fmt.Errorf("core: update: %w", err)
+			}
+			if err := e.store.insertVarMeta(e.name, nv); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := e.alterAll(nv.Once, "ADD COLUMN "+nv.Name+" "+nv.Type.String()); err != nil {
+			return err
+		}
+		if existed {
+			if _, err := execArgs(e.store.q, "DELETE FROM "+tblVariables+" WHERE exp = ? AND name = ?",
+				value.NewString(e.name), value.NewString(nv.Name)); err != nil {
+				return fmt.Errorf("core: update: %w", err)
+			}
+		}
+		if err := e.store.insertVarMeta(e.name, nv); err != nil {
+			return err
+		}
+	}
+
+	// Refresh experiment meta.
+	if _, err := execArgs(e.store.q, `UPDATE `+tblExperiments+
+		` SET synopsis = ?, description = ?, project = ?, performer = ?, organization = ?
+		 WHERE name = ?`,
+		value.NewString(def.Info.Synopsis), value.NewString(def.Info.Description),
+		value.NewString(def.Info.Project), value.NewString(def.Info.PerformedBy.Name),
+		value.NewString(def.Info.PerformedBy.Organization), value.NewString(e.name)); err != nil {
+		return fmt.Errorf("core: update meta: %w", err)
+	}
+
+	e.def = def
+	e.vars = newVars
+	return nil
+}
+
+// alterAll applies an ALTER TABLE clause to the once table (once=true)
+// or to every run data table (once=false).
+func (e *Experiment) alterAll(once bool, clause string) error {
+	if once {
+		if _, err := e.store.q.Exec("ALTER TABLE " + e.onceTable() + " " + clause); err != nil {
+			return fmt.Errorf("core: update: %w", err)
+		}
+		return nil
+	}
+	runs, err := e.Runs()
+	if err != nil {
+		return err
+	}
+	for _, r := range runs {
+		if _, err := e.store.q.Exec("ALTER TABLE " + e.DataTable(r.ID) + " " + clause); err != nil {
+			return fmt.Errorf("core: update run %d: %w", r.ID, err)
+		}
+	}
+	return nil
+}
+
+// VarNamesSorted returns all variable names, sorted, for display.
+func (e *Experiment) VarNamesSorted() []string {
+	names := make([]string, len(e.vars))
+	for i, v := range e.vars {
+		names[i] = v.Name
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,279 @@
+// Package core implements the experiment management layer of perfbase.
+//
+// The central idea of perfbase is the experiment (paper §3): a system
+// under evaluation whose executions — runs — are stored as sets of
+// input parameters and result values. This package maps experiments
+// onto the SQL backend: meta tables describe experiments, variables
+// and access rights; each experiment has one "once" table holding the
+// constant-per-run variables of every run and, faithful to §4.2 ("for
+// each new run, one table is created which contains the tabular
+// data"), one data table per run for the multiple-occurrence
+// variables.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"perfbase/internal/pbxml"
+	"perfbase/internal/sqldb"
+	"perfbase/internal/units"
+	"perfbase/internal/value"
+)
+
+// Meta table names. All perfbase bookkeeping lives in pb_-prefixed
+// tables of the backing database.
+const (
+	tblExperiments = "pb_experiments"
+	tblVariables   = "pb_variables"
+	tblAccess      = "pb_access"
+	tblRuns        = "pb_runs"
+)
+
+// validSep separates entries of a variable's valid-content list in its
+// meta row.
+const validSep = "\x1f"
+
+// Store is a handle to a perfbase database (local or remote). It
+// manages the meta tables shared by all experiments in the database.
+type Store struct {
+	q sqldb.Querier
+}
+
+// NewStore wraps a database handle. Call Init before first use of a
+// fresh database.
+func NewStore(q sqldb.Querier) *Store {
+	return &Store{q: q}
+}
+
+// Querier exposes the underlying database handle.
+func (s *Store) Querier() sqldb.Querier { return s.q }
+
+// Init creates the perfbase meta tables if they do not exist yet.
+// It is idempotent.
+func (s *Store) Init() error {
+	stmts := []string{
+		`CREATE TABLE IF NOT EXISTS ` + tblExperiments + ` (
+			name string, synopsis string, description string,
+			project string, performer string, organization string,
+			created timestamp, definition string)`,
+		`CREATE TABLE IF NOT EXISTS ` + tblVariables + ` (
+			exp string, name string, is_result boolean, once boolean,
+			datatype string, synopsis string, description string,
+			unit string, dflt string, valids string)`,
+		`CREATE TABLE IF NOT EXISTS ` + tblAccess + ` (
+			exp string, usr string, class string)`,
+		`CREATE TABLE IF NOT EXISTS ` + tblRuns + ` (
+			exp string, run_id integer, created timestamp,
+			source string, checksum string, active boolean, nsets integer)`,
+	}
+	for _, stmt := range stmts {
+		if _, err := s.q.Exec(stmt); err != nil {
+			return fmt.Errorf("core: init meta tables: %w", err)
+		}
+	}
+	return nil
+}
+
+// ListExperiments returns the names of all experiments, sorted.
+func (s *Store) ListExperiments() ([]string, error) {
+	res, err := s.q.Exec("SELECT name FROM " + tblExperiments + " ORDER BY name")
+	if err != nil {
+		return nil, fmt.Errorf("core: list experiments: %w", err)
+	}
+	names := make([]string, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		names = append(names, r[0].Str())
+	}
+	return names, nil
+}
+
+// CreateExperiment registers a new experiment from its definition and
+// creates its storage tables.
+func (s *Store) CreateExperiment(def *pbxml.Experiment) (*Experiment, error) {
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	if exists, err := s.experimentExists(def.Name); err != nil {
+		return nil, err
+	} else if exists {
+		return nil, fmt.Errorf("core: experiment %q already exists", def.Name)
+	}
+	vars, err := resolveVars(def)
+	if err != nil {
+		return nil, err
+	}
+	now := value.NewTimestamp(time.Now().UTC())
+	_, err = execArgs(s.q, `INSERT INTO `+tblExperiments+
+		` (name, synopsis, description, project, performer, organization, created, definition)
+		 VALUES (?, ?, ?, ?, ?, ?, ?, ?)`,
+		value.NewString(def.Name), value.NewString(def.Info.Synopsis),
+		value.NewString(def.Info.Description), value.NewString(def.Info.Project),
+		value.NewString(def.Info.PerformedBy.Name), value.NewString(def.Info.PerformedBy.Organization),
+		now, value.NewString(""))
+	if err != nil {
+		return nil, fmt.Errorf("core: register experiment: %w", err)
+	}
+	for _, v := range vars {
+		if err := s.insertVarMeta(def.Name, v); err != nil {
+			return nil, err
+		}
+	}
+	for class, users := range map[string][]string{
+		"admin": def.Access.Admin, "input": def.Access.Input, "query": def.Access.Query,
+	} {
+		for _, u := range users {
+			if _, err := execArgs(s.q, `INSERT INTO `+tblAccess+` (exp, usr, class) VALUES (?, ?, ?)`,
+				value.NewString(def.Name), value.NewString(u), value.NewString(class)); err != nil {
+				return nil, fmt.Errorf("core: register access: %w", err)
+			}
+		}
+	}
+	e := &Experiment{store: s, name: def.Name, def: def, vars: vars}
+	if err := e.createOnceTable(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (s *Store) experimentExists(name string) (bool, error) {
+	res, err := execArgs(s.q, "SELECT COUNT(*) FROM "+tblExperiments+" WHERE name = ?",
+		value.NewString(name))
+	if err != nil {
+		return false, fmt.Errorf("core: %w", err)
+	}
+	return res.Rows[0][0].Int() > 0, nil
+}
+
+func (s *Store) insertVarMeta(exp string, v Var) error {
+	_, err := execArgs(s.q, `INSERT INTO `+tblVariables+
+		` (exp, name, is_result, once, datatype, synopsis, description, unit, dflt, valids)
+		 VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)`,
+		value.NewString(exp), value.NewString(v.Name), value.NewBool(v.Result),
+		value.NewBool(v.Once), value.NewString(v.Type.String()),
+		value.NewString(v.Synopsis), value.NewString(v.Description),
+		value.NewString(v.Unit.String()), value.NewString(v.DefaultText),
+		value.NewString(strings.Join(v.ValidTexts, validSep)))
+	if err != nil {
+		return fmt.Errorf("core: register variable %s: %w", v.Name, err)
+	}
+	return nil
+}
+
+// OpenExperiment loads an existing experiment.
+func (s *Store) OpenExperiment(name string) (*Experiment, error) {
+	res, err := execArgs(s.q, `SELECT synopsis, description, project, performer, organization
+		FROM `+tblExperiments+` WHERE name = ?`, value.NewString(name))
+	if err != nil {
+		return nil, fmt.Errorf("core: open %s: %w", name, err)
+	}
+	if len(res.Rows) == 0 {
+		return nil, fmt.Errorf("core: no experiment %q", name)
+	}
+	meta := res.Rows[0]
+	def := &pbxml.Experiment{Name: name}
+	def.Info.Synopsis = meta[0].Str()
+	def.Info.Description = meta[1].Str()
+	def.Info.Project = meta[2].Str()
+	def.Info.PerformedBy.Name = meta[3].Str()
+	def.Info.PerformedBy.Organization = meta[4].Str()
+
+	vres, err := execArgs(s.q, `SELECT name, is_result, once, datatype, synopsis,
+		description, unit, dflt, valids FROM `+tblVariables+` WHERE exp = ? ORDER BY name`,
+		value.NewString(name))
+	if err != nil {
+		return nil, fmt.Errorf("core: open %s variables: %w", name, err)
+	}
+	var vars []Var
+	for _, r := range vres.Rows {
+		typ, err := value.TypeFromString(r[3].Str())
+		if err != nil {
+			return nil, fmt.Errorf("core: open %s: %w", name, err)
+		}
+		u, err := units.ParseCompact(r[6].Str())
+		if err != nil {
+			return nil, fmt.Errorf("core: open %s: %w", name, err)
+		}
+		v := Var{
+			Name: r[0].Str(), Result: r[1].Bool(), Once: r[2].Bool(),
+			Type: typ, Synopsis: r[4].Str(), Description: r[5].Str(),
+			Unit: u, DefaultText: r[7].Str(),
+		}
+		if r[8].Str() != "" {
+			v.ValidTexts = strings.Split(r[8].Str(), validSep)
+		}
+		if err := v.finish(); err != nil {
+			return nil, fmt.Errorf("core: open %s: %w", name, err)
+		}
+		vars = append(vars, v)
+		xv := pbxml.Variable{
+			Name: v.Name, Synopsis: v.Synopsis, Description: v.Description,
+			DataType: typ.String(), Default: v.DefaultText, Valid: v.ValidTexts,
+		}
+		if v.Once {
+			xv.Occurrence = "once"
+		}
+		if v.Result {
+			def.Results = append(def.Results, xv)
+		} else {
+			def.Parameters = append(def.Parameters, xv)
+		}
+	}
+
+	ares, err := execArgs(s.q, "SELECT usr, class FROM "+tblAccess+" WHERE exp = ?",
+		value.NewString(name))
+	if err != nil {
+		return nil, fmt.Errorf("core: open %s access: %w", name, err)
+	}
+	for _, r := range ares.Rows {
+		switch r[1].Str() {
+		case "admin":
+			def.Access.Admin = append(def.Access.Admin, r[0].Str())
+		case "input":
+			def.Access.Input = append(def.Access.Input, r[0].Str())
+		case "query":
+			def.Access.Query = append(def.Access.Query, r[0].Str())
+		}
+	}
+	return &Experiment{store: s, name: name, def: def, vars: vars}, nil
+}
+
+// DestroyExperiment removes an experiment with all runs and meta data.
+func (s *Store) DestroyExperiment(name string) error {
+	e, err := s.OpenExperiment(name)
+	if err != nil {
+		return err
+	}
+	runs, err := e.Runs()
+	if err != nil {
+		return err
+	}
+	for _, r := range runs {
+		if _, err := s.q.Exec("DROP TABLE IF EXISTS " + e.DataTable(r.ID)); err != nil {
+			return fmt.Errorf("core: destroy %s: %w", name, err)
+		}
+	}
+	for _, stmt := range []string{
+		"DROP TABLE IF EXISTS " + e.onceTable(),
+		"DELETE FROM " + tblRuns + " WHERE exp = " + value.NewString(name).SQL(),
+		"DELETE FROM " + tblAccess + " WHERE exp = " + value.NewString(name).SQL(),
+		"DELETE FROM " + tblVariables + " WHERE exp = " + value.NewString(name).SQL(),
+		"DELETE FROM " + tblExperiments + " WHERE name = " + value.NewString(name).SQL(),
+	} {
+		if _, err := s.q.Exec(stmt); err != nil {
+			return fmt.Errorf("core: destroy %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// execArgs runs a parameterised statement against any Querier by
+// binding the arguments textually.
+func execArgs(q sqldb.Querier, sql string, args ...value.Value) (*sqldb.Result, error) {
+	bound, err := sqldb.BindArgs(sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	return q.Exec(bound)
+}

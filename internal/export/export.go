@@ -1,0 +1,241 @@
+// Package export archives an experiment as self-contained ASCII files.
+//
+// The paper motivates perfbase with the difficulty of sharing raw
+// result files between people and over time (§1: "access to the output
+// files is often difficult for people different from the one who
+// performed the experiments"). Export closes the loop in the other
+// direction: it writes an experiment back out as portable ASCII — the
+// regenerated experiment definition, one data file per run, and a
+// generated input description that re-imports those files losslessly.
+// An archive therefore needs nothing but perfbase itself to be
+// restored, moved to another database, or read by a human.
+//
+// Layout of an archive directory:
+//
+//	experiment.xml   — the experiment definition (pbxml document)
+//	input.xml        — input description matching the run files
+//	run_<id>.txt     — one file per run: "name = value" lines for the
+//	                   once variables, then a tab-separated data table
+//
+// Restriction: string content containing tabs or newlines is flattened
+// to spaces in the table (the archive format is line/tab delimited).
+package export
+
+import (
+	"encoding/xml"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"perfbase/internal/core"
+	"perfbase/internal/input"
+	"perfbase/internal/pbxml"
+	"perfbase/internal/units"
+	"perfbase/internal/value"
+)
+
+// tableMarker starts the data table inside a run file.
+const tableMarker = "pbtable"
+
+// WriteArchive exports the experiment with all runs into dir (created
+// if needed). It returns the number of exported runs.
+func WriteArchive(exp *core.Experiment, dir string) (int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("export: %w", err)
+	}
+	defDoc, err := definitionXML(exp)
+	if err != nil {
+		return 0, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "experiment.xml"), defDoc, 0o644); err != nil {
+		return 0, fmt.Errorf("export: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "input.xml"), descriptionXML(exp), 0o644); err != nil {
+		return 0, fmt.Errorf("export: %w", err)
+	}
+	runs, err := exp.Runs()
+	if err != nil {
+		return 0, err
+	}
+	for _, run := range runs {
+		data, err := runFile(exp, run.ID)
+		if err != nil {
+			return 0, err
+		}
+		name := fmt.Sprintf("run_%06d.txt", run.ID)
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			return 0, fmt.Errorf("export: %w", err)
+		}
+	}
+	return len(runs), nil
+}
+
+// Restore imports an archive directory into an open store, creating
+// the experiment. It returns the new experiment and the imported run
+// ids.
+func Restore(store *core.Store, dir string) (*core.Experiment, []int64, error) {
+	def, err := pbxml.LoadExperimentFile(filepath.Join(dir, "experiment.xml"))
+	if err != nil {
+		return nil, nil, err
+	}
+	exp, err := store.CreateExperiment(def)
+	if err != nil {
+		return nil, nil, err
+	}
+	desc, err := pbxml.LoadInputFile(filepath.Join(dir, "input.xml"))
+	if err != nil {
+		return nil, nil, err
+	}
+	im, err := input.NewImporter(exp, desc, input.Options{Missing: input.AllowEmpty})
+	if err != nil {
+		return nil, nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("export: %w", err)
+	}
+	var paths []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "run_") && strings.HasSuffix(e.Name(), ".txt") {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	ids, err := im.ImportFiles(paths)
+	if err != nil {
+		return nil, nil, err
+	}
+	return exp, ids, nil
+}
+
+// definitionXML regenerates the experiment definition document,
+// including structural unit descriptions recovered from the resolved
+// units.
+func definitionXML(exp *core.Experiment) ([]byte, error) {
+	def := *exp.Def()
+	def.Parameters = append([]pbxml.Variable{}, def.Parameters...)
+	def.Results = append([]pbxml.Variable{}, def.Results...)
+	fill := func(list []pbxml.Variable) {
+		for i := range list {
+			if v, ok := exp.Var(list[i].Name); ok {
+				list[i].Unit = unitXML(v.Unit)
+			}
+		}
+	}
+	fill(def.Parameters)
+	fill(def.Results)
+	out, err := xml.MarshalIndent(&def, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("export: %w", err)
+	}
+	return append(out, '\n'), nil
+}
+
+// unitXML converts a resolved unit back to its structural description.
+// Only the single-term and single-fraction forms that experiment
+// definitions can declare are reproduced; anything else degrades to
+// no unit.
+func unitXML(u units.Unit) *pbxml.UnitXML {
+	if u.IsDimensionless() {
+		return nil
+	}
+	term := func(ts []units.Term) (pbxml.UnitTermXML, bool) {
+		if len(ts) != 1 || ts[0].Exp > 1 {
+			return pbxml.UnitTermXML{}, false
+		}
+		return pbxml.UnitTermXML{BaseUnit: ts[0].Base, Scaling: string(ts[0].Scale)}, true
+	}
+	switch {
+	case len(u.Divisor) == 0:
+		t, ok := term(u.Dividend)
+		if !ok {
+			return nil
+		}
+		return &pbxml.UnitXML{BaseUnit: t.BaseUnit, Scaling: t.Scaling}
+	default:
+		num, ok1 := term(u.Dividend)
+		den, ok2 := term(u.Divisor)
+		if !ok1 || !ok2 {
+			return nil
+		}
+		return &pbxml.UnitXML{Fraction: &pbxml.FractionXML{Dividend: num, Divisor: den}}
+	}
+}
+
+// descriptionXML builds the input description matching runFile's
+// format. Once variables are matched by a line-anchored regular
+// expression with a capture group (immune to values that contain other
+// variables' assignment syntax); table rows carry a leading "." cell
+// so that all-NULL rows never render as blank lines.
+func descriptionXML(exp *core.Experiment) []byte {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "<input experiment=%q>\n", exp.Name())
+	for _, v := range exp.OnceVars() {
+		re := "^pbonce:" + v.Name + " = (.*)$"
+		fmt.Fprintf(&sb, "  <named variable=%q regexp=%q/>\n", v.Name, re)
+	}
+	multi := exp.MultiVars()
+	if len(multi) > 0 {
+		fmt.Fprintf(&sb, "  <tabular start=%q sep=\"&#9;\">\n", tableMarker)
+		for i, v := range multi {
+			fmt.Fprintf(&sb, "    <column variable=%q pos=\"%d\"/>\n", v.Name, i+2)
+		}
+		sb.WriteString("  </tabular>\n")
+	}
+	sb.WriteString("</input>\n")
+	return []byte(sb.String())
+}
+
+// runFile renders one run as ASCII.
+func runFile(exp *core.Experiment, id int64) ([]byte, error) {
+	once, err := exp.RunOnce(id)
+	if err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# perfbase archive of experiment %s, run %d\n", exp.Name(), id)
+	for _, v := range exp.OnceVars() {
+		val := once[v.Name]
+		if val.IsNull() {
+			continue
+		}
+		fmt.Fprintf(&sb, "pbonce:%s = %s\n", v.Name, flatten(val.String()))
+	}
+	multi := exp.MultiVars()
+	if len(multi) > 0 {
+		data, err := exp.RunData(id)
+		if err != nil {
+			return nil, err
+		}
+		sb.WriteString(tableMarker + "\n")
+		idx := make([]int, len(multi))
+		for i, v := range multi {
+			idx[i] = data.Columns.Index(v.Name)
+		}
+		for _, row := range data.Rows {
+			sb.WriteString(".") // row marker: keeps all-NULL rows non-blank
+			for _, ci := range idx {
+				sb.WriteString("\t")
+				if ci >= 0 && !row[ci].IsNull() {
+					sb.WriteString(flatten(cell(row[ci])))
+				}
+			}
+			sb.WriteString("\n")
+		}
+	}
+	return []byte(sb.String()), nil
+}
+
+// cell renders a value for a table cell; timestamps use the RFC 3339
+// form that value.Parse reads back exactly.
+func cell(v value.Value) string {
+	return v.String()
+}
+
+// flatten removes the delimiters of the archive format from string
+// content.
+func flatten(s string) string {
+	s = strings.ReplaceAll(s, "\t", " ")
+	s = strings.ReplaceAll(s, "\n", " ")
+	return strings.ReplaceAll(s, "\r", " ")
+}

@@ -1,0 +1,685 @@
+// Package expr implements the arithmetic expression language used by
+// perfbase for derived parameters and for the "eval" query operator.
+//
+// Expressions operate on typed values (see internal/value), support the
+// usual arithmetic, comparison and boolean operators, a library of math
+// functions, and free variables that are resolved through a caller
+// supplied Resolver. An expression is compiled once and can then be
+// evaluated many times against different variable bindings.
+//
+// Grammar (precedence climbing, loosest first):
+//
+//	expr    = or
+//	or      = and { ("or"  | "||") and }
+//	and     = not { ("and" | "&&") not }
+//	not     = [ "not" | "!" ] cmp
+//	cmp     = sum [ ("==" | "=" | "!=" | "<>" | "<" | "<=" | ">" | ">=") sum ]
+//	sum     = term { ("+" | "-") term }
+//	term    = unary { ("*" | "/" | "%") unary }
+//	unary   = [ "-" | "+" ] power
+//	power   = atom [ "^" unary ]
+//	atom    = number | string | "true" | "false" | ident
+//	        | ident "(" [ expr { "," expr } ] ")" | "(" expr ")"
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"perfbase/internal/value"
+)
+
+// Resolver supplies the value of a free variable during evaluation.
+type Resolver interface {
+	// Resolve returns the value bound to name, and whether a binding
+	// exists.
+	Resolve(name string) (value.Value, bool)
+}
+
+// MapResolver resolves variables from a plain map.
+type MapResolver map[string]value.Value
+
+// Resolve implements Resolver.
+func (m MapResolver) Resolve(name string) (value.Value, bool) {
+	v, ok := m[name]
+	return v, ok
+}
+
+// Expr is a compiled expression.
+type Expr struct {
+	root node
+	src  string
+}
+
+// Compile parses the expression source. The returned Expr is immutable
+// and safe for concurrent evaluation.
+func Compile(src string) (*Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	root, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("expr: trailing input %q in %q", p.toks[p.pos].text, src)
+	}
+	return &Expr{root: root, src: src}, nil
+}
+
+// String returns the original source of the expression.
+func (e *Expr) String() string { return e.src }
+
+// Eval evaluates the expression with variables supplied by r (which may
+// be nil for closed expressions).
+func (e *Expr) Eval(r Resolver) (value.Value, error) {
+	return e.root.eval(r)
+}
+
+// Variables returns the set of free variable names referenced by the
+// expression, in first-use order.
+func (e *Expr) Variables() []string {
+	seen := map[string]bool{}
+	var names []string
+	var walk func(n node)
+	walk = func(n node) {
+		switch t := n.(type) {
+		case *varNode:
+			if !seen[t.name] {
+				seen[t.name] = true
+				names = append(names, t.name)
+			}
+		case *binNode:
+			walk(t.l)
+			walk(t.r)
+		case *unaryNode:
+			walk(t.operand)
+		case *callNode:
+			for _, a := range t.args {
+				walk(a)
+			}
+		}
+	}
+	walk(e.root)
+	return names
+}
+
+// ---------------------------------------------------------------- nodes
+
+type node interface {
+	eval(r Resolver) (value.Value, error)
+}
+
+type litNode struct{ v value.Value }
+
+func (n *litNode) eval(Resolver) (value.Value, error) { return n.v, nil }
+
+type varNode struct{ name string }
+
+func (n *varNode) eval(r Resolver) (value.Value, error) {
+	if r == nil {
+		return value.Value{}, fmt.Errorf("expr: unbound variable %q", n.name)
+	}
+	v, ok := r.Resolve(n.name)
+	if !ok {
+		return value.Value{}, fmt.Errorf("expr: unbound variable %q", n.name)
+	}
+	return v, nil
+}
+
+type unaryNode struct {
+	op      string
+	operand node
+}
+
+func (n *unaryNode) eval(r Resolver) (value.Value, error) {
+	v, err := n.operand.eval(r)
+	if err != nil {
+		return value.Value{}, err
+	}
+	switch n.op {
+	case "-":
+		return value.Neg(v)
+	case "+":
+		return v, nil
+	case "not":
+		if v.Type() != value.Boolean {
+			return value.Value{}, fmt.Errorf("expr: 'not' applied to %s", v.Type())
+		}
+		if v.IsNull() {
+			return v, nil
+		}
+		return value.NewBool(!v.Bool()), nil
+	}
+	return value.Value{}, fmt.Errorf("expr: unknown unary operator %q", n.op)
+}
+
+type binNode struct {
+	op   string
+	l, r node
+}
+
+func (n *binNode) eval(r Resolver) (value.Value, error) {
+	lv, err := n.l.eval(r)
+	if err != nil {
+		return value.Value{}, err
+	}
+	// Short-circuit boolean operators.
+	switch n.op {
+	case "and":
+		if !lv.IsNull() && lv.Type() == value.Boolean && !lv.Bool() {
+			return value.NewBool(false), nil
+		}
+	case "or":
+		if !lv.IsNull() && lv.Type() == value.Boolean && lv.Bool() {
+			return value.NewBool(true), nil
+		}
+	}
+	rv, err := n.r.eval(r)
+	if err != nil {
+		return value.Value{}, err
+	}
+	switch n.op {
+	case "+":
+		return value.Add(lv, rv)
+	case "-":
+		return value.Sub(lv, rv)
+	case "*":
+		return value.Mul(lv, rv)
+	case "/":
+		return value.Div(lv, rv)
+	case "%":
+		return value.Mod(lv, rv)
+	case "^":
+		return value.Pow(lv, rv)
+	case "==":
+		return value.NewBool(value.Equal(lv, rv)), nil
+	case "!=":
+		return value.NewBool(!value.Equal(lv, rv)), nil
+	case "<":
+		return value.NewBool(value.Compare(lv, rv) < 0), nil
+	case "<=":
+		return value.NewBool(value.Compare(lv, rv) <= 0), nil
+	case ">":
+		return value.NewBool(value.Compare(lv, rv) > 0), nil
+	case ">=":
+		return value.NewBool(value.Compare(lv, rv) >= 0), nil
+	case "and", "or":
+		if lv.Type() != value.Boolean || rv.Type() != value.Boolean {
+			return value.Value{}, fmt.Errorf("expr: %q applied to %s and %s", n.op, lv.Type(), rv.Type())
+		}
+		if lv.IsNull() || rv.IsNull() {
+			return value.Null(value.Boolean), nil
+		}
+		if n.op == "and" {
+			return value.NewBool(lv.Bool() && rv.Bool()), nil
+		}
+		return value.NewBool(lv.Bool() || rv.Bool()), nil
+	}
+	return value.Value{}, fmt.Errorf("expr: unknown operator %q", n.op)
+}
+
+type callNode struct {
+	name string
+	args []node
+}
+
+func (n *callNode) eval(r Resolver) (value.Value, error) {
+	fn, ok := functions[n.name]
+	if !ok {
+		return value.Value{}, fmt.Errorf("expr: unknown function %q", n.name)
+	}
+	if fn.arity >= 0 && len(n.args) != fn.arity {
+		return value.Value{}, fmt.Errorf("expr: %s expects %d argument(s), got %d", n.name, fn.arity, len(n.args))
+	}
+	args := make([]value.Value, len(n.args))
+	for i, a := range n.args {
+		v, err := a.eval(r)
+		if err != nil {
+			return value.Value{}, err
+		}
+		args[i] = v
+	}
+	return fn.impl(args)
+}
+
+// ------------------------------------------------------------ functions
+
+type function struct {
+	arity int // -1 for variadic
+	impl  func([]value.Value) (value.Value, error)
+}
+
+func float1(f func(float64) float64) function {
+	return function{arity: 1, impl: func(args []value.Value) (value.Value, error) {
+		a := args[0]
+		if !a.Type().Numeric() {
+			return value.Value{}, fmt.Errorf("expr: numeric argument required, got %s", a.Type())
+		}
+		if a.IsNull() {
+			return value.Null(value.Float), nil
+		}
+		return value.NewFloat(f(a.Float())), nil
+	}}
+}
+
+var functions = map[string]function{
+	"abs": {arity: 1, impl: func(args []value.Value) (value.Value, error) {
+		a := args[0]
+		if a.IsNull() || !a.Type().Numeric() {
+			return float1(math.Abs).impl(args)
+		}
+		if a.Type() == value.Integer {
+			if a.Int() < 0 {
+				return value.NewInt(-a.Int()), nil
+			}
+			return a, nil
+		}
+		return value.NewFloat(math.Abs(a.Float())), nil
+	}},
+	"sqrt":  float1(math.Sqrt),
+	"exp":   float1(math.Exp),
+	"log":   float1(math.Log),
+	"log2":  float1(math.Log2),
+	"log10": float1(math.Log10),
+	"floor": float1(math.Floor),
+	"ceil":  float1(math.Ceil),
+	"round": float1(math.Round),
+	"sin":   float1(math.Sin),
+	"cos":   float1(math.Cos),
+	"tan":   float1(math.Tan),
+	"min":   {arity: -1, impl: reduceFn("min", func(a, b value.Value) bool { return value.Compare(b, a) < 0 })},
+	"max":   {arity: -1, impl: reduceFn("max", func(a, b value.Value) bool { return value.Compare(b, a) > 0 })},
+	"pow": {arity: 2, impl: func(args []value.Value) (value.Value, error) {
+		return value.Pow(args[0], args[1])
+	}},
+	"int": {arity: 1, impl: func(args []value.Value) (value.Value, error) {
+		return args[0].Convert(value.Integer)
+	}},
+	"float": {arity: 1, impl: func(args []value.Value) (value.Value, error) {
+		return args[0].Convert(value.Float)
+	}},
+	"if": {arity: 3, impl: func(args []value.Value) (value.Value, error) {
+		c := args[0]
+		if c.Type() != value.Boolean {
+			return value.Value{}, fmt.Errorf("expr: if() condition must be boolean, got %s", c.Type())
+		}
+		if !c.IsNull() && c.Bool() {
+			return args[1], nil
+		}
+		return args[2], nil
+	}},
+}
+
+func reduceFn(name string, better func(best, cand value.Value) bool) func([]value.Value) (value.Value, error) {
+	return func(args []value.Value) (value.Value, error) {
+		if len(args) == 0 {
+			return value.Value{}, fmt.Errorf("expr: %s needs at least one argument", name)
+		}
+		best := args[0]
+		for _, a := range args[1:] {
+			if better(best, a) {
+				best = a
+			}
+		}
+		return best, nil
+	}
+}
+
+// ---------------------------------------------------------------- lexer
+
+type tokKind int
+
+const (
+	tokNum tokKind = iota
+	tokStr
+	tokIdent
+	tokOp
+	tokLParen
+	tokRParen
+	tokComma
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c >= '0' && c <= '9' || c == '.' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9':
+			j := i
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+				j++
+			}
+			if j < len(src) && (src[j] == 'e' || src[j] == 'E') {
+				k := j + 1
+				if k < len(src) && (src[k] == '+' || src[k] == '-') {
+					k++
+				}
+				start := k
+				for k < len(src) && src[k] >= '0' && src[k] <= '9' {
+					k++
+				}
+				if k > start {
+					j = k
+				}
+			}
+			toks = append(toks, token{tokNum, src[i:j]})
+			i = j
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			var sb strings.Builder
+			for j < len(src) && src[j] != quote {
+				sb.WriteByte(src[j])
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("expr: unterminated string in %q", src)
+			}
+			toks = append(toks, token{tokStr, sb.String()})
+			i = j + 1
+		case isIdentStart(c):
+			j := i
+			for j < len(src) && isIdentPart(src[j]) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j]})
+			i = j
+		case c == '(':
+			toks = append(toks, token{tokLParen, "("})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")"})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ","})
+			i++
+		default:
+			// Multi-character operators first.
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==", "!=", "<>", "<=", ">=", "&&", "||":
+				toks = append(toks, token{tokOp, two})
+				i += 2
+				continue
+			}
+			switch c {
+			case '+', '-', '*', '/', '%', '^', '<', '>', '=', '!':
+				toks = append(toks, token{tokOp, string(c)})
+				i++
+			default:
+				return nil, fmt.Errorf("expr: unexpected character %q in %q", string(c), src)
+			}
+		}
+	}
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9' || c == '.'
+}
+
+// --------------------------------------------------------------- parser
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.pos >= len(p.toks) {
+		return token{}, false
+	}
+	return p.toks[p.pos], true
+}
+
+func (p *parser) accept(kind tokKind, texts ...string) (token, bool) {
+	t, ok := p.peek()
+	if !ok || t.kind != kind {
+		return token{}, false
+	}
+	if len(texts) > 0 {
+		match := false
+		for _, want := range texts {
+			if strings.EqualFold(t.text, want) {
+				match = true
+				break
+			}
+		}
+		if !match {
+			return token{}, false
+		}
+	}
+	p.pos++
+	return t, true
+}
+
+func (p *parser) parseExpr() (node, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (node, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if _, ok := p.accept(tokOp, "||"); !ok {
+			if _, ok := p.accept(tokIdent, "or"); !ok {
+				return l, nil
+			}
+		}
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &binNode{"or", l, r}
+	}
+}
+
+func (p *parser) parseAnd() (node, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if _, ok := p.accept(tokOp, "&&"); !ok {
+			if _, ok := p.accept(tokIdent, "and"); !ok {
+				return l, nil
+			}
+		}
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &binNode{"and", l, r}
+	}
+}
+
+func (p *parser) parseNot() (node, error) {
+	if _, ok := p.accept(tokOp, "!"); ok {
+		operand, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryNode{"not", operand}, nil
+	}
+	if _, ok := p.accept(tokIdent, "not"); ok {
+		operand, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryNode{"not", operand}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (node, error) {
+	l, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	t, ok := p.accept(tokOp, "==", "=", "!=", "<>", "<", "<=", ">", ">=")
+	if !ok {
+		return l, nil
+	}
+	op := t.text
+	switch op {
+	case "=":
+		op = "=="
+	case "<>":
+		op = "!="
+	}
+	r, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	return &binNode{op, l, r}, nil
+}
+
+func (p *parser) parseSum() (node, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, ok := p.accept(tokOp, "+", "-")
+		if !ok {
+			return l, nil
+		}
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		l = &binNode{t.text, l, r}
+	}
+}
+
+func (p *parser) parseTerm() (node, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, ok := p.accept(tokOp, "*", "/", "%")
+		if !ok {
+			return l, nil
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &binNode{t.text, l, r}
+	}
+}
+
+func (p *parser) parseUnary() (node, error) {
+	if t, ok := p.accept(tokOp, "-", "+"); ok {
+		operand, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryNode{t.text, operand}, nil
+	}
+	return p.parsePower()
+}
+
+func (p *parser) parsePower() (node, error) {
+	base, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := p.accept(tokOp, "^"); ok {
+		exp, err := p.parseUnary() // right associative
+		if err != nil {
+			return nil, err
+		}
+		return &binNode{"^", base, exp}, nil
+	}
+	return base, nil
+}
+
+func (p *parser) parseAtom() (node, error) {
+	t, ok := p.peek()
+	if !ok {
+		return nil, fmt.Errorf("expr: unexpected end of expression in %q", p.src)
+	}
+	switch t.kind {
+	case tokNum:
+		p.pos++
+		if strings.ContainsAny(t.text, ".eE") {
+			v, err := value.Parse(value.Float, t.text)
+			if err != nil {
+				return nil, err
+			}
+			return &litNode{v}, nil
+		}
+		v, err := value.Parse(value.Integer, t.text)
+		if err != nil {
+			return nil, err
+		}
+		return &litNode{v}, nil
+	case tokStr:
+		p.pos++
+		return &litNode{value.NewString(t.text)}, nil
+	case tokIdent:
+		p.pos++
+		switch strings.ToLower(t.text) {
+		case "true":
+			return &litNode{value.NewBool(true)}, nil
+		case "false":
+			return &litNode{value.NewBool(false)}, nil
+		case "null":
+			return &litNode{value.Null(value.Float)}, nil
+		}
+		if _, ok := p.accept(tokLParen); ok {
+			var args []node
+			if _, ok := p.accept(tokRParen); !ok {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if _, ok := p.accept(tokComma); ok {
+						continue
+					}
+					if _, ok := p.accept(tokRParen); ok {
+						break
+					}
+					return nil, fmt.Errorf("expr: expected ',' or ')' in call to %s", t.text)
+				}
+			}
+			return &callNode{strings.ToLower(t.text), args}, nil
+		}
+		return &varNode{t.text}, nil
+	case tokLParen:
+		p.pos++
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := p.accept(tokRParen); !ok {
+			return nil, fmt.Errorf("expr: missing ')' in %q", p.src)
+		}
+		return inner, nil
+	}
+	return nil, fmt.Errorf("expr: unexpected token %q in %q", t.text, p.src)
+}

@@ -1,0 +1,292 @@
+package expr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"perfbase/internal/value"
+)
+
+func evalStr(t *testing.T, src string, vars map[string]value.Value) value.Value {
+	t.Helper()
+	e, err := Compile(src)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", src, err)
+	}
+	v, err := e.Eval(MapResolver(vars))
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	return v
+}
+
+func TestArithmeticPrecedence(t *testing.T) {
+	cases := map[string]float64{
+		"1+2*3":         7,
+		"(1+2)*3":       9,
+		"2^10":          1024,
+		"2^3^2":         512, // right associative
+		"-2^2":          -4,  // unary binds looser than ^
+		"10-4-3":        3,   // left associative
+		"7.0/2":         3.5,
+		"10 % 4":        2,
+		"2*3+4*5":       26,
+		"-(3+4)":        -7,
+		"1 + 2 - 3 * 4": -9,
+	}
+	for src, want := range cases {
+		v := evalStr(t, src, nil)
+		if got := v.Float(); got != want {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestIntegerSemantics(t *testing.T) {
+	v := evalStr(t, "7/2", nil)
+	if v.Type() != value.Integer || v.Int() != 3 {
+		t.Errorf("7/2 = %v (%s), want integer 3", v, v.Type())
+	}
+	v = evalStr(t, "7/2.0", nil)
+	if v.Type() != value.Float || v.Float() != 3.5 {
+		t.Errorf("7/2.0 = %v (%s), want float 3.5", v, v.Type())
+	}
+}
+
+func TestComparisonsAndBooleans(t *testing.T) {
+	trueCases := []string{
+		"1 < 2", "2 <= 2", "3 > 2", "3 >= 3", "1 == 1", "1 = 1",
+		"1 != 2", "1 <> 2", "true and true", "false or true",
+		"not false", "!false", "1 < 2 and 2 < 3", "'abc' == 'abc'",
+		"'abc' < 'abd'", "true && true", "false || true",
+	}
+	for _, src := range trueCases {
+		v := evalStr(t, src, nil)
+		if v.Type() != value.Boolean || !v.Bool() {
+			t.Errorf("%q = %v, want true", src, v)
+		}
+	}
+	falseCases := []string{"2 < 1", "not true", "true and false", "1 == 2"}
+	for _, src := range falseCases {
+		if v := evalStr(t, src, nil); v.Bool() {
+			t.Errorf("%q = true, want false", src)
+		}
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// The right operand references an unbound variable; short-circuit
+	// evaluation must not touch it.
+	v := evalStr(t, "false and missing > 0", nil)
+	if v.Bool() {
+		t.Error("false and X should be false")
+	}
+	v = evalStr(t, "true or missing > 0", nil)
+	if !v.Bool() {
+		t.Error("true or X should be true")
+	}
+}
+
+func TestVariables(t *testing.T) {
+	vars := map[string]value.Value{
+		"n":       value.NewInt(4),
+		"bw":      value.NewFloat(214.516),
+		"fs.name": value.NewString("ufs"),
+	}
+	v := evalStr(t, "bw / n", vars)
+	if v.Float() != 214.516/4 {
+		t.Errorf("bw/n = %v", v)
+	}
+	v = evalStr(t, "fs.name == 'ufs'", vars)
+	if !v.Bool() {
+		t.Error("dotted variable name failed")
+	}
+	e, _ := Compile("a + b*a + c")
+	got := e.Variables()
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("Variables() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Variables()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if _, err := mustCompile(t, "x+1").Eval(nil); err == nil {
+		t.Error("unbound variable not reported")
+	}
+}
+
+func mustCompile(t *testing.T, src string) *Expr {
+	t.Helper()
+	e, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestFunctions(t *testing.T) {
+	cases := map[string]float64{
+		"sqrt(16)":        4,
+		"abs(-3.5)":       3.5,
+		"log2(1024)":      10,
+		"log10(1000)":     3,
+		"floor(2.7)":      2,
+		"ceil(2.1)":       3,
+		"round(2.5)":      3,
+		"min(3, 1, 2)":    1,
+		"max(3, 1, 2)":    3,
+		"pow(2, 8)":       256,
+		"exp(0)":          1,
+		"if(1<2, 10, 20)": 10,
+		"if(2<1, 10, 20)": 20,
+		"float(3)":        3,
+	}
+	for src, want := range cases {
+		v := evalStr(t, src, nil)
+		if got := v.Float(); math.Abs(got-want) > 1e-12 {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+	if v := evalStr(t, "abs(-3)", nil); v.Type() != value.Integer || v.Int() != 3 {
+		t.Errorf("abs(-3) = %v (%s)", v, v.Type())
+	}
+	if v := evalStr(t, "int(3.9)", nil); v.Type() != value.Integer || v.Int() != 3 {
+		t.Errorf("int(3.9) = %v", v)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		"", "1 +", "(1+2", "1 2", "foo(", "foo(1,", "1 @ 2",
+		"'unterminated", "min()", "sqrt(1,2)", "if(true,1)",
+	}
+	for _, src := range bad {
+		e, err := Compile(src)
+		if err == nil {
+			// Arity errors surface at eval time for known functions.
+			if _, err2 := e.Eval(nil); err2 == nil {
+				t.Errorf("Compile+Eval(%q) succeeded, want error", src)
+			}
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	bad := []string{
+		"1/0", "1.0/0.0", "nosuchfn(1)", "not 5", "true and 1",
+		"-'abc'", "'a' + 1",
+	}
+	for _, src := range bad {
+		e, err := Compile(src)
+		if err != nil {
+			continue
+		}
+		if _, err := e.Eval(nil); err == nil {
+			t.Errorf("Eval(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestStringLiterals(t *testing.T) {
+	v := evalStr(t, `'list' + '-' + 'based'`, nil)
+	if v.Str() != "list-based" {
+		t.Errorf("string concat = %q", v.Str())
+	}
+	v = evalStr(t, `"double" == 'double'`, nil)
+	if !v.Bool() {
+		t.Error("double-quoted literal mismatch")
+	}
+}
+
+func TestNullPropagation(t *testing.T) {
+	vars := map[string]value.Value{"x": value.Null(value.Float)}
+	v := evalStr(t, "x + 1", vars)
+	if !v.IsNull() {
+		t.Error("NULL + 1 should be NULL")
+	}
+	v = evalStr(t, "sqrt(x)", vars)
+	if !v.IsNull() {
+		t.Error("sqrt(NULL) should be NULL")
+	}
+}
+
+// Property: for random ints, the expression evaluator agrees with Go.
+func TestQuickArithmeticAgreesWithGo(t *testing.T) {
+	e := mustCompile(t, "a*b + a - b")
+	f := func(a, b int32) bool {
+		vars := MapResolver{"a": value.NewInt(int64(a)), "b": value.NewInt(int64(b))}
+		v, err := e.Eval(vars)
+		if err != nil {
+			return false
+		}
+		want := int64(a)*int64(b) + int64(a) - int64(b)
+		return v.Int() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: comparison operators are consistent with value.Compare.
+func TestQuickComparisonConsistent(t *testing.T) {
+	lt := mustCompile(t, "a < b")
+	ge := mustCompile(t, "a >= b")
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		vars := MapResolver{"a": value.NewFloat(a), "b": value.NewFloat(b)}
+		v1, err1 := lt.Eval(vars)
+		v2, err2 := ge.Eval(vars)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return v1.Bool() != v2.Bool()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEvalSimple(b *testing.B) {
+	e, _ := Compile("a*b + sqrt(c)")
+	vars := MapResolver{
+		"a": value.NewFloat(2), "b": value.NewFloat(3), "c": value.NewFloat(16),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Eval(vars); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompile(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile("(bw1 - bw0) / bw0 * 100"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestCompileNeverPanics: arbitrary input must produce an expression
+// or an error, never a panic.
+func TestCompileNeverPanics(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", s, r)
+				ok = false
+			}
+		}()
+		Compile(s) //nolint:errcheck
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,272 @@
+// Package output renders the final vectors of a query into the
+// perfbase output formats (paper §3.3.4): gnuplot input files with
+// several plotting styles, raw ASCII tables, and the formats the paper
+// lists as planned — CSV, LaTeX tables and XML tables for spreadsheet
+// import. All labels, legends and units are derived from the vector
+// metadata, which in turn stems from the experiment definition and the
+// query specification ("this chart is shown unedited as it was created
+// by perfbase", §5).
+package output
+
+import (
+	"encoding/csv"
+	"encoding/xml"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"perfbase/internal/pbxml"
+	"perfbase/internal/query"
+	"perfbase/internal/sqldb"
+)
+
+// Document is one rendered output artifact.
+type Document struct {
+	// Name is the suggested file name; empty means standard output.
+	Name string
+	// Format is the normalized format name.
+	Format string
+	// Content is the rendered text.
+	Content []byte
+}
+
+// Render formats the materialized input vectors of one output element.
+// Each input vector yields one document; a Target of "x.ext" becomes
+// "x_2.ext" etc. for additional vectors.
+func Render(spec *pbxml.OutputElem, vectors []*query.Vector, data []*sqldb.Result) ([]Document, error) {
+	if len(vectors) != len(data) {
+		return nil, fmt.Errorf("output: %d vectors but %d data sets", len(vectors), len(data))
+	}
+	format := strings.ToLower(spec.Format)
+	if format == "" {
+		format = "ascii"
+	}
+	var docs []Document
+	for i, vec := range vectors {
+		var content []byte
+		var err error
+		switch format {
+		case "ascii":
+			content = renderASCII(spec, vec, data[i])
+		case "csv":
+			content, err = renderCSV(vec, data[i])
+		case "latex":
+			content = renderLaTeX(spec, vec, data[i])
+		case "xml":
+			content, err = renderXML(spec, vec, data[i])
+		case "gnuplot":
+			content, err = renderGnuplot(spec, vec, data[i])
+		default:
+			return nil, fmt.Errorf("output: unknown format %q", spec.Format)
+		}
+		if err != nil {
+			return nil, err
+		}
+		docs = append(docs, Document{
+			Name:    targetName(spec.Target, i),
+			Format:  format,
+			Content: content,
+		})
+	}
+	return docs, nil
+}
+
+// WriteDocuments stores the documents under dir (ignored for unnamed
+// documents, which go to stdout via the caller).
+func WriteDocuments(dir string, docs []Document) error {
+	for _, d := range docs {
+		if d.Name == "" {
+			continue
+		}
+		path := filepath.Join(dir, d.Name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return fmt.Errorf("output: %w", err)
+		}
+		if err := os.WriteFile(path, d.Content, 0o644); err != nil {
+			return fmt.Errorf("output: %w", err)
+		}
+	}
+	return nil
+}
+
+func targetName(target string, i int) string {
+	if target == "" || i == 0 {
+		return target
+	}
+	ext := filepath.Ext(target)
+	return fmt.Sprintf("%s_%d%s", strings.TrimSuffix(target, ext), i+1, ext)
+}
+
+// header builds the column headings with units.
+func header(vec *query.Vector) []string {
+	cols := make([]string, len(vec.Cols))
+	for i, c := range vec.Cols {
+		name := c.Name
+		if u := c.Unit.String(); u != "1" {
+			name += " [" + u + "]"
+		}
+		cols[i] = name
+	}
+	return cols
+}
+
+// renderASCII produces an aligned plain-text table.
+func renderASCII(spec *pbxml.OutputElem, vec *query.Vector, data *sqldb.Result) []byte {
+	heads := header(vec)
+	widths := make([]int, len(heads))
+	for i, h := range heads {
+		widths[i] = len(h)
+	}
+	cells := make([][]string, len(data.Rows))
+	for ri, row := range data.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.String()
+			cells[ri][ci] = s
+			if len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var sb strings.Builder
+	if spec.Title != "" {
+		sb.WriteString("# " + spec.Title + "\n")
+	}
+	for i, c := range vec.Cols {
+		if c.Synopsis != "" {
+			sb.WriteString(fmt.Sprintf("# %s: %s\n", c.Name, c.Synopsis))
+		}
+		_ = i
+	}
+	writeRow := func(vals []string) {
+		for i, v := range vals {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(pad(v, widths[i]))
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(heads)
+	for i := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", widths[i]))
+	}
+	sb.WriteString("\n")
+	for _, row := range cells {
+		writeRow(row)
+	}
+	return []byte(sb.String())
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// renderCSV produces an RFC 4180 table with a header row.
+func renderCSV(vec *query.Vector, data *sqldb.Result) ([]byte, error) {
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	if err := w.Write(header(vec)); err != nil {
+		return nil, fmt.Errorf("output: csv: %w", err)
+	}
+	for _, row := range data.Rows {
+		rec := make([]string, len(row))
+		for i, v := range row {
+			rec[i] = v.String()
+		}
+		if err := w.Write(rec); err != nil {
+			return nil, fmt.Errorf("output: csv: %w", err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return nil, fmt.Errorf("output: csv: %w", err)
+	}
+	return []byte(sb.String()), nil
+}
+
+// renderLaTeX produces a tabular environment.
+func renderLaTeX(spec *pbxml.OutputElem, vec *query.Vector, data *sqldb.Result) []byte {
+	var sb strings.Builder
+	sb.WriteString("\\begin{table}\n")
+	if spec.Title != "" {
+		sb.WriteString("\\caption{" + latexEscape(spec.Title) + "}\n")
+	}
+	sb.WriteString("\\begin{tabular}{" + strings.Repeat("l", len(vec.Cols)) + "}\n\\hline\n")
+	heads := header(vec)
+	for i := range heads {
+		heads[i] = latexEscape(heads[i])
+	}
+	sb.WriteString(strings.Join(heads, " & ") + " \\\\\n\\hline\n")
+	for _, row := range data.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = latexEscape(v.String())
+		}
+		sb.WriteString(strings.Join(cells, " & ") + " \\\\\n")
+	}
+	sb.WriteString("\\hline\n\\end{tabular}\n\\end{table}\n")
+	return []byte(sb.String())
+}
+
+var latexReplacer = strings.NewReplacer(
+	"\\", "\\textbackslash{}", "&", "\\&", "%", "\\%", "$", "\\$",
+	"#", "\\#", "_", "\\_", "{", "\\{", "}", "\\}", "~", "\\textasciitilde{}",
+	"^", "\\textasciicircum{}",
+)
+
+func latexEscape(s string) string { return latexReplacer.Replace(s) }
+
+// xmlTable is the XML table document model (spreadsheet import).
+type xmlTable struct {
+	XMLName xml.Name    `xml:"table"`
+	Title   string      `xml:"title,attr,omitempty"`
+	Columns []xmlColumn `xml:"columns>column"`
+	Rows    []xmlRow    `xml:"rows>row"`
+}
+
+type xmlColumn struct {
+	Name     string `xml:"name,attr"`
+	Type     string `xml:"type,attr"`
+	Unit     string `xml:"unit,attr,omitempty"`
+	Synopsis string `xml:"synopsis,attr,omitempty"`
+	Param    bool   `xml:"parameter,attr"`
+}
+
+type xmlRow struct {
+	Cells []string `xml:"v"`
+}
+
+// renderXML produces a structured XML table.
+func renderXML(spec *pbxml.OutputElem, vec *query.Vector, data *sqldb.Result) ([]byte, error) {
+	doc := xmlTable{Title: spec.Title}
+	for _, c := range vec.Cols {
+		unit := c.Unit.String()
+		if unit == "1" {
+			unit = ""
+		}
+		doc.Columns = append(doc.Columns, xmlColumn{
+			Name: c.Name, Type: c.Type.String(), Unit: unit,
+			Synopsis: c.Synopsis, Param: c.IsParam,
+		})
+	}
+	for _, row := range data.Rows {
+		var r xmlRow
+		for _, v := range row {
+			r.Cells = append(r.Cells, v.String())
+		}
+		doc.Rows = append(doc.Rows, r)
+	}
+	out, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("output: xml: %w", err)
+	}
+	return append(out, '\n'), nil
+}

@@ -1,0 +1,297 @@
+package output
+
+import (
+	"encoding/xml"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"perfbase/internal/pbxml"
+	"perfbase/internal/query"
+	"perfbase/internal/sqldb"
+	"perfbase/internal/units"
+	"perfbase/internal/value"
+)
+
+// testVector builds a small materialized vector without a database.
+func testVector() (*query.Vector, *sqldb.Result) {
+	vec := &query.Vector{
+		Cols: []query.ColumnMeta{
+			{Name: "op", Type: value.String, Synopsis: "access type", IsParam: true},
+			{Name: "chunk", Type: value.Integer, Unit: units.Base("byte"), Synopsis: "chunk size", IsParam: true},
+			{Name: "bw", Type: value.Float, Unit: units.Per(units.Scaled("byte", units.Mega), units.Base("s")), Synopsis: "bandwidth"},
+		},
+	}
+	data := &sqldb.Result{
+		Columns: sqldb.Schema{
+			{Name: "op", Type: value.String},
+			{Name: "chunk", Type: value.Integer},
+			{Name: "bw", Type: value.Float},
+		},
+		Rows: []sqldb.Row{
+			{value.NewString("read"), value.NewInt(32), value.NewFloat(76.68)},
+			{value.NewString("read"), value.NewInt(1024), value.NewFloat(227.18)},
+			{value.NewString("write"), value.NewInt(32), value.NewFloat(35.5)},
+			{value.NewString("write"), value.NewInt(1024), value.NewFloat(59.09)},
+		},
+	}
+	return vec, data
+}
+
+func render(t *testing.T, spec pbxml.OutputElem) string {
+	t.Helper()
+	vec, data := testVector()
+	docs, err := Render(&spec, []*query.Vector{vec}, []*sqldb.Result{data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 1 {
+		t.Fatalf("docs = %d", len(docs))
+	}
+	return string(docs[0].Content)
+}
+
+func TestASCII(t *testing.T) {
+	out := render(t, pbxml.OutputElem{Format: "ascii", Title: "Bandwidths"})
+	if !strings.Contains(out, "# Bandwidths") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "bw [MB/s]") {
+		t.Errorf("unit header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "chunk [B]") {
+		t.Errorf("byte unit header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "227.18") || !strings.Contains(out, "write") {
+		t.Errorf("data missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + 3 synopsis lines + header + rule + 4 rows.
+	if len(lines) != 10 {
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := render(t, pbxml.OutputElem{Format: "csv"})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if lines[0] != "op,chunk [B],bw [MB/s]" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if lines[1] != "read,32,76.68" {
+		t.Errorf("csv row = %q", lines[1])
+	}
+}
+
+func TestLaTeX(t *testing.T) {
+	out := render(t, pbxml.OutputElem{Format: "latex", Title: "B&W"})
+	if !strings.Contains(out, "\\begin{tabular}{lll}") {
+		t.Errorf("tabular env missing:\n%s", out)
+	}
+	if !strings.Contains(out, "\\caption{B\\&W}") {
+		t.Errorf("caption escaping:\n%s", out)
+	}
+	if !strings.Contains(out, "read & 32 & 76.68 \\\\") {
+		t.Errorf("row missing:\n%s", out)
+	}
+	if strings.Count(out, "\\hline") != 3 {
+		t.Errorf("hline count:\n%s", out)
+	}
+}
+
+func TestXML(t *testing.T) {
+	out := render(t, pbxml.OutputElem{Format: "xml", Title: "T"})
+	var doc struct {
+		XMLName xml.Name `xml:"table"`
+		Title   string   `xml:"title,attr"`
+		Columns []struct {
+			Name  string `xml:"name,attr"`
+			Unit  string `xml:"unit,attr"`
+			Param bool   `xml:"parameter,attr"`
+		} `xml:"columns>column"`
+		Rows []struct {
+			Cells []string `xml:"v"`
+		} `xml:"rows>row"`
+	}
+	if err := xml.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("invalid xml: %v\n%s", err, out)
+	}
+	if doc.Title != "T" || len(doc.Columns) != 3 || len(doc.Rows) != 4 {
+		t.Errorf("xml doc = %+v", doc)
+	}
+	if doc.Columns[2].Unit != "MB/s" || doc.Columns[0].Param != true || doc.Columns[2].Param != false {
+		t.Errorf("xml columns = %+v", doc.Columns)
+	}
+	if doc.Rows[0].Cells[2] != "76.68" {
+		t.Errorf("xml cells = %+v", doc.Rows[0])
+	}
+}
+
+func TestGnuplotLines(t *testing.T) {
+	out := render(t, pbxml.OutputElem{Format: "gnuplot", Style: "lines", Title: "BW"})
+	for _, want := range []string{
+		`set title "BW"`,
+		`set ylabel "bandwidth [MB/s]"`,
+		"with lines",
+		"plot ",
+		"EOD",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gnuplot output missing %q:\n%s", want, out)
+		}
+	}
+	// "op" is the x (first unpinned param, non-numeric → categorical);
+	// chunk folds into the series key.
+	if !strings.Contains(out, "chunk=32") || !strings.Contains(out, "chunk=1024") {
+		t.Errorf("series keys missing:\n%s", out)
+	}
+	if !strings.Contains(out, "xtic(1)") {
+		t.Errorf("categorical x missing:\n%s", out)
+	}
+}
+
+func TestGnuplotBars(t *testing.T) {
+	out := render(t, pbxml.OutputElem{Format: "gnuplot", Style: "bars"})
+	if !strings.Contains(out, "with boxes") || !strings.Contains(out, "set style fill") {
+		t.Errorf("bars style missing:\n%s", out)
+	}
+}
+
+func TestGnuplotErrorbars(t *testing.T) {
+	vec, data := testVector()
+	// Add an error column.
+	vec.Cols = append(vec.Cols, query.ColumnMeta{
+		Name: "sd", Type: value.Float, Unit: vec.Cols[2].Unit, Synopsis: "stddev of bandwidth",
+	})
+	for i := range data.Rows {
+		data.Rows[i] = append(data.Rows[i], value.NewFloat(1.5))
+	}
+	spec := pbxml.OutputElem{Format: "gnuplot", Style: "errorbars"}
+	docs, err := Render(&spec, []*query.Vector{vec}, []*sqldb.Result{data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(docs[0].Content)
+	if !strings.Contains(out, "with yerrorbars") {
+		t.Errorf("errorbars missing:\n%s", out)
+	}
+	if !strings.Contains(out, "76.68 1.5") {
+		t.Errorf("error column not emitted:\n%s", out)
+	}
+	// errorbars need two value columns.
+	vec2, data2 := testVector()
+	if _, err := Render(&spec, []*query.Vector{vec2}, []*sqldb.Result{data2}); err == nil {
+		t.Error("errorbars with one value column accepted")
+	}
+}
+
+func TestGnuplotNumericX(t *testing.T) {
+	vec, data := testVector()
+	// Drop the op column so chunk (numeric) becomes x.
+	vec.Cols = vec.Cols[1:]
+	for i := range data.Rows {
+		data.Rows[i] = data.Rows[i][1:]
+	}
+	spec := pbxml.OutputElem{Format: "gnuplot", Style: "points"}
+	docs, err := Render(&spec, []*query.Vector{vec}, []*sqldb.Result{data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(docs[0].Content)
+	if !strings.Contains(out, "using 1:2") || strings.Contains(out, "xtic") {
+		t.Errorf("numeric x handling:\n%s", out)
+	}
+	if !strings.Contains(out, `set xlabel "chunk size [B]"`) {
+		t.Errorf("xlabel from metadata:\n%s", out)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	vec, data := testVector()
+	if _, err := Render(&pbxml.OutputElem{Format: "pdf"},
+		[]*query.Vector{vec}, []*sqldb.Result{data}); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := Render(&pbxml.OutputElem{Format: "gnuplot", Style: "sparkles"},
+		[]*query.Vector{vec}, []*sqldb.Result{data}); err == nil {
+		t.Error("unknown style accepted")
+	}
+	if _, err := Render(&pbxml.OutputElem{Format: "ascii"},
+		[]*query.Vector{vec}, nil); err == nil {
+		t.Error("mismatched vectors/data accepted")
+	}
+	// Vector without values cannot plot.
+	noVals := &query.Vector{Cols: []query.ColumnMeta{{Name: "p", IsParam: true, Type: value.Integer}}}
+	if _, err := Render(&pbxml.OutputElem{Format: "gnuplot"},
+		[]*query.Vector{noVals}, []*sqldb.Result{{}}); err == nil {
+		t.Error("value-less vector accepted for plotting")
+	}
+}
+
+func TestTargetNamesAndWrite(t *testing.T) {
+	vec, data := testVector()
+	spec := pbxml.OutputElem{Format: "csv", Target: "out.csv"}
+	docs, err := Render(&spec, []*query.Vector{vec, vec}, []*sqldb.Result{data, data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if docs[0].Name != "out.csv" || docs[1].Name != "out_2.csv" {
+		t.Errorf("target names = %q, %q", docs[0].Name, docs[1].Name)
+	}
+	dir := t.TempDir()
+	if err := WriteDocuments(dir, docs); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"out.csv", "out_2.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("document %s not written: %v", name, err)
+		}
+	}
+	// Unnamed documents are skipped.
+	if err := WriteDocuments(dir, []Document{{Content: []byte("x")}}); err != nil {
+		t.Errorf("unnamed doc: %v", err)
+	}
+}
+
+func TestDefaultFormatIsASCII(t *testing.T) {
+	out := render(t, pbxml.OutputElem{})
+	if !strings.Contains(out, "bw [MB/s]") {
+		t.Errorf("default format should be ascii:\n%s", out)
+	}
+}
+
+func TestGnuplotTerminalAndLogscale(t *testing.T) {
+	vec, data := testVector()
+	spec := pbxml.OutputElem{
+		Format: "gnuplot", Style: "lines", Target: "plot.gp",
+		Terminal: "png size 800,600", LogX: true, LogY: true,
+	}
+	docs, err := Render(&spec, []*query.Vector{vec}, []*sqldb.Result{data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(docs[0].Content)
+	for _, want := range []string{
+		"set terminal png size 800,600",
+		`set output "plot.png"`,
+		"set logscale x",
+		"set logscale y",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// Without a target, no set output line.
+	spec.Target = ""
+	docs, err = Render(&spec, []*query.Vector{vec}, []*sqldb.Result{data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(docs[0].Content), "set output") {
+		t.Error("set output emitted without target")
+	}
+}

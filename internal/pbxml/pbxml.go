@@ -1,0 +1,650 @@
+// Package pbxml defines the three XML control documents of perfbase
+// and their validation rules.
+//
+// All user interaction with perfbase flows through XML files (paper
+// §3): the experiment definition declares parameters and result values
+// with types and units; the input description tells the import engine
+// where to find each variable in the ASCII output of a run; the query
+// specification wires source, operator, combiner and output elements
+// into an analysis. This package holds the document structures, the
+// parsers (encoding/xml) and the DTD-equivalent validation; semantics
+// live in internal/core, internal/input and internal/query.
+package pbxml
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"perfbase/internal/units"
+	"perfbase/internal/value"
+)
+
+// ------------------------------------------------------------- units
+
+// UnitXML is the structural unit description of a variable, either a
+// single (optionally scaled) base unit or a fraction of two.
+type UnitXML struct {
+	BaseUnit string       `xml:"base_unit"`
+	Scaling  string       `xml:"scaling"`
+	Fraction *FractionXML `xml:"fraction"`
+}
+
+// FractionXML is a dividend/divisor unit pair.
+type FractionXML struct {
+	Dividend UnitTermXML `xml:"dividend"`
+	Divisor  UnitTermXML `xml:"divisor"`
+}
+
+// UnitTermXML is one side of a fraction.
+type UnitTermXML struct {
+	BaseUnit string `xml:"base_unit"`
+	Scaling  string `xml:"scaling"`
+}
+
+// Unit resolves the XML description to a units.Unit.
+func (u *UnitXML) Unit() (units.Unit, error) {
+	if u == nil {
+		return units.Dimensionless, nil
+	}
+	if u.Fraction != nil {
+		num, err := termUnit(u.Fraction.Dividend.BaseUnit, u.Fraction.Dividend.Scaling)
+		if err != nil {
+			return units.Unit{}, err
+		}
+		den, err := termUnit(u.Fraction.Divisor.BaseUnit, u.Fraction.Divisor.Scaling)
+		if err != nil {
+			return units.Unit{}, err
+		}
+		return units.Per(num, den), nil
+	}
+	if u.BaseUnit == "" {
+		return units.Dimensionless, nil
+	}
+	return termUnit(u.BaseUnit, u.Scaling)
+}
+
+func termUnit(base, scaling string) (units.Unit, error) {
+	p, err := units.ParsePrefix(scaling)
+	if err != nil {
+		return units.Unit{}, err
+	}
+	return units.Scaled(base, p), nil
+}
+
+// -------------------------------------------------- experiment files
+
+// Experiment is the <experiment> document: meta information plus the
+// declared parameters and result values.
+type Experiment struct {
+	XMLName    xml.Name   `xml:"experiment"`
+	Name       string     `xml:"name"`
+	Info       Info       `xml:"info"`
+	Access     Access     `xml:"access"`
+	Parameters []Variable `xml:"parameter"`
+	Results    []Variable `xml:"result"`
+}
+
+// Info carries descriptive metadata of an experiment.
+type Info struct {
+	PerformedBy Person `xml:"performed_by"`
+	Project     string `xml:"project"`
+	Synopsis    string `xml:"synopsis"`
+	Description string `xml:"description"`
+}
+
+// Person identifies the experimenter.
+type Person struct {
+	Name         string `xml:"name"`
+	Organization string `xml:"organization"`
+}
+
+// Access lists users per access class (paper §4.2: admin users have
+// full access, input users may import runs, query users may only
+// query).
+type Access struct {
+	Admin []string `xml:"admin"`
+	Input []string `xml:"input"`
+	Query []string `xml:"query"`
+}
+
+// Variable declares one input parameter or result value. The
+// "occurence" attribute (spelled as in the paper's DTD) selects
+// between a constant-per-run value ("once") and a per-dataset vector
+// ("multiple", the default for table columns).
+type Variable struct {
+	Occurrence  string   `xml:"occurence,attr"`
+	Name        string   `xml:"name"`
+	Synopsis    string   `xml:"synopsis"`
+	Description string   `xml:"description"`
+	DataType    string   `xml:"datatype"`
+	Unit        *UnitXML `xml:"unit"`
+	Valid       []string `xml:"valid"`
+	Default     string   `xml:"default"`
+}
+
+// Once reports whether the variable has constant content per run.
+func (v *Variable) Once() bool {
+	return strings.EqualFold(v.Occurrence, "once")
+}
+
+// Type resolves the declared data type.
+func (v *Variable) Type() (value.Type, error) {
+	return value.TypeFromString(v.DataType)
+}
+
+// Validate checks the experiment document against the schema rules.
+func (e *Experiment) Validate() error {
+	if e.Name == "" {
+		return fmt.Errorf("pbxml: experiment has no <name>")
+	}
+	if !identOK(e.Name) {
+		return fmt.Errorf("pbxml: experiment name %q is not a valid identifier", e.Name)
+	}
+	if len(e.Parameters)+len(e.Results) == 0 {
+		return fmt.Errorf("pbxml: experiment %s declares no variables", e.Name)
+	}
+	seen := map[string]bool{}
+	for _, group := range [][]Variable{e.Parameters, e.Results} {
+		for i := range group {
+			v := &group[i]
+			if v.Name == "" {
+				return fmt.Errorf("pbxml: experiment %s: variable without <name>", e.Name)
+			}
+			if !identOK(v.Name) {
+				return fmt.Errorf("pbxml: variable name %q is not a valid identifier", v.Name)
+			}
+			key := strings.ToLower(v.Name)
+			if seen[key] {
+				return fmt.Errorf("pbxml: duplicate variable %q", v.Name)
+			}
+			seen[key] = true
+			typ, err := v.Type()
+			if err != nil {
+				return fmt.Errorf("pbxml: variable %q: %v", v.Name, err)
+			}
+			if v.Occurrence != "" && !strings.EqualFold(v.Occurrence, "once") &&
+				!strings.EqualFold(v.Occurrence, "multiple") {
+				return fmt.Errorf("pbxml: variable %q: bad occurence %q", v.Name, v.Occurrence)
+			}
+			if _, err := v.Unit.Unit(); err != nil {
+				return fmt.Errorf("pbxml: variable %q: %v", v.Name, err)
+			}
+			for _, valid := range v.Valid {
+				if _, err := value.Parse(typ, valid); err != nil {
+					return fmt.Errorf("pbxml: variable %q: valid value %q: %v", v.Name, valid, err)
+				}
+			}
+			if v.Default != "" {
+				if _, err := value.Parse(typ, v.Default); err != nil {
+					return fmt.Errorf("pbxml: variable %q: default %q: %v", v.Name, v.Default, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// FindVariable looks up a declared variable by name and reports
+// whether it is a result value.
+func (e *Experiment) FindVariable(name string) (*Variable, bool, bool) {
+	for i := range e.Parameters {
+		if strings.EqualFold(e.Parameters[i].Name, name) {
+			return &e.Parameters[i], false, true
+		}
+	}
+	for i := range e.Results {
+		if strings.EqualFold(e.Results[i].Name, name) {
+			return &e.Results[i], true, true
+		}
+	}
+	return nil, false, false
+}
+
+// ------------------------------------------------------- input files
+
+// Input is the <input> document describing how to extract variable
+// content from the ASCII files of one run.
+type Input struct {
+	XMLName    xml.Name           `xml:"input"`
+	Experiment string             `xml:"experiment,attr"`
+	Named      []NamedLocation    `xml:"named"`
+	Fixed      []FixedLocation    `xml:"fixed"`
+	Tabular    []TabularLocation  `xml:"tabular"`
+	Filename   []FilenameLocation `xml:"filename"`
+	Values     []FixedValue       `xml:"value"`
+	Derived    []DerivedParam     `xml:"derived"`
+	Separator  *RunSeparator      `xml:"separator"`
+}
+
+// NamedLocation assigns a variable from the text behind (or in front
+// of) a keyword match. Match is a literal substring; Regexp an
+// alternative regular expression. Field selects the n-th white-space
+// field of the remaining text (0 = smart parse of the remainder).
+type NamedLocation struct {
+	Variable string `xml:"variable,attr"`
+	Match    string `xml:"match,attr"`
+	Regexp   string `xml:"regexp,attr"`
+	Before   bool   `xml:"before,attr"`
+	Field    int    `xml:"field,attr"`
+	Line     int    `xml:"line,attr"` // 1-based absolute line; 0 = any
+}
+
+// FixedLocation assigns a variable from a fixed row and white-space
+// separated column of the file (both 1-based).
+type FixedLocation struct {
+	Variable string `xml:"variable,attr"`
+	Row      int    `xml:"row,attr"`
+	Col      int    `xml:"col,attr"`
+}
+
+// TabularLocation parses a table of data sets. The table starts Offset
+// lines after the line matching Start (literal) or Regexp, and ends at
+// a line matching End, at the first blank line (unless SkipBlank), at
+// MaxRows rows, or at end of file. Lines inside the region that do not
+// yield all columns (headers, totals) are skipped.
+type TabularLocation struct {
+	Start     string `xml:"start,attr"`
+	Regexp    string `xml:"regexp,attr"`
+	Offset    int    `xml:"offset,attr"`
+	End       string `xml:"end,attr"`
+	SkipBlank bool   `xml:"skipblank,attr"`
+	MaxRows   int    `xml:"maxrows,attr"`
+	// Sep splits table lines at this separator (e.g. "," or ";") for
+	// CSV-style files instead of the default white-space fields.
+	Sep     string      `xml:"sep,attr"`
+	Columns []TabColumn `xml:"column"`
+}
+
+// TabColumn maps one white-space separated field (1-based position) of
+// a table line to a variable. An optional Filter restricts accepted
+// rows: only lines whose field equals Filter contribute (used to split
+// the b_eff_io table by access "methode").
+type TabColumn struct {
+	Variable string `xml:"variable,attr"`
+	Pos      int    `xml:"pos,attr"`
+	Filter   string `xml:"filter,attr"`
+}
+
+// FilenameLocation extracts a variable from the input file name,
+// either via a regular expression (first capture group) or by
+// splitting on a separator and taking the Index-th part (0-based).
+type FilenameLocation struct {
+	Variable string `xml:"variable,attr"`
+	Regexp   string `xml:"regexp,attr"`
+	Split    string `xml:"split,attr"`
+	Index    int    `xml:"index,attr"`
+}
+
+// FixedValue provides constant content for a variable independent of
+// the input files (overridable from the command line).
+type FixedValue struct {
+	Variable string `xml:"variable,attr"`
+	Content  string `xml:"content,attr"`
+}
+
+// DerivedParam computes a variable from other variables with an
+// arithmetic expression.
+type DerivedParam struct {
+	Variable   string `xml:"variable,attr"`
+	Expression string `xml:"expression,attr"`
+}
+
+// RunSeparator splits one input file into multiple runs at each line
+// containing Match (or matching Regexp).
+type RunSeparator struct {
+	Match  string `xml:"match,attr"`
+	Regexp string `xml:"regexp,attr"`
+}
+
+// Validate checks the input document's internal consistency. Variable
+// existence is checked later against the experiment definition.
+func (in *Input) Validate() error {
+	if in.Experiment == "" {
+		return fmt.Errorf("pbxml: input description has no experiment attribute")
+	}
+	for _, n := range in.Named {
+		if n.Variable == "" {
+			return fmt.Errorf("pbxml: named location without variable")
+		}
+		if n.Match == "" && n.Regexp == "" {
+			return fmt.Errorf("pbxml: named location for %q needs match or regexp", n.Variable)
+		}
+		if n.Field < 0 {
+			return fmt.Errorf("pbxml: named location for %q: negative field", n.Variable)
+		}
+	}
+	for _, f := range in.Fixed {
+		if f.Variable == "" {
+			return fmt.Errorf("pbxml: fixed location without variable")
+		}
+		if f.Row < 1 || f.Col < 1 {
+			return fmt.Errorf("pbxml: fixed location for %q: row and col are 1-based", f.Variable)
+		}
+	}
+	for ti, tl := range in.Tabular {
+		if tl.Start == "" && tl.Regexp == "" {
+			return fmt.Errorf("pbxml: tabular location %d needs start or regexp", ti)
+		}
+		if len(tl.Columns) == 0 {
+			return fmt.Errorf("pbxml: tabular location %d has no columns", ti)
+		}
+		for _, c := range tl.Columns {
+			if c.Variable == "" && c.Filter == "" {
+				return fmt.Errorf("pbxml: tabular location %d: column without variable", ti)
+			}
+			if c.Pos < 1 {
+				return fmt.Errorf("pbxml: tabular column for %q: pos is 1-based", c.Variable)
+			}
+		}
+	}
+	for _, f := range in.Filename {
+		if f.Variable == "" {
+			return fmt.Errorf("pbxml: filename location without variable")
+		}
+		if f.Regexp == "" && f.Split == "" {
+			return fmt.Errorf("pbxml: filename location for %q needs regexp or split", f.Variable)
+		}
+	}
+	for _, v := range in.Values {
+		if v.Variable == "" {
+			return fmt.Errorf("pbxml: fixed value without variable")
+		}
+	}
+	for _, d := range in.Derived {
+		if d.Variable == "" || d.Expression == "" {
+			return fmt.Errorf("pbxml: derived parameter needs variable and expression")
+		}
+	}
+	if s := in.Separator; s != nil && s.Match == "" && s.Regexp == "" {
+		return fmt.Errorf("pbxml: run separator needs match or regexp")
+	}
+	return nil
+}
+
+// ------------------------------------------------------- query files
+
+// Query is the <query> document: a DAG of source, operator, combiner
+// and output elements (paper Fig. 2).
+type Query struct {
+	XMLName    xml.Name       `xml:"query"`
+	Experiment string         `xml:"experiment,attr"`
+	Sources    []SourceElem   `xml:"source"`
+	Operators  []OperatorElem `xml:"operator"`
+	Combiners  []CombinerElem `xml:"combiner"`
+	Outputs    []OutputElem   `xml:"output"`
+}
+
+// SourceElem retrieves tuples from the experiment database, filtered
+// by parameter constraints and run selection.
+type SourceElem struct {
+	ID         string        `xml:"id,attr"`
+	Parameters []ParamFilter `xml:"parameter"`
+	Run        *RunFilter    `xml:"run"`
+	Values     []ValueRef    `xml:"value"`
+}
+
+// ParamFilter constrains (Op+Value) and/or includes (no Value) one
+// input parameter in the source output.
+type ParamFilter struct {
+	Name  string `xml:"name,attr"`
+	Value string `xml:"value,attr"`
+	Op    string `xml:"op,attr"` // default "="
+}
+
+// ValueRef names one result value to retrieve. A non-empty Unit
+// converts the stored values into that unit (compact notation, e.g.
+// "KB/s"); the unit must be dimensionally compatible with the
+// variable's declared unit.
+type ValueRef struct {
+	Name string `xml:"name,attr"`
+	Unit string `xml:"unit,attr"`
+}
+
+// RunFilter restricts which runs contribute to a source.
+type RunFilter struct {
+	From  string `xml:"from,attr"`  // timestamp lower bound
+	To    string `xml:"to,attr"`    // timestamp upper bound
+	Index string `xml:"index,attr"` // comma-separated run ids
+	Last  int    `xml:"last,attr"`  // only the N most recent runs
+}
+
+// OperatorElem applies a statistical/arithmetic operation to the
+// tuples of its input element(s).
+type OperatorElem struct {
+	ID         string  `xml:"id,attr"`
+	Type       string  `xml:"type,attr"`
+	Input      string  `xml:"input,attr"` // space-separated element ids
+	Variable   string  `xml:"variable,attr"`
+	Expression string  `xml:"expression,attr"` // for type="eval"
+	Factor     float64 `xml:"factor,attr"`     // for type="scale"
+	Offset     float64 `xml:"offset,attr"`     // for type="offset"
+}
+
+// CombinerElem merges two input vectors into one (paper §3.3.3).
+type CombinerElem struct {
+	ID    string `xml:"id,attr"`
+	Input string `xml:"input,attr"`
+}
+
+// OutputElem formats its input vectors (paper §3.3.4).
+type OutputElem struct {
+	ID     string `xml:"id,attr"`
+	Input  string `xml:"input,attr"`
+	Format string `xml:"format,attr"` // gnuplot ascii csv latex xml
+	Target string `xml:"target,attr"` // output file; empty = stdout
+	Title  string `xml:"title,attr"`
+	Style  string `xml:"style,attr"` // gnuplot: bars lines points errorbars
+	XLabel string `xml:"xlabel,attr"`
+	YLabel string `xml:"ylabel,attr"`
+	// Terminal, when set, emits "set terminal ..." plus a "set output"
+	// derived from Target, so running the script renders an image
+	// directly (e.g. terminal="png size 800,600").
+	Terminal string `xml:"terminal,attr"`
+	LogX     bool   `xml:"logx,attr"`
+	LogY     bool   `xml:"logy,attr"`
+}
+
+// operatorTypes enumerates the operator vocabulary of §3.3.2.
+var operatorTypes = map[string]bool{
+	"avg": true, "stddev": true, "variance": true, "count": true,
+	"min": true, "max": true, "prod": true, "sum": true,
+	"median": true, "geomean": true,
+	"eval": true, "scale": true, "offset": true,
+	"diff": true, "div": true, "percentof": true, "above": true, "below": true,
+}
+
+// OperatorTypes returns the sorted list of valid operator type names.
+func OperatorTypes() []string {
+	names := make([]string, 0, len(operatorTypes))
+	for n := range operatorTypes {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	return names
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Validate checks element ids, references and operator types.
+func (q *Query) Validate() error {
+	if q.Experiment == "" {
+		return fmt.Errorf("pbxml: query has no experiment attribute")
+	}
+	ids := map[string]bool{}
+	addID := func(id, kind string) error {
+		if id == "" {
+			return fmt.Errorf("pbxml: %s element without id", kind)
+		}
+		if ids[id] {
+			return fmt.Errorf("pbxml: duplicate element id %q", id)
+		}
+		ids[id] = true
+		return nil
+	}
+	for _, s := range q.Sources {
+		if err := addID(s.ID, "source"); err != nil {
+			return err
+		}
+		if len(s.Values) == 0 {
+			return fmt.Errorf("pbxml: source %q retrieves no values", s.ID)
+		}
+	}
+	for _, o := range q.Operators {
+		if err := addID(o.ID, "operator"); err != nil {
+			return err
+		}
+		if !operatorTypes[strings.ToLower(o.Type)] {
+			return fmt.Errorf("pbxml: operator %q has unknown type %q", o.ID, o.Type)
+		}
+		if o.Input == "" {
+			return fmt.Errorf("pbxml: operator %q has no input", o.ID)
+		}
+		if strings.EqualFold(o.Type, "eval") && o.Expression == "" {
+			return fmt.Errorf("pbxml: eval operator %q needs an expression", o.ID)
+		}
+	}
+	for _, c := range q.Combiners {
+		if err := addID(c.ID, "combiner"); err != nil {
+			return err
+		}
+		if len(strings.Fields(c.Input)) != 2 {
+			return fmt.Errorf("pbxml: combiner %q needs exactly two inputs", c.ID)
+		}
+	}
+	if len(q.Outputs) == 0 {
+		return fmt.Errorf("pbxml: query has no output element")
+	}
+	for i, out := range q.Outputs {
+		if out.Input == "" {
+			return fmt.Errorf("pbxml: output %d has no input", i)
+		}
+		switch strings.ToLower(out.Format) {
+		case "", "gnuplot", "ascii", "csv", "latex", "xml":
+		default:
+			return fmt.Errorf("pbxml: output %d has unknown format %q", i, out.Format)
+		}
+	}
+	// All input references must resolve.
+	check := func(kind, id, input string) error {
+		for _, ref := range strings.Fields(input) {
+			if !ids[ref] {
+				return fmt.Errorf("pbxml: %s %q references unknown element %q", kind, id, ref)
+			}
+		}
+		return nil
+	}
+	for _, o := range q.Operators {
+		if err := check("operator", o.ID, o.Input); err != nil {
+			return err
+		}
+	}
+	for _, c := range q.Combiners {
+		if err := check("combiner", c.ID, c.Input); err != nil {
+			return err
+		}
+	}
+	for i, out := range q.Outputs {
+		if err := check("output", fmt.Sprint(i), out.Input); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ------------------------------------------------------------ parsing
+
+func identOK(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z':
+		case i > 0 && r >= '0' && r <= '9':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ParseExperiment reads and validates an <experiment> document.
+func ParseExperiment(r io.Reader) (*Experiment, error) {
+	var e Experiment
+	if err := decode(r, &e); err != nil {
+		return nil, err
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+// ParseInput reads and validates an <input> document.
+func ParseInput(r io.Reader) (*Input, error) {
+	var in Input
+	if err := decode(r, &in); err != nil {
+		return nil, err
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return &in, nil
+}
+
+// ParseQuery reads and validates a <query> document.
+func ParseQuery(r io.Reader) (*Query, error) {
+	var q Query
+	if err := decode(r, &q); err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return &q, nil
+}
+
+func decode(r io.Reader, v any) error {
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("pbxml: %w", err)
+	}
+	return nil
+}
+
+// LoadExperimentFile parses an experiment definition from disk.
+func LoadExperimentFile(path string) (*Experiment, error) {
+	return loadFile(path, ParseExperiment)
+}
+
+// LoadInputFile parses an input description from disk.
+func LoadInputFile(path string) (*Input, error) {
+	return loadFile(path, ParseInput)
+}
+
+// LoadQueryFile parses a query specification from disk.
+func LoadQueryFile(path string) (*Query, error) {
+	return loadFile(path, ParseQuery)
+}
+
+func loadFile[T any](path string, parse func(io.Reader) (*T, error)) (*T, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	doc, err := parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}

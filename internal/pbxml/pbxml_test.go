@@ -1,0 +1,368 @@
+package pbxml
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"perfbase/internal/units"
+	"perfbase/internal/value"
+)
+
+// experimentDoc mirrors the paper's Fig. 5 excerpt.
+const experimentDoc = `
+<experiment>
+  <name>b_eff_io</name>
+  <info>
+    <performed_by>
+      <name>Joachim Worringen</name>
+      <organization>C&amp;C Research Laboratories, NEC Europe Ltd.</organization>
+    </performed_by>
+    <project>Optimization of MPI I/O Operations</project>
+    <synopsis>Results of b_eff_io Benchmark</synopsis>
+    <description>Track performance changes of I/O operations.</description>
+  </info>
+  <access>
+    <admin>joachim</admin>
+    <input>bench</input>
+    <query>guest</query>
+  </access>
+  <parameter occurence="once">
+    <name>T</name>
+    <synopsis>specified runtime of the test</synopsis>
+    <datatype>integer</datatype>
+    <unit><base_unit>s</base_unit></unit>
+  </parameter>
+  <parameter occurence="once">
+    <name>fs</name>
+    <synopsis>type of file system</synopsis>
+    <datatype>string</datatype>
+    <valid>ufs</valid><valid>nfs</valid><valid>pfs</valid><valid>sfs</valid><valid>unknown</valid>
+    <default>unknown</default>
+  </parameter>
+  <parameter occurence="once">
+    <name>date_run</name>
+    <synopsis>date and time of the run</synopsis>
+    <datatype>timestamp</datatype>
+  </parameter>
+  <parameter>
+    <name>S_chunk</name>
+    <synopsis>amount of data written or read</synopsis>
+    <datatype>integer</datatype>
+    <unit><base_unit>byte</base_unit></unit>
+  </parameter>
+  <parameter>
+    <name>N_proc</name>
+    <synopsis>number of processes</synopsis>
+    <datatype>integer</datatype>
+    <unit><base_unit>process</base_unit></unit>
+  </parameter>
+  <result>
+    <name>B_scatter</name>
+    <synopsis>bandwidth for access type 0 (scatter)</synopsis>
+    <datatype>float</datatype>
+    <unit><fraction>
+      <dividend><base_unit>byte</base_unit><scaling>Mega</scaling></dividend>
+      <divisor><base_unit>s</base_unit></divisor>
+    </fraction></unit>
+  </result>
+</experiment>`
+
+func TestParseExperiment(t *testing.T) {
+	e, err := ParseExperiment(strings.NewReader(experimentDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name != "b_eff_io" {
+		t.Errorf("name = %q", e.Name)
+	}
+	if e.Info.PerformedBy.Name != "Joachim Worringen" {
+		t.Errorf("performed_by = %q", e.Info.PerformedBy.Name)
+	}
+	if len(e.Parameters) != 5 || len(e.Results) != 1 {
+		t.Fatalf("%d parameters, %d results", len(e.Parameters), len(e.Results))
+	}
+	if !e.Parameters[0].Once() {
+		t.Error("T should be occurrence=once")
+	}
+	if e.Parameters[3].Once() {
+		t.Error("S_chunk should be occurrence=multiple")
+	}
+	typ, err := e.Parameters[2].Type()
+	if err != nil || typ != value.Timestamp {
+		t.Errorf("date_run type = %v %v", typ, err)
+	}
+	if len(e.Parameters[1].Valid) != 5 || e.Parameters[1].Default != "unknown" {
+		t.Errorf("fs valid/default = %v %q", e.Parameters[1].Valid, e.Parameters[1].Default)
+	}
+	u, err := e.Results[0].Unit.Unit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.String() != "MB/s" {
+		t.Errorf("B_scatter unit = %q", u)
+	}
+	if !units.Compatible(u, units.Per(units.Base("byte"), units.Base("s"))) {
+		t.Error("B_scatter unit dimension wrong")
+	}
+	if e.Access.Admin[0] != "joachim" || e.Access.Query[0] != "guest" {
+		t.Errorf("access = %+v", e.Access)
+	}
+
+	v, isResult, ok := e.FindVariable("b_scatter")
+	if !ok || !isResult || v.Name != "B_scatter" {
+		t.Errorf("FindVariable case-insensitive lookup failed: %v %v %v", v, isResult, ok)
+	}
+	if _, _, ok := e.FindVariable("nope"); ok {
+		t.Error("FindVariable found a ghost")
+	}
+}
+
+func TestExperimentValidation(t *testing.T) {
+	bad := []string{
+		`<experiment></experiment>`,
+		`<experiment><name>x</name></experiment>`, // no variables
+		`<experiment><name>has space</name><parameter><name>a</name><datatype>integer</datatype></parameter></experiment>`,
+		`<experiment><name>x</name><parameter><datatype>integer</datatype></parameter></experiment>`, // unnamed var
+		`<experiment><name>x</name><parameter><name>a</name><datatype>blob</datatype></parameter></experiment>`,
+		`<experiment><name>x</name><parameter occurence="sometimes"><name>a</name><datatype>integer</datatype></parameter></experiment>`,
+		`<experiment><name>x</name>
+			<parameter><name>a</name><datatype>integer</datatype></parameter>
+			<result><name>A</name><datatype>float</datatype></result></experiment>`, // dup (case-insensitive)
+		`<experiment><name>x</name><parameter><name>a</name><datatype>integer</datatype><default>notanint</default></parameter></experiment>`,
+		`<experiment><name>x</name><parameter><name>a</name><datatype>integer</datatype><valid>x</valid></parameter></experiment>`,
+		`<experiment><name>x</name><parameter><name>a</name><datatype>integer</datatype><unit><base_unit>s</base_unit><scaling>Jumbo</scaling></unit></parameter></experiment>`,
+	}
+	for i, doc := range bad {
+		if _, err := ParseExperiment(strings.NewReader(doc)); err == nil {
+			t.Errorf("bad experiment %d accepted", i)
+		}
+	}
+	if _, err := ParseExperiment(strings.NewReader("not xml at all")); err == nil {
+		t.Error("non-XML accepted")
+	}
+}
+
+// inputDoc mirrors the paper's Fig. 6 excerpt.
+const inputDoc = `
+<input experiment="b_eff_io">
+  <filename variable="fs" split="_" index="4"/>
+  <named variable="T" match="-N"  field="2"/>
+  <named variable="M_PE" match="MEMORY PER PROCESSOR ="/>
+  <named variable="date_run" match="Date of measurement:"/>
+  <fixed variable="sysname" row="5" col="4"/>
+  <tabular start="number pos chunk-" offset="2">
+    <column variable="N_proc" pos="1" filter=""/>
+    <column variable="S_chunk" pos="3"/>
+    <column pos="4" filter="write"/>
+    <column variable="B_scatter" pos="5"/>
+  </tabular>
+  <value variable="technique" content="listbased"/>
+  <derived variable="S_total" expression="S_chunk * N_proc"/>
+  <separator match="b_eff_io of these measurements"/>
+</input>`
+
+func TestParseInput(t *testing.T) {
+	in, err := ParseInput(strings.NewReader(inputDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Experiment != "b_eff_io" {
+		t.Errorf("experiment = %q", in.Experiment)
+	}
+	if len(in.Named) != 3 || in.Named[0].Field != 2 {
+		t.Errorf("named = %+v", in.Named)
+	}
+	if len(in.Filename) != 1 || in.Filename[0].Split != "_" || in.Filename[0].Index != 4 {
+		t.Errorf("filename = %+v", in.Filename)
+	}
+	if len(in.Tabular) != 1 || len(in.Tabular[0].Columns) != 4 {
+		t.Fatalf("tabular = %+v", in.Tabular)
+	}
+	if in.Tabular[0].Columns[2].Filter != "write" {
+		t.Errorf("filter column = %+v", in.Tabular[0].Columns[2])
+	}
+	if in.Separator == nil || in.Separator.Match == "" {
+		t.Error("separator missing")
+	}
+	if len(in.Derived) != 1 || in.Derived[0].Expression != "S_chunk * N_proc" {
+		t.Errorf("derived = %+v", in.Derived)
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	bad := []string{
+		`<input></input>`,
+		`<input experiment="e"><named variable="x"/></input>`,                             // no match
+		`<input experiment="e"><named match="x"/></input>`,                                // no variable
+		`<input experiment="e"><fixed variable="x" row="0" col="1"/></input>`,             // 0-based row
+		`<input experiment="e"><tabular start="x"></tabular></input>`,                     // no columns
+		`<input experiment="e"><tabular><column variable="v" pos="1"/></tabular></input>`, // no start
+		`<input experiment="e"><tabular start="x"><column variable="v" pos="0"/></tabular></input>`,
+		`<input experiment="e"><filename variable="x"/></input>`, // no regexp/split
+		`<input experiment="e"><value content="y"/></input>`,     // no variable
+		`<input experiment="e"><derived variable="x"/></input>`,  // no expression
+		`<input experiment="e"><separator/></input>`,             // no match
+	}
+	for i, doc := range bad {
+		if _, err := ParseInput(strings.NewReader(doc)); err == nil {
+			t.Errorf("bad input %d accepted", i)
+		}
+	}
+}
+
+// queryDoc mirrors the paper's Fig. 7 shape: two sources (old/new
+// technique), max aggregation, percentof comparison, gnuplot bars.
+const queryDoc = `
+<query experiment="b_eff_io">
+  <source id="src_old">
+    <parameter name="technique" value="listbased"/>
+    <parameter name="fs" value="ufs"/>
+    <parameter name="S_chunk"/>
+    <value name="B_scatter"/>
+  </source>
+  <source id="src_new">
+    <parameter name="technique" value="listless"/>
+    <parameter name="fs" value="ufs"/>
+    <parameter name="S_chunk"/>
+    <value name="B_scatter"/>
+  </source>
+  <operator id="max_old" type="max" input="src_old"/>
+  <operator id="max_new" type="max" input="src_new"/>
+  <combiner id="both" input="max_old max_new"/>
+  <operator id="rel" type="percentof" input="max_new max_old"/>
+  <output input="rel" format="gnuplot" style="bars" title="Relative difference"/>
+</query>`
+
+func TestParseQuery(t *testing.T) {
+	q, err := ParseQuery(strings.NewReader(queryDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Sources) != 2 || len(q.Operators) != 3 || len(q.Combiners) != 1 || len(q.Outputs) != 1 {
+		t.Fatalf("element counts: %d %d %d %d",
+			len(q.Sources), len(q.Operators), len(q.Combiners), len(q.Outputs))
+	}
+	if q.Sources[0].Parameters[0].Value != "listbased" {
+		t.Errorf("filter = %+v", q.Sources[0].Parameters[0])
+	}
+	if q.Sources[0].Parameters[2].Value != "" {
+		t.Error("sweep parameter should have empty value")
+	}
+	if q.Outputs[0].Style != "bars" || q.Outputs[0].Format != "gnuplot" {
+		t.Errorf("output = %+v", q.Outputs[0])
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	bad := []string{
+		`<query></query>`,
+		`<query experiment="e"><output input="x"/></query>`,                       // unknown ref
+		`<query experiment="e"><source id="s"><value name="v"/></source></query>`, // no output
+		`<query experiment="e"><source id="s"><value name="v"/></source>
+		 <source id="s"><value name="v"/></source>
+		 <output input="s"/></query>`, // duplicate id
+		`<query experiment="e"><source id="s"></source><output input="s"/></query>`, // source w/o values
+		`<query experiment="e"><source id="s"><value name="v"/></source>
+		 <operator id="o" type="frobnicate" input="s"/><output input="o"/></query>`,
+		`<query experiment="e"><source id="s"><value name="v"/></source>
+		 <operator id="o" type="eval" input="s"/><output input="o"/></query>`, // eval w/o expression
+		`<query experiment="e"><source id="s"><value name="v"/></source>
+		 <operator id="o" type="avg"/><output input="s"/></query>`, // operator w/o input
+		`<query experiment="e"><source id="s"><value name="v"/></source>
+		 <combiner id="c" input="s"/><output input="c"/></query>`, // combiner needs 2 inputs
+		`<query experiment="e"><source id="s"><value name="v"/></source>
+		 <output input="s" format="pdf"/></query>`, // unknown format
+	}
+	for i, doc := range bad {
+		if _, err := ParseQuery(strings.NewReader(doc)); err == nil {
+			t.Errorf("bad query %d accepted", i)
+		}
+	}
+}
+
+func TestOperatorTypes(t *testing.T) {
+	types := OperatorTypes()
+	if len(types) != 18 {
+		t.Errorf("operator vocabulary = %v", types)
+	}
+	for i := 1; i < len(types); i++ {
+		if types[i] < types[i-1] {
+			t.Error("OperatorTypes not sorted")
+		}
+	}
+}
+
+func TestUnitXMLNil(t *testing.T) {
+	var u *UnitXML
+	got, err := u.Unit()
+	if err != nil || !got.IsDimensionless() {
+		t.Errorf("nil unit = %v %v", got, err)
+	}
+	u = &UnitXML{}
+	got, err = u.Unit()
+	if err != nil || !got.IsDimensionless() {
+		t.Errorf("empty unit = %v %v", got, err)
+	}
+	u = &UnitXML{BaseUnit: "byte", Scaling: "Kibi"}
+	got, err = u.Unit()
+	if err != nil || got.String() != "KiB" {
+		t.Errorf("KiB unit = %v %v", got, err)
+	}
+}
+
+func TestLoadFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		t.Helper()
+		p := dir + "/" + name
+		if err := writeFile(p, content); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	ep := write("e.xml", experimentDoc)
+	ip := write("i.xml", inputDoc)
+	qp := write("q.xml", queryDoc)
+	if _, err := LoadExperimentFile(ep); err != nil {
+		t.Error(err)
+	}
+	if _, err := LoadInputFile(ip); err != nil {
+		t.Error(err)
+	}
+	if _, err := LoadQueryFile(qp); err != nil {
+		t.Error(err)
+	}
+	if _, err := LoadExperimentFile(dir + "/missing.xml"); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := LoadQueryFile(ep); err == nil {
+		t.Error("wrong document type accepted")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+// TestParsersNeverPanic: arbitrary bytes into the XML document parsers
+// must error rather than panic.
+func TestParsersNeverPanic(t *testing.T) {
+	inputs := []string{
+		"", "<", "<experiment>", "<experiment><name></experiment>",
+		"<query><source/></query>", "\xff\xfe\x00", "<input experiment=''/>",
+		strings.Repeat("<a>", 200),
+	}
+	for _, in := range inputs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("panic on %q: %v", in, r)
+				}
+			}()
+			ParseExperiment(strings.NewReader(in)) //nolint:errcheck
+			ParseInput(strings.NewReader(in))      //nolint:errcheck
+			ParseQuery(strings.NewReader(in))      //nolint:errcheck
+		}()
+	}
+}

@@ -1,0 +1,171 @@
+// Package pricing implements the stock-option price simulation the
+// paper's introduction cites as a second experiment-management
+// workload (ref [13]: parameterised simulation runs whose results,
+// depending on half a dozen parameters, must be stored and compared).
+//
+// Three pricers for European options are provided: the Black-Scholes
+// closed form (the exact reference), a seeded Monte-Carlo simulator
+// with error estimation, and a Cox-Ross-Rubinstein binomial tree. The
+// Monte-Carlo path exercises exactly the property the paper names:
+// results with statistical variance that require multiple runs and
+// stddev tracking. Report writes an ASCII results file for the
+// perfbase import path.
+package pricing
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+)
+
+// Option is a European option contract.
+type Option struct {
+	// S0 is the spot price of the underlying.
+	S0 float64
+	// K is the strike price.
+	K float64
+	// R is the risk-free interest rate (per year, continuous).
+	R float64
+	// Sigma is the volatility (per sqrt-year).
+	Sigma float64
+	// T is the time to maturity in years.
+	T float64
+	// Put selects a put; default is a call.
+	Put bool
+}
+
+// Kind names the option type.
+func (o Option) Kind() string {
+	if o.Put {
+		return "put"
+	}
+	return "call"
+}
+
+// payoff is the terminal payoff for an underlying price s.
+func (o Option) payoff(s float64) float64 {
+	if o.Put {
+		return math.Max(o.K-s, 0)
+	}
+	return math.Max(s-o.K, 0)
+}
+
+// normCDF is the standard normal cumulative distribution function.
+func normCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// BlackScholes returns the closed-form price.
+func BlackScholes(o Option) float64 {
+	if o.T <= 0 {
+		return o.payoff(o.S0)
+	}
+	sqrtT := math.Sqrt(o.T)
+	d1 := (math.Log(o.S0/o.K) + (o.R+o.Sigma*o.Sigma/2)*o.T) / (o.Sigma * sqrtT)
+	d2 := d1 - o.Sigma*sqrtT
+	disc := math.Exp(-o.R * o.T)
+	if o.Put {
+		return o.K*disc*normCDF(-d2) - o.S0*normCDF(-d1)
+	}
+	return o.S0*normCDF(d1) - o.K*disc*normCDF(d2)
+}
+
+// MonteCarlo estimates the price over the given number of GBM paths
+// and returns the estimate together with its standard error. Equal
+// seeds reproduce results exactly.
+func MonteCarlo(o Option, paths int, seed int64) (price, stderr float64) {
+	if paths <= 0 {
+		return 0, 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	drift := (o.R - o.Sigma*o.Sigma/2) * o.T
+	vol := o.Sigma * math.Sqrt(o.T)
+	disc := math.Exp(-o.R * o.T)
+	var sum, sumsq float64
+	for i := 0; i < paths; i++ {
+		st := o.S0 * math.Exp(drift+vol*rng.NormFloat64())
+		p := disc * o.payoff(st)
+		sum += p
+		sumsq += p * p
+	}
+	n := float64(paths)
+	price = sum / n
+	if paths > 1 {
+		variance := (sumsq - n*price*price) / (n - 1)
+		if variance < 0 {
+			variance = 0
+		}
+		stderr = math.Sqrt(variance / n)
+	}
+	return price, stderr
+}
+
+// Binomial prices the option on a Cox-Ross-Rubinstein tree with the
+// given number of steps.
+func Binomial(o Option, steps int) float64 {
+	if steps <= 0 {
+		return o.payoff(o.S0)
+	}
+	dt := o.T / float64(steps)
+	u := math.Exp(o.Sigma * math.Sqrt(dt))
+	d := 1 / u
+	p := (math.Exp(o.R*dt) - d) / (u - d)
+	disc := math.Exp(-o.R * dt)
+	// Terminal payoffs.
+	vals := make([]float64, steps+1)
+	for i := 0; i <= steps; i++ {
+		s := o.S0 * math.Pow(u, float64(i)) * math.Pow(d, float64(steps-i))
+		vals[i] = o.payoff(s)
+	}
+	// Backward induction.
+	for step := steps; step > 0; step-- {
+		for i := 0; i < step; i++ {
+			vals[i] = disc * (p*vals[i+1] + (1-p)*vals[i])
+		}
+	}
+	return vals[0]
+}
+
+// Result is one pricing measurement for the report.
+type Result struct {
+	Method string // analytic, montecarlo, binomial
+	Work   int    // paths or steps; 0 for analytic
+	Price  float64
+	Stderr float64 // Monte Carlo only
+}
+
+// Campaign runs all three pricers over the given workloads.
+func Campaign(o Option, mcPaths []int, binSteps []int, seed int64) []Result {
+	exact := BlackScholes(o)
+	results := []Result{{Method: "analytic", Price: exact}}
+	for _, n := range mcPaths {
+		p, se := MonteCarlo(o, n, seed+int64(n))
+		results = append(results, Result{Method: "montecarlo", Work: n, Price: p, Stderr: se})
+	}
+	for _, n := range binSteps {
+		results = append(results, Result{Method: "binomial", Work: n, Price: Binomial(o, n)})
+	}
+	return results
+}
+
+// Report writes the campaign results as an ASCII file in the shape
+// perfbase imports (a parameter header plus a results table).
+func Report(w io.Writer, o Option, results []Result) error {
+	exact := BlackScholes(o)
+	var err error
+	pr := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	pr("option pricing simulation\n")
+	pr("S0 = %.4f\nK = %.4f\nr = %.4f\nsigma = %.4f\nmaturity = %.4f\nkind = %s\n\n",
+		o.S0, o.K, o.R, o.Sigma, o.T, o.Kind())
+	pr("method work price stderr abserr\n")
+	for _, r := range results {
+		pr("%s %d %.6f %.6f %.6f\n",
+			r.Method, r.Work, r.Price, r.Stderr, math.Abs(r.Price-exact))
+	}
+	return err
+}

@@ -1,0 +1,172 @@
+package pricing
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+var call = Option{S0: 100, K: 105, R: 0.05, Sigma: 0.2, T: 1}
+
+func TestBlackScholesKnownValues(t *testing.T) {
+	// Reference values computed from the standard formula.
+	got := BlackScholes(call)
+	if math.Abs(got-8.0214) > 0.0005 {
+		t.Errorf("call price = %v, want ~8.0214", got)
+	}
+	put := call
+	put.Put = true
+	gotPut := BlackScholes(put)
+	if math.Abs(gotPut-7.9004) > 0.0005 {
+		t.Errorf("put price = %v, want ~7.9004", gotPut)
+	}
+	// At-the-money, zero vol limit ≈ discounted forward payoff.
+	o := Option{S0: 100, K: 100, R: 0.05, Sigma: 0.001, T: 1}
+	want := 100 - 100*math.Exp(-0.05)
+	if got := BlackScholes(o); math.Abs(got-want) > 0.01 {
+		t.Errorf("near-zero vol call = %v, want %v", got, want)
+	}
+	// Expired option pays intrinsic value.
+	o = Option{S0: 120, K: 100, T: 0}
+	if got := BlackScholes(o); got != 20 {
+		t.Errorf("expired call = %v", got)
+	}
+}
+
+func TestPutCallParity(t *testing.T) {
+	c := BlackScholes(call)
+	put := call
+	put.Put = true
+	p := BlackScholes(put)
+	// c - p = S0 - K e^{-rT}
+	want := call.S0 - call.K*math.Exp(-call.R*call.T)
+	if math.Abs((c-p)-want) > 1e-9 {
+		t.Errorf("parity violation: c-p = %v, want %v", c-p, want)
+	}
+}
+
+func TestMonteCarloConvergence(t *testing.T) {
+	exact := BlackScholes(call)
+	price, stderr := MonteCarlo(call, 200000, 42)
+	if stderr <= 0 {
+		t.Fatalf("stderr = %v", stderr)
+	}
+	if math.Abs(price-exact) > 4*stderr {
+		t.Errorf("MC price %v deviates from %v by more than 4 stderr (%v)", price, exact, stderr)
+	}
+	// Standard error shrinks like 1/sqrt(n).
+	_, se1 := MonteCarlo(call, 1000, 1)
+	_, se2 := MonteCarlo(call, 100000, 1)
+	ratio := se1 / se2
+	if ratio < 5 || ratio > 20 { // ideal: 10
+		t.Errorf("stderr scaling = %v, want ~10", ratio)
+	}
+}
+
+func TestMonteCarloDeterminism(t *testing.T) {
+	p1, s1 := MonteCarlo(call, 5000, 7)
+	p2, s2 := MonteCarlo(call, 5000, 7)
+	p3, _ := MonteCarlo(call, 5000, 8)
+	if p1 != p2 || s1 != s2 {
+		t.Error("same seed should reproduce")
+	}
+	if p1 == p3 {
+		t.Error("different seeds should differ")
+	}
+	if p, s := MonteCarlo(call, 0, 1); p != 0 || s != 0 {
+		t.Error("zero paths should price to 0")
+	}
+}
+
+func TestBinomialConvergence(t *testing.T) {
+	exact := BlackScholes(call)
+	prev := math.Abs(Binomial(call, 16) - exact)
+	for _, steps := range []int{64, 256, 1024} {
+		cur := math.Abs(Binomial(call, steps) - exact)
+		if cur > prev*1.5 { // allow oscillation, demand overall decay
+			t.Errorf("binomial error at %d steps = %v, previous %v", steps, cur, prev)
+		}
+		prev = cur
+	}
+	if math.Abs(Binomial(call, 2048)-exact) > 0.01 {
+		t.Errorf("binomial(2048) = %v, exact %v", Binomial(call, 2048), exact)
+	}
+	if got := Binomial(Option{S0: 110, K: 100}, 0); got != 10 {
+		t.Errorf("zero steps = %v", got)
+	}
+}
+
+func TestBinomialPut(t *testing.T) {
+	put := call
+	put.Put = true
+	exact := BlackScholes(put)
+	if got := Binomial(put, 2048); math.Abs(got-exact) > 0.01 {
+		t.Errorf("binomial put = %v, exact %v", got, exact)
+	}
+}
+
+func TestCampaignAndReport(t *testing.T) {
+	results := Campaign(call, []int{1000, 10000}, []int{64, 256}, 1)
+	if len(results) != 5 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if results[0].Method != "analytic" || results[0].Work != 0 {
+		t.Errorf("first result = %+v", results[0])
+	}
+	var sb strings.Builder
+	if err := Report(&sb, call, results); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"S0 = 100.0000", "K = 105.0000", "sigma = 0.2000", "kind = call",
+		"method work price stderr abserr",
+		"analytic 0 8.02", "montecarlo 1000 ", "binomial 256 ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Property: price bounds — a call is worth at most S0 and at least the
+// discounted intrinsic forward value.
+func TestQuickCallBounds(t *testing.T) {
+	f := func(s0, k, sigma uint16, tQ uint8) bool {
+		o := Option{
+			S0:    1 + float64(s0%500),
+			K:     1 + float64(k%500),
+			R:     0.03,
+			Sigma: 0.01 + float64(sigma%100)/100,
+			T:     0.1 + float64(tQ%40)/10,
+		}
+		c := BlackScholes(o)
+		lower := math.Max(o.S0-o.K*math.Exp(-o.R*o.T), 0)
+		return c >= lower-1e-9 && c <= o.S0+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: put-call parity holds for arbitrary parameters.
+func TestQuickParity(t *testing.T) {
+	f := func(s0, k uint16, sigma uint8) bool {
+		o := Option{
+			S0:    10 + float64(s0%1000),
+			K:     10 + float64(k%1000),
+			R:     0.05,
+			Sigma: 0.05 + float64(sigma%80)/100,
+			T:     1.5,
+		}
+		c := BlackScholes(o)
+		o.Put = true
+		p := BlackScholes(o)
+		want := o.S0 - o.K*math.Exp(-o.R*o.T)
+		return math.Abs((c-p)-want) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

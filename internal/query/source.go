@@ -1,0 +1,399 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"perfbase/internal/core"
+	"perfbase/internal/pbxml"
+	"perfbase/internal/sqldb"
+	"perfbase/internal/units"
+	"perfbase/internal/value"
+)
+
+// paramConstraint is one resolved parameter filter of a source.
+type paramConstraint struct {
+	v     *core.Var
+	runID bool // synthetic run_id pseudo-parameter
+	op    string
+	val   value.Value
+	has   bool // filter has a constraining value
+}
+
+// valSel is one selected result value with an optional unit
+// conversion (factor ≠ 1).
+type valSel struct {
+	v      *core.Var
+	factor float64
+	unit   units.Unit
+}
+
+// col builds the output column metadata of the selection.
+func (vs valSel) col() ColumnMeta {
+	typ := vs.v.Type
+	if vs.factor != 1 {
+		typ = value.Float
+	}
+	return ColumnMeta{
+		Name: vs.v.Name, Type: typ, Unit: vs.unit, Synopsis: vs.v.Synopsis,
+	}
+}
+
+// sqlSel renders the selection for a SELECT list.
+func (vs valSel) sqlSel() string {
+	if vs.factor == 1 {
+		return vs.v.Name
+	}
+	return fmt.Sprintf("(%s * %v) AS %s", vs.v.Name, vs.factor, vs.v.Name)
+}
+
+// execSource runs a source element: it selects the runs matching the
+// run filter and the once-parameter constraints, then pours the
+// matching data sets of each run into the output temp table, tagging
+// every tuple with the included parameters (paper §3.3.1: "each data
+// tuple consists of the input parameters by which the database access
+// was filtered and the result values that were specified").
+func (en *Engine) execSource(spec *pbxml.SourceElem, placement sqldb.Querier) (*Vector, error) {
+	exp := en.exp
+
+	// Resolve parameter filters.
+	var once, multi []paramConstraint
+	for _, pf := range spec.Parameters {
+		pc := paramConstraint{op: pf.Op}
+		if pc.op == "" {
+			pc.op = "="
+		}
+		switch pc.op {
+		case "=", "<>", "<", "<=", ">", ">=":
+		default:
+			return nil, fmt.Errorf("query: source %s: bad operator %q", spec.ID, pf.Op)
+		}
+		if strings.EqualFold(pf.Name, "run_id") {
+			pc.runID = true
+			if pf.Value != "" && pf.Value != "*" {
+				v, err := value.Parse(value.Integer, pf.Value)
+				if err != nil {
+					return nil, fmt.Errorf("query: source %s: run_id filter: %w", spec.ID, err)
+				}
+				pc.val, pc.has = v, true
+			}
+			once = append(once, pc)
+			continue
+		}
+		v, ok := exp.Var(pf.Name)
+		if !ok {
+			return nil, fmt.Errorf("query: source %s: unknown parameter %q", spec.ID, pf.Name)
+		}
+		if v.Result {
+			return nil, fmt.Errorf("query: source %s: %q is a result value, not a parameter", spec.ID, pf.Name)
+		}
+		pc.v = v
+		if pf.Value != "" && pf.Value != "*" {
+			pv, err := value.Parse(v.Type, pf.Value)
+			if err != nil {
+				return nil, fmt.Errorf("query: source %s: filter %s: %w", spec.ID, pf.Name, err)
+			}
+			pc.val, pc.has = pv, true
+		}
+		if v.Once {
+			once = append(once, pc)
+		} else {
+			multi = append(multi, pc)
+		}
+	}
+
+	// Resolve requested result values. Once-occurrence results (one
+	// scalar per run, like a benchmark's total score) come from the
+	// once table; the rest from the per-run data tables. A unit
+	// attribute converts values into a compatible unit on the way out.
+	var onceVals, multiVals []valSel
+	for _, vr := range spec.Values {
+		v, ok := exp.Var(vr.Name)
+		if !ok {
+			return nil, fmt.Errorf("query: source %s: unknown value %q", spec.ID, vr.Name)
+		}
+		if !v.Result {
+			return nil, fmt.Errorf("query: source %s: %q is a parameter, not a result value", spec.ID, vr.Name)
+		}
+		vs := valSel{v: v, factor: 1, unit: v.Unit}
+		if vr.Unit != "" {
+			if !v.Type.Numeric() {
+				return nil, fmt.Errorf("query: source %s: unit conversion of non-numeric value %q", spec.ID, v.Name)
+			}
+			target, err := units.ParseCompact(vr.Unit)
+			if err != nil {
+				return nil, fmt.Errorf("query: source %s: value %s: %w", spec.ID, v.Name, err)
+			}
+			factor, err := units.ConversionFactor(v.Unit, target)
+			if err != nil {
+				return nil, fmt.Errorf("query: source %s: value %s: %w", spec.ID, v.Name, err)
+			}
+			vs.factor = factor
+			vs.unit = target
+		}
+		if v.Once {
+			onceVals = append(onceVals, vs)
+		} else {
+			multiVals = append(multiVals, vs)
+		}
+	}
+
+	// Output schema: once parameters, once values, multi parameters,
+	// multi values — the order row construction below follows.
+	var cols []ColumnMeta
+	for _, pc := range once {
+		cols = append(cols, sourceParamCol(pc))
+	}
+	for _, vs := range onceVals {
+		cols = append(cols, vs.col())
+	}
+	for _, pc := range multi {
+		cols = append(cols, sourceParamCol(pc))
+	}
+	for _, vs := range multiVals {
+		cols = append(cols, vs.col())
+	}
+	out := &Vector{DB: placement, Table: tempName(spec.ID), Cols: cols, FromSource: true}
+	if err := createVectorTable(placement, out.Table, cols); err != nil {
+		return nil, err
+	}
+
+	// Select candidate runs.
+	runs, err := en.selectRuns(spec.Run)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fetch all once rows in one scan instead of one query per run.
+	onceByRun, err := en.fetchOnceRows()
+	if err != nil {
+		return nil, err
+	}
+
+	// The INSERT ... SELECT push-down (below) only works when the
+	// vector lives on the database that also holds the run tables.
+	pushDown := placement == en.primary
+
+	// Per run: check once constraints, then transfer matching tuples.
+	for _, run := range runs {
+		runOnce, ok := onceByRun[run.ID]
+		if !ok {
+			return nil, fmt.Errorf("query: source %s: run %d has no once row", spec.ID, run.ID)
+		}
+		match := true
+		var onceOut []value.Value
+		for _, pc := range once {
+			var have value.Value
+			if pc.runID {
+				have = value.NewInt(run.ID)
+			} else {
+				have = runOnce[pc.v.Name]
+				if have.IsNull() && !pc.v.Default.IsNull() {
+					have = pc.v.Default
+				}
+			}
+			if pc.has && !cmpOK(pc.op, have, pc.val) {
+				match = false
+				break
+			}
+			onceOut = append(onceOut, have)
+		}
+		if !match {
+			continue
+		}
+		for _, vs := range onceVals {
+			have, ok := runOnce[vs.v.Name]
+			if !ok {
+				have = value.Null(vs.v.Type)
+			}
+			if vs.factor != 1 && !have.IsNull() {
+				have = value.NewFloat(have.Float() * vs.factor)
+			}
+			onceOut = append(onceOut, have)
+		}
+
+		// Build the per-run SELECT on the data table.
+		var conds []string
+		for _, pc := range multi {
+			if pc.has {
+				conds = append(conds, pc.v.Name+" "+pc.op+" "+pc.val.SQL())
+			}
+		}
+		var selCols []string
+		for _, pc := range multi {
+			selCols = append(selCols, pc.v.Name)
+		}
+		for _, vs := range multiVals {
+			selCols = append(selCols, vs.sqlSel())
+		}
+		if len(selCols) == 0 {
+			// Only once values requested: one tuple per run.
+			if err := bulkInsert(placement, out.Table, colNames(cols), []sqldb.Row{onceOut}); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		where := ""
+		if len(conds) > 0 {
+			where = " WHERE " + strings.Join(conds, " AND ")
+		}
+		if pushDown {
+			// Same server: move the tuples entirely inside SQL, with
+			// the once values as constant projections.
+			consts := make([]string, len(onceOut))
+			for i, v := range onceOut {
+				consts[i] = v.SQL()
+			}
+			stmt := "INSERT INTO " + out.Table + " (" + strings.Join(colNames(cols), ", ") +
+				") SELECT " + strings.Join(append(consts, selCols...), ", ") +
+				" FROM " + exp.DataTable(run.ID) + where
+			if _, err := en.primary.Exec(stmt); err != nil {
+				return nil, fmt.Errorf("query: source %s run %d: %w", spec.ID, run.ID, err)
+			}
+			continue
+		}
+		stmt := "SELECT " + strings.Join(selCols, ", ") + " FROM " + exp.DataTable(run.ID) + where
+		res, err := en.primary.Exec(stmt)
+		if err != nil {
+			return nil, fmt.Errorf("query: source %s run %d: %w", spec.ID, run.ID, err)
+		}
+		if len(res.Rows) == 0 {
+			continue
+		}
+		rows := make([]sqldb.Row, 0, len(res.Rows))
+		for _, r := range res.Rows {
+			full := make([]value.Value, 0, len(onceOut)+len(r))
+			full = append(full, onceOut...)
+			full = append(full, r...)
+			rows = append(rows, full)
+		}
+		if err := bulkInsert(placement, out.Table, colNames(cols), rows); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// fetchOnceRows reads the whole once table of the experiment in one
+// query and returns the per-run variable maps.
+func (en *Engine) fetchOnceRows() (map[int64]core.DataSet, error) {
+	res, err := en.primary.Exec("SELECT * FROM " + en.exp.Name() + "_once")
+	if err != nil {
+		return nil, fmt.Errorf("query: once table: %w", err)
+	}
+	idIdx := res.Columns.Index("run_id")
+	if idIdx < 0 {
+		return nil, fmt.Errorf("query: once table lacks run_id")
+	}
+	out := make(map[int64]core.DataSet, len(res.Rows))
+	for _, row := range res.Rows {
+		ds := make(core.DataSet, len(res.Columns)-1)
+		for i, c := range res.Columns {
+			if i == idIdx {
+				continue
+			}
+			ds[c.Name] = row[i]
+		}
+		out[row[idIdx].Int()] = ds
+	}
+	return out, nil
+}
+
+func sourceParamCol(pc paramConstraint) ColumnMeta {
+	// Only equality filters pin a parameter to one value; range
+	// filters leave it a sweep dimension.
+	pinned := pc.has && pc.op == "="
+	if pc.runID {
+		return ColumnMeta{Name: "run_id", Type: value.Integer, Synopsis: "run index",
+			Unit: units.Dimensionless, IsParam: true, Pinned: pinned}
+	}
+	return ColumnMeta{
+		Name: pc.v.Name, Type: pc.v.Type, Unit: pc.v.Unit,
+		Synopsis: pc.v.Synopsis, IsParam: true, Pinned: pinned,
+	}
+}
+
+func cmpOK(op string, a, b value.Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return false
+	}
+	c := value.Compare(a, b)
+	switch op {
+	case "=":
+		return c == 0
+	case "<>":
+		return c != 0
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	case ">=":
+		return c >= 0
+	}
+	return false
+}
+
+// selectRuns applies the run filter of a source (paper §3.3.1: sources
+// are limited "by the time stamp or index of a run").
+func (en *Engine) selectRuns(rf *pbxml.RunFilter) ([]core.RunInfo, error) {
+	runs, err := en.exp.Runs()
+	if err != nil {
+		return nil, err
+	}
+	if rf == nil {
+		return runs, nil
+	}
+	if rf.Index != "" {
+		wanted := map[int64]bool{}
+		for _, part := range strings.Split(rf.Index, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			v, err := value.Parse(value.Integer, part)
+			if err != nil {
+				return nil, fmt.Errorf("query: run index %q: %w", part, err)
+			}
+			wanted[v.Int()] = true
+		}
+		kept := runs[:0:0]
+		for _, r := range runs {
+			if wanted[r.ID] {
+				kept = append(kept, r)
+			}
+		}
+		runs = kept
+	}
+	if rf.From != "" {
+		from, err := value.Parse(value.Timestamp, rf.From)
+		if err != nil {
+			return nil, fmt.Errorf("query: run filter from: %w", err)
+		}
+		kept := runs[:0:0]
+		for _, r := range runs {
+			if !r.Created.Before(from.Time()) {
+				kept = append(kept, r)
+			}
+		}
+		runs = kept
+	}
+	if rf.To != "" {
+		to, err := value.Parse(value.Timestamp, rf.To)
+		if err != nil {
+			return nil, fmt.Errorf("query: run filter to: %w", err)
+		}
+		kept := runs[:0:0]
+		for _, r := range runs {
+			if !r.Created.After(to.Time()) {
+				kept = append(kept, r)
+			}
+		}
+		runs = kept
+	}
+	if rf.Last > 0 && len(runs) > rf.Last {
+		runs = runs[len(runs)-rf.Last:]
+	}
+	return runs, nil
+}

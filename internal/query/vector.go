@@ -1,0 +1,214 @@
+// Package query implements the perfbase query engine.
+//
+// A query (paper §3.3, Fig. 2) is a DAG of elements: source elements
+// retrieve filtered tuples from the experiment database, operator
+// elements apply statistics and arithmetic, combiner elements merge
+// two vectors, and output elements format the final vectors. Faithful
+// to §4.2, elements communicate through temporary tables: each element
+// stores its output vector in its own temp table and passes the
+// table's name (wrapped in a Vector) to the elements it feeds. This
+// design lets the SQL engine do the heavy lifting and makes element
+// placement flexible — a Vector can live on any database server, which
+// is what the parallel execution of §4.3 (internal/parquery) exploits.
+package query
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"perfbase/internal/sqldb"
+	"perfbase/internal/units"
+	"perfbase/internal/value"
+)
+
+// ColumnMeta describes one column of a vector. Vectors carry the meta
+// information of their variables along (paper §3.3.1) so that outputs
+// can label axes and legends without consulting the experiment.
+type ColumnMeta struct {
+	Name     string
+	Type     value.Type
+	Unit     units.Unit
+	Synopsis string
+	// IsParam marks input-parameter columns; the others are result
+	// values. Operators aggregate values and group by parameters.
+	IsParam bool
+	// Pinned marks parameters that a source filter fixed to a single
+	// value. Pinned parameters are constant within their vector and
+	// carry no matching information across vectors: element-wise
+	// operators, relations and combiners match tuples on the shared
+	// UNpinned parameters only (the sweep dimensions).
+	Pinned bool
+}
+
+// Vector is the output of one query element: a temp table on some
+// database plus column metadata.
+type Vector struct {
+	// DB is the database holding the vector's temp table.
+	DB sqldb.Querier
+	// Table is the temp table name.
+	Table string
+	// Cols describes the columns, parameters first.
+	Cols []ColumnMeta
+	// FromSource marks vectors produced directly by a source element;
+	// the operator mode selection of §3.3.2 depends on it.
+	FromSource bool
+}
+
+// Params returns the parameter columns.
+func (v *Vector) Params() []ColumnMeta {
+	var out []ColumnMeta
+	for _, c := range v.Cols {
+		if c.IsParam {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Values returns the result value columns.
+func (v *Vector) Values() []ColumnMeta {
+	var out []ColumnMeta
+	for _, c := range v.Cols {
+		if !c.IsParam {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Col finds a column by name (case-insensitive).
+func (v *Vector) Col(name string) (ColumnMeta, bool) {
+	for _, c := range v.Cols {
+		if strings.EqualFold(c.Name, name) {
+			return c, true
+		}
+	}
+	return ColumnMeta{}, false
+}
+
+// Fetch materializes the vector's rows, parameters first, in the
+// column order of Cols.
+func (v *Vector) Fetch() (*sqldb.Result, error) {
+	names := make([]string, len(v.Cols))
+	for i, c := range v.Cols {
+		names[i] = c.Name
+	}
+	res, err := v.DB.Exec("SELECT " + strings.Join(names, ", ") + " FROM " + v.Table)
+	if err != nil {
+		return nil, fmt.Errorf("query: fetch vector %s: %w", v.Table, err)
+	}
+	return res, nil
+}
+
+// tempCounter provides process-unique temp table names so elements can
+// execute concurrently.
+var tempCounter atomic.Int64
+
+// tempName builds a fresh temp table name for an element's output.
+func tempName(elemID string) string {
+	n := tempCounter.Add(1)
+	clean := make([]byte, 0, len(elemID))
+	for i := 0; i < len(elemID); i++ {
+		c := elemID[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_':
+			clean = append(clean, c)
+		default:
+			clean = append(clean, '_')
+		}
+	}
+	return fmt.Sprintf("pbq%d_%s", n, clean)
+}
+
+// createVectorTable creates the temp table for a vector being built.
+func createVectorTable(db sqldb.Querier, table string, cols []ColumnMeta) error {
+	defs := make([]string, len(cols))
+	for i, c := range cols {
+		defs[i] = c.Name + " " + c.Type.String()
+	}
+	_, err := db.Exec("CREATE TEMP TABLE " + table + " (" + strings.Join(defs, ", ") + ")")
+	if err != nil {
+		return fmt.Errorf("query: create vector table %s: %w", table, err)
+	}
+	return nil
+}
+
+// Materialize copies a vector to another database (the socket transfer
+// of paper Fig. 3 when elements are placed on different servers). If
+// the vector already lives there it is returned unchanged.
+func Materialize(v *Vector, target sqldb.Querier) (*Vector, error) {
+	if v.DB == target {
+		return v, nil
+	}
+	res, err := v.Fetch()
+	if err != nil {
+		return nil, err
+	}
+	out := &Vector{DB: target, Table: tempName("xfer"), Cols: v.Cols, FromSource: v.FromSource}
+	if err := createVectorTable(target, out.Table, out.Cols); err != nil {
+		return nil, err
+	}
+	if err := bulkInsert(target, out.Table, colNames(out.Cols), res.Rows); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func colNames(cols []ColumnMeta) []string {
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// bulkInsert inserts rows, using the typed fast path when the target
+// database offers one and falling back to literal VALUES lists.
+func bulkInsert(db sqldb.Querier, table string, cols []string, rows []sqldb.Row) error {
+	if bi, ok := db.(sqldb.BulkInserter); ok {
+		if _, err := bi.InsertRows(table, cols, rows); err != nil {
+			return fmt.Errorf("query: bulk insert into %s: %w", table, err)
+		}
+		return nil
+	}
+	const batch = 256
+	for start := 0; start < len(rows); start += batch {
+		end := start + batch
+		if end > len(rows) {
+			end = len(rows)
+		}
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO ")
+		sb.WriteString(table)
+		sb.WriteString(" (")
+		sb.WriteString(strings.Join(cols, ", "))
+		sb.WriteString(") VALUES ")
+		for ri, row := range rows[start:end] {
+			if ri > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString("(")
+			for vi, v := range row {
+				if vi > 0 {
+					sb.WriteString(", ")
+				}
+				sb.WriteString(v.SQL())
+			}
+			sb.WriteString(")")
+		}
+		if _, err := db.Exec(sb.String()); err != nil {
+			return fmt.Errorf("query: bulk insert into %s: %w", table, err)
+		}
+	}
+	return nil
+}
+
+// DropVector removes a vector's temp table; errors are ignored as temp
+// tables vanish with the session anyway.
+func DropVector(v *Vector) {
+	if v == nil || v.Table == "" {
+		return
+	}
+	v.DB.Exec("DROP TABLE IF EXISTS " + v.Table) //nolint:errcheck
+}

@@ -1,0 +1,166 @@
+package sqldb
+
+import (
+	"math"
+	"sort"
+
+	"perfbase/internal/value"
+)
+
+// aggState accumulates one aggregate over the rows of one group.
+type aggState struct {
+	spec *aggExpr
+
+	n      int64 // non-NULL inputs seen (rows for COUNT(*))
+	sum    float64
+	sumsq  float64
+	logSum float64 // for GEOMEAN
+	allPos bool    // GEOMEAN defined only for positive inputs
+	prod   float64
+	min    value.Value
+	max    value.Value
+	first  bool // any input seen (for min/max/prod init)
+	intSum int64
+	allInt bool
+	vals   []float64       // retained inputs, MEDIAN only
+	seen   map[string]bool // DISTINCT filter
+}
+
+func newAggState(spec *aggExpr) *aggState {
+	st := &aggState{spec: spec, prod: 1, allInt: true, allPos: true}
+	if spec.Distinct {
+		st.seen = make(map[string]bool)
+	}
+	return st
+}
+
+// add feeds one row's argument value into the accumulator.
+func (st *aggState) add(v value.Value) error {
+	if st.spec.Star {
+		st.n++
+		return nil
+	}
+	if v.IsNull() {
+		return nil
+	}
+	if st.seen != nil {
+		k := indexKey(v)
+		if st.seen[k] {
+			return nil
+		}
+		st.seen[k] = true
+	}
+	st.n++
+	switch st.spec.Name {
+	case "count":
+		return nil
+	case "min":
+		if !st.first || value.Compare(v, st.min) < 0 {
+			st.min = v
+		}
+		st.first = true
+		return nil
+	case "max":
+		if !st.first || value.Compare(v, st.max) > 0 {
+			st.max = v
+		}
+		st.first = true
+		return nil
+	}
+	if !v.Type().Numeric() {
+		return errorf("%s requires numeric input, got %s", st.spec.Name, v.Type())
+	}
+	if v.Type() != value.Integer {
+		st.allInt = false
+	} else {
+		st.intSum += v.Int()
+	}
+	f := v.Float()
+	st.sum += f
+	st.sumsq += f * f
+	st.prod *= f
+	if f > 0 {
+		st.logSum += math.Log(f)
+	} else {
+		st.allPos = false
+	}
+	if st.spec.Name == "median" {
+		st.vals = append(st.vals, f)
+	}
+	st.first = true
+	return nil
+}
+
+// result finalizes the aggregate. Empty groups yield NULL except for
+// COUNT, which yields 0.
+func (st *aggState) result() value.Value {
+	switch st.spec.Name {
+	case "count":
+		return value.NewInt(st.n)
+	case "sum":
+		if st.n == 0 {
+			return value.Null(value.Float)
+		}
+		if st.allInt {
+			return value.NewInt(st.intSum)
+		}
+		return value.NewFloat(st.sum)
+	case "avg":
+		if st.n == 0 {
+			return value.Null(value.Float)
+		}
+		return value.NewFloat(st.sum / float64(st.n))
+	case "min":
+		if !st.first {
+			return value.Null(value.Float)
+		}
+		return st.min
+	case "max":
+		if !st.first {
+			return value.Null(value.Float)
+		}
+		return st.max
+	case "prod":
+		if st.n == 0 {
+			return value.Null(value.Float)
+		}
+		return value.NewFloat(st.prod)
+	case "median":
+		if len(st.vals) == 0 {
+			return value.Null(value.Float)
+		}
+		sort.Float64s(st.vals)
+		mid := len(st.vals) / 2
+		if len(st.vals)%2 == 1 {
+			return value.NewFloat(st.vals[mid])
+		}
+		return value.NewFloat((st.vals[mid-1] + st.vals[mid]) / 2)
+	case "geomean":
+		if st.n == 0 {
+			return value.Null(value.Float)
+		}
+		if !st.allPos {
+			return value.Null(value.Float)
+		}
+		return value.NewFloat(math.Exp(st.logSum / float64(st.n)))
+	case "variance", "stddev":
+		// Sample variance, like PostgreSQL's VARIANCE/STDDEV.
+		if st.n == 0 {
+			return value.Null(value.Float)
+		}
+		if st.n == 1 {
+			return value.NewFloat(0)
+		}
+		n := float64(st.n)
+		mean := st.sum / n
+		variance := (st.sumsq - n*mean*mean) / (n - 1)
+		if variance < 0 {
+			variance = 0 // guard against rounding
+		}
+		if st.spec.Name == "variance" {
+			return value.NewFloat(variance)
+		}
+		return value.NewFloat(math.Sqrt(variance))
+	}
+	return value.Null(value.Float)
+}

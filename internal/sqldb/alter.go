@@ -1,0 +1,108 @@
+package sqldb
+
+import (
+	"perfbase/internal/value"
+)
+
+// AlterTableStmt is ALTER TABLE name ADD COLUMN c type |
+// DROP COLUMN c | RENAME TO newname. Schema evolution of experiments
+// (paper §3.1: "values and parameters can be added, modified or
+// removed") maps onto these operations.
+type AlterTableStmt struct {
+	Table  string
+	Add    *Column
+	Drop   string
+	Rename string
+}
+
+func (*AlterTableStmt) stmt() {}
+
+func (p *sqlParser) parseAlter() (Statement, error) {
+	if err := p.expectKw("table"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &AlterTableStmt{Table: name}
+	switch {
+	case p.acceptKw("add"):
+		p.acceptKw("column")
+		cname, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		tname, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		typ, err := value.TypeFromString(tname)
+		if err != nil {
+			return nil, err
+		}
+		st.Add = &Column{Name: cname, Type: typ}
+	case p.acceptKw("drop"):
+		p.acceptKw("column")
+		cname, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st.Drop = cname
+	case p.acceptKw("rename"):
+		if err := p.expectKw("to"); err != nil {
+			return nil, err
+		}
+		nname, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st.Rename = nname
+	default:
+		return nil, errorf("expected ADD, DROP or RENAME near %q", p.cur().text)
+	}
+	return st, nil
+}
+
+func (db *DB) execAlter(s *AlterTableStmt) (*Result, error) {
+	key := lower(s.Table)
+	t, ok := db.tables[key]
+	if !ok {
+		return nil, errorf("no such table %q", s.Table)
+	}
+	db.saveUndo(key)
+	switch {
+	case s.Add != nil:
+		if t.schema.Index(s.Add.Name) >= 0 {
+			return nil, errorf("column %q already exists in %q", s.Add.Name, s.Table)
+		}
+		t.schema = append(t.schema, *s.Add)
+		for i := range t.rows {
+			t.rows[i] = append(t.rows[i], value.Null(s.Add.Type))
+		}
+		return &Result{Affected: len(t.rows)}, nil
+	case s.Drop != "":
+		ci := t.schema.Index(s.Drop)
+		if ci < 0 {
+			return nil, errorf("no column %q in table %q", s.Drop, s.Table)
+		}
+		delete(t.indexes, lower(s.Drop))
+		t.schema = append(t.schema[:ci:ci], t.schema[ci+1:]...)
+		for i, row := range t.rows {
+			t.rows[i] = append(row[:ci:ci], row[ci+1:]...)
+		}
+		t.rebuildIndexes()
+		return &Result{Affected: len(t.rows)}, nil
+	case s.Rename != "":
+		nkey := lower(s.Rename)
+		if _, exists := db.tables[nkey]; exists {
+			return nil, errorf("table %q already exists", s.Rename)
+		}
+		db.saveUndo(nkey)
+		delete(db.tables, key)
+		t.name = s.Rename
+		db.tables[nkey] = t
+		return &Result{}, nil
+	}
+	return nil, errorf("empty ALTER TABLE")
+}

@@ -1,0 +1,306 @@
+package sqldb
+
+import (
+	"perfbase/internal/value"
+)
+
+// Statement is a parsed SQL statement.
+type Statement interface{ stmt() }
+
+// CreateTableStmt is CREATE [TEMP] TABLE [IF NOT EXISTS] name
+// (col type, ...) or CREATE [TEMP] TABLE name AS SELECT ...
+type CreateTableStmt struct {
+	Name        string
+	Temp        bool
+	IfNotExists bool
+	Cols        Schema
+	As          *SelectStmt
+}
+
+// DropTableStmt is DROP TABLE [IF EXISTS] name.
+type DropTableStmt struct {
+	Name     string
+	IfExists bool
+}
+
+// CreateIndexStmt is CREATE INDEX ON table (column).
+type CreateIndexStmt struct {
+	Table  string
+	Column string
+}
+
+// InsertStmt is INSERT INTO table [(cols)] VALUES (...), ... or
+// INSERT INTO table [(cols)] SELECT ...
+type InsertStmt struct {
+	Table string
+	Cols  []string
+	Rows  [][]sqlExpr
+	From  *SelectStmt
+}
+
+// assign is one SET clause of an UPDATE.
+type assign struct {
+	Col string
+	E   sqlExpr
+}
+
+// UpdateStmt is UPDATE table SET col=e, ... [WHERE ...].
+type UpdateStmt struct {
+	Table string
+	Set   []assign
+	Where sqlExpr
+}
+
+// DeleteStmt is DELETE FROM table [WHERE ...].
+type DeleteStmt struct {
+	Table string
+	Where sqlExpr
+}
+
+// selectItem is one projection of a SELECT: an expression with an
+// optional alias, or a bare/qualified star.
+type selectItem struct {
+	E     sqlExpr
+	Alias string
+	Star  bool
+	Table string // for "t.*"
+}
+
+// fromItem is one table reference with an optional alias.
+type fromItem struct {
+	Table string
+	Alias string
+}
+
+// joinClause is one JOIN ... ON ... following the first FROM table.
+type joinClause struct {
+	Right fromItem
+	On    sqlExpr
+	Left  bool // LEFT OUTER JOIN when true, INNER otherwise
+}
+
+// orderItem is one ORDER BY key.
+type orderItem struct {
+	E    sqlExpr
+	Desc bool
+}
+
+// SelectStmt is a SELECT query.
+type SelectStmt struct {
+	Distinct bool
+	Items    []selectItem
+	From     []fromItem
+	Joins    []joinClause
+	Where    sqlExpr
+	GroupBy  []sqlExpr
+	Having   sqlExpr
+	OrderBy  []orderItem
+	Limit    int // -1 = none
+	Offset   int
+}
+
+// BeginStmt, CommitStmt and RollbackStmt control transactions.
+type BeginStmt struct{}
+
+// CommitStmt commits the open transaction.
+type CommitStmt struct{}
+
+// RollbackStmt aborts the open transaction.
+type RollbackStmt struct{}
+
+func (*CreateTableStmt) stmt() {}
+func (*DropTableStmt) stmt()   {}
+func (*CreateIndexStmt) stmt() {}
+func (*InsertStmt) stmt()      {}
+func (*UpdateStmt) stmt()      {}
+func (*DeleteStmt) stmt()      {}
+func (*SelectStmt) stmt()      {}
+func (*BeginStmt) stmt()       {}
+func (*CommitStmt) stmt()      {}
+func (*RollbackStmt) stmt()    {}
+
+// ------------------------------------------------------- expressions
+
+// sqlExpr is a SQL scalar expression evaluated against one row.
+type sqlExpr interface {
+	eval(ec *evalCtx) (value.Value, error)
+}
+
+// evalCtx supplies column bindings (and, after grouping, aggregate
+// results) to expression evaluation.
+type evalCtx struct {
+	schema Schema
+	byName map[string]int // lower-cased plain and qualified names
+	row    Row
+	aggs   map[*aggExpr]value.Value
+}
+
+func newEvalCtx(schema Schema) *evalCtx {
+	ec := &evalCtx{schema: schema, byName: make(map[string]int, 2*len(schema))}
+	ambiguous := map[string]bool{}
+	for i, c := range schema {
+		key := lower(c.Name)
+		if _, dup := ec.byName[key]; dup {
+			ambiguous[key] = true
+		} else {
+			ec.byName[key] = i
+		}
+		// Qualified result columns keep their full "t.c" name; also
+		// register the bare column part for unqualified references.
+		if dot := lastDot(c.Name); dot >= 0 {
+			bare := lower(c.Name[dot+1:])
+			if _, dup := ec.byName[bare]; dup {
+				ambiguous[bare] = true
+			} else {
+				ec.byName[bare] = i
+			}
+		}
+	}
+	for k := range ambiguous {
+		delete(ec.byName, k)
+	}
+	// Re-add fully qualified names unconditionally: they are exact.
+	for i, c := range schema {
+		ec.byName[lower(c.Name)] = i
+	}
+	return ec
+}
+
+func lower(s string) string {
+	// Fast path: already lower.
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 'A' && s[i] <= 'Z' {
+			return toLowerSlow(s)
+		}
+	}
+	return s
+}
+
+func toLowerSlow(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+func lastDot(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return i
+		}
+	}
+	return -1
+}
+
+// lookup resolves a possibly qualified column reference.
+func (ec *evalCtx) lookup(table, name string) (int, error) {
+	key := lower(name)
+	if table != "" {
+		key = lower(table) + "." + key
+	}
+	if i, ok := ec.byName[key]; ok {
+		return i, nil
+	}
+	return 0, errorf("unknown column %q", key)
+}
+
+// litExpr is a constant.
+type litExpr struct{ v value.Value }
+
+func (e *litExpr) eval(*evalCtx) (value.Value, error) { return e.v, nil }
+
+// colExpr references a column, optionally table-qualified.
+type colExpr struct {
+	Table string
+	Name  string
+}
+
+func (e *colExpr) eval(ec *evalCtx) (value.Value, error) {
+	i, err := ec.lookup(e.Table, e.Name)
+	if err != nil {
+		return value.Value{}, err
+	}
+	return ec.row[i], nil
+}
+
+// display returns the reference in "t.c" or "c" form.
+func (e *colExpr) display() string {
+	if e.Table != "" {
+		return e.Table + "." + e.Name
+	}
+	return e.Name
+}
+
+// binExpr is a binary operator application.
+type binExpr struct {
+	Op   string // lower-case: + - * / % = <> < <= > >= and or like ||
+	L, R sqlExpr
+}
+
+// unaryExpr is NOT or unary minus.
+type unaryExpr struct {
+	Op string // "not" or "-"
+	E  sqlExpr
+}
+
+// isNullExpr is [NOT] NULL test.
+type isNullExpr struct {
+	E      sqlExpr
+	Negate bool
+}
+
+// inExpr is e IN (list).
+type inExpr struct {
+	E      sqlExpr
+	List   []sqlExpr
+	Negate bool
+}
+
+// betweenExpr is e BETWEEN lo AND hi.
+type betweenExpr struct {
+	E, Lo, Hi sqlExpr
+	Negate    bool
+}
+
+// funcExpr is a scalar function call.
+type funcExpr struct {
+	Name string // lower-case
+	Args []sqlExpr
+}
+
+// aggExpr is an aggregate function call; it may only appear in the
+// projection and HAVING of a grouped (or implicitly aggregated) query.
+type aggExpr struct {
+	Name     string // lower-case: count sum avg min max stddev variance prod
+	Arg      sqlExpr
+	Star     bool // COUNT(*)
+	Distinct bool
+}
+
+func (e *aggExpr) eval(ec *evalCtx) (value.Value, error) {
+	if ec.aggs == nil {
+		return value.Value{}, errorf("aggregate %s used outside grouped query", e.Name)
+	}
+	v, ok := ec.aggs[e]
+	if !ok {
+		return value.Value{}, errorf("internal: aggregate %s not computed", e.Name)
+	}
+	return v, nil
+}
+
+// castExpr is CAST(e AS type).
+type castExpr struct {
+	E  sqlExpr
+	To value.Type
+}
+
+func (e *castExpr) eval(ec *evalCtx) (value.Value, error) {
+	v, err := e.E.eval(ec)
+	if err != nil {
+		return value.Value{}, err
+	}
+	return v.Convert(e.To)
+}

@@ -1,0 +1,519 @@
+package sqldb
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"perfbase/internal/value"
+)
+
+// Querier is the common query interface of a local database (*DB) and
+// a network client (wire.Client). perfbase layers are written against
+// this interface so queries can run against any server placement.
+type Querier interface {
+	// Exec parses and executes one SQL statement.
+	Exec(sql string) (*Result, error)
+}
+
+// DB is an embedded SQL database. All methods are safe for concurrent
+// use; statements execute under a database-wide lock (readers share).
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*table
+
+	// Transaction state: undo holds pre-transaction table snapshots
+	// (nil pointer = table did not exist before the transaction).
+	inTxn   bool
+	undo    map[string]*table
+	txnLog  []string
+	durable *walWriter // nil for a memory-only database
+	dir     string
+}
+
+// NewMemory creates an empty in-memory database.
+func NewMemory() *DB {
+	return &DB{tables: make(map[string]*table)}
+}
+
+// Exec parses and executes one SQL statement.
+func (db *DB) Exec(sql string) (*Result, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecParsed(st, sql)
+}
+
+// ExecArgs executes a statement with '?' placeholders bound to args.
+// Binding is textual: each placeholder is replaced by the SQL literal
+// form of the corresponding value before parsing.
+func (db *DB) ExecArgs(sql string, args ...value.Value) (*Result, error) {
+	bound, err := BindArgs(sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	return db.Exec(bound)
+}
+
+// BindArgs substitutes '?' placeholders in sql with literal values.
+func BindArgs(sql string, args ...value.Value) (string, error) {
+	toks, err := lexSQL(sql)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	last := 0
+	n := 0
+	for _, t := range toks {
+		if t.kind != tkParam {
+			continue
+		}
+		if n >= len(args) {
+			return "", errorf("not enough arguments for placeholders in %q", sql)
+		}
+		sb.WriteString(sql[last:t.pos])
+		sb.WriteString(args[n].SQL())
+		last = t.pos + 1
+		n++
+	}
+	if n < len(args) {
+		return "", errorf("too many arguments: %d placeholders, %d values", n, len(args))
+	}
+	sb.WriteString(sql[last:])
+	return sb.String(), nil
+}
+
+// ExecParsed executes an already parsed statement. The raw SQL text is
+// used for durability logging; pass "" to skip logging (used during
+// WAL replay).
+func (db *DB) ExecParsed(st Statement, raw string) (*Result, error) {
+	// Pure reads take the shared lock.
+	if sel, ok := st.(*SelectStmt); ok {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		return db.execSelect(sel)
+	}
+	if ex, ok := st.(*ExplainStmt); ok {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		return db.execExplain(ex)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	res, err := db.execMutation(st)
+	if err != nil {
+		return nil, err
+	}
+	db.logMutation(st, raw)
+	return res, nil
+}
+
+func (db *DB) execMutation(st Statement) (*Result, error) {
+	switch s := st.(type) {
+	case *BeginStmt:
+		if db.inTxn {
+			return nil, errorf("transaction already open")
+		}
+		db.inTxn = true
+		db.undo = make(map[string]*table)
+		db.txnLog = nil
+		return &Result{}, nil
+	case *CommitStmt:
+		if !db.inTxn {
+			return nil, errorf("no open transaction")
+		}
+		db.inTxn = false
+		db.undo = nil
+		return &Result{}, nil
+	case *RollbackStmt:
+		if !db.inTxn {
+			return nil, errorf("no open transaction")
+		}
+		for name, t := range db.undo {
+			if t == nil {
+				delete(db.tables, name)
+			} else {
+				db.tables[name] = t
+			}
+		}
+		db.inTxn = false
+		db.undo = nil
+		db.txnLog = nil
+		return &Result{}, nil
+	case *CreateTableStmt:
+		return db.execCreateTable(s)
+	case *DropTableStmt:
+		key := lower(s.Name)
+		if _, ok := db.tables[key]; !ok {
+			if s.IfExists {
+				return &Result{}, nil
+			}
+			return nil, errorf("no such table %q", s.Name)
+		}
+		db.saveUndo(key)
+		delete(db.tables, key)
+		return &Result{}, nil
+	case *CreateIndexStmt:
+		t, ok := db.tables[lower(s.Table)]
+		if !ok {
+			return nil, errorf("no such table %q", s.Table)
+		}
+		ci := t.schema.Index(s.Column)
+		if ci < 0 {
+			return nil, errorf("no column %q in table %q", s.Column, s.Table)
+		}
+		idx := &hashIndex{}
+		idx.rebuild(t.rows, ci)
+		t.indexes[lower(s.Column)] = idx
+		return &Result{}, nil
+	case *AlterTableStmt:
+		return db.execAlter(s)
+	case *InsertStmt:
+		return db.execInsert(s)
+	case *UpdateStmt:
+		return db.execUpdate(s)
+	case *DeleteStmt:
+		return db.execDelete(s)
+	}
+	return nil, errorf("unsupported statement %T", st)
+}
+
+// saveUndo records the pre-image of a table before its first mutation
+// in the open transaction.
+func (db *DB) saveUndo(key string) {
+	if !db.inTxn {
+		return
+	}
+	if _, done := db.undo[key]; done {
+		return
+	}
+	if t, ok := db.tables[key]; ok {
+		db.undo[key] = t.clone()
+	} else {
+		db.undo[key] = nil
+	}
+}
+
+func (db *DB) execCreateTable(s *CreateTableStmt) (*Result, error) {
+	key := lower(s.Name)
+	if _, exists := db.tables[key]; exists {
+		if s.IfNotExists {
+			return &Result{}, nil
+		}
+		return nil, errorf("table %q already exists", s.Name)
+	}
+	if s.As != nil {
+		res, err := db.execSelect(s.As)
+		if err != nil {
+			return nil, err
+		}
+		db.saveUndo(key)
+		t := newTable(s.Name, res.Columns, s.Temp)
+		for _, row := range res.Rows {
+			t.insert(row)
+		}
+		db.tables[key] = t
+		return &Result{Affected: len(res.Rows)}, nil
+	}
+	if len(s.Cols) == 0 {
+		return nil, errorf("CREATE TABLE %s: no columns", s.Name)
+	}
+	seen := map[string]bool{}
+	for _, c := range s.Cols {
+		if seen[lower(c.Name)] {
+			return nil, errorf("duplicate column %q", c.Name)
+		}
+		seen[lower(c.Name)] = true
+	}
+	db.saveUndo(key)
+	db.tables[key] = newTable(s.Name, s.Cols, s.Temp)
+	return &Result{}, nil
+}
+
+func (db *DB) execInsert(s *InsertStmt) (*Result, error) {
+	t, ok := db.tables[lower(s.Table)]
+	if !ok {
+		return nil, errorf("no such table %q", s.Table)
+	}
+	// Map statement columns to table positions.
+	var colPos []int
+	if len(s.Cols) == 0 {
+		colPos = make([]int, len(t.schema))
+		for i := range t.schema {
+			colPos[i] = i
+		}
+	} else {
+		colPos = make([]int, len(s.Cols))
+		for i, c := range s.Cols {
+			ci := t.schema.Index(c)
+			if ci < 0 {
+				return nil, errorf("no column %q in table %q", c, s.Table)
+			}
+			colPos[i] = ci
+		}
+	}
+
+	var inRows []Row
+	if s.From != nil {
+		res, err := db.execSelect(s.From)
+		if err != nil {
+			return nil, err
+		}
+		inRows = res.Rows
+	} else {
+		ec := newEvalCtx(nil)
+		for _, exprs := range s.Rows {
+			row := make(Row, len(exprs))
+			for i, e := range exprs {
+				v, err := e.eval(ec)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			inRows = append(inRows, row)
+		}
+	}
+
+	db.saveUndo(lower(s.Table))
+	inserted := 0
+	for _, in := range inRows {
+		if len(in) != len(colPos) {
+			return nil, errorf("INSERT into %s: %d values for %d columns", s.Table, len(in), len(colPos))
+		}
+		row := make(Row, len(t.schema))
+		for i, c := range t.schema {
+			row[i] = value.Null(c.Type)
+		}
+		for i, v := range in {
+			ci := colPos[i]
+			cv, err := v.Convert(t.schema[ci].Type)
+			if err != nil {
+				return nil, errorf("column %q: %v", t.schema[ci].Name, err)
+			}
+			row[ci] = cv
+		}
+		t.insert(row)
+		inserted++
+	}
+	return &Result{Affected: inserted}, nil
+}
+
+// tableECSchema builds the evaluation schema of a single table: its
+// columns under both bare and qualified names is handled by evalCtx,
+// so qualify with the table name here.
+func tableECSchema(t *table) Schema {
+	s := make(Schema, len(t.schema))
+	for i, c := range t.schema {
+		s[i] = Column{Name: t.name + "." + c.Name, Type: c.Type}
+	}
+	return s
+}
+
+func (db *DB) execUpdate(s *UpdateStmt) (*Result, error) {
+	t, ok := db.tables[lower(s.Table)]
+	if !ok {
+		return nil, errorf("no such table %q", s.Table)
+	}
+	type setOp struct {
+		ci int
+		e  sqlExpr
+	}
+	sets := make([]setOp, len(s.Set))
+	for i, a := range s.Set {
+		ci := t.schema.Index(a.Col)
+		if ci < 0 {
+			return nil, errorf("no column %q in table %q", a.Col, s.Table)
+		}
+		sets[i] = setOp{ci, a.E}
+	}
+	db.saveUndo(lower(s.Table))
+	ec := newEvalCtx(tableECSchema(t))
+	affected := 0
+	for ri, row := range t.rows {
+		ec.row = row
+		if s.Where != nil {
+			v, err := s.Where.eval(ec)
+			if err != nil {
+				return nil, err
+			}
+			if !boolTrue(v) {
+				continue
+			}
+		}
+		updated := make(Row, len(row))
+		copy(updated, row)
+		for _, op := range sets {
+			v, err := op.e.eval(ec)
+			if err != nil {
+				return nil, err
+			}
+			cv, err := v.Convert(t.schema[op.ci].Type)
+			if err != nil {
+				return nil, errorf("column %q: %v", t.schema[op.ci].Name, err)
+			}
+			updated[op.ci] = cv
+		}
+		t.rows[ri] = updated
+		affected++
+	}
+	if affected > 0 {
+		t.rebuildIndexes()
+	}
+	return &Result{Affected: affected}, nil
+}
+
+func (db *DB) execDelete(s *DeleteStmt) (*Result, error) {
+	t, ok := db.tables[lower(s.Table)]
+	if !ok {
+		return nil, errorf("no such table %q", s.Table)
+	}
+	db.saveUndo(lower(s.Table))
+	ec := newEvalCtx(tableECSchema(t))
+	kept := t.rows[:0:0]
+	deleted := 0
+	for _, row := range t.rows {
+		if s.Where != nil {
+			ec.row = row
+			v, err := s.Where.eval(ec)
+			if err != nil {
+				return nil, err
+			}
+			if !boolTrue(v) {
+				kept = append(kept, row)
+				continue
+			}
+		}
+		deleted++
+	}
+	t.rows = kept
+	if deleted > 0 {
+		t.rebuildIndexes()
+	}
+	return &Result{Affected: deleted}, nil
+}
+
+// BulkInserter is the fast-path interface for inserting pre-typed rows
+// without going through SQL text. Both *DB and the wire client
+// implement it; the query engine uses it to move vectors between
+// elements and servers cheaply.
+type BulkInserter interface {
+	// InsertRows appends rows (positionally matching cols) to table,
+	// coercing values to the column types. It returns the number of
+	// rows inserted.
+	InsertRows(table string, cols []string, rows []Row) (int, error)
+}
+
+// InsertRows implements BulkInserter. For durable non-temporary tables
+// an equivalent INSERT statement is written to the WAL; temp-table
+// inserts (the overwhelmingly common case: query element vectors) skip
+// SQL entirely.
+func (db *DB) InsertRows(tableName string, cols []string, rows []Row) (int, error) {
+	if len(rows) == 0 {
+		return 0, nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[lower(tableName)]
+	if !ok {
+		return 0, errorf("no such table %q", tableName)
+	}
+	colPos := make([]int, len(cols))
+	for i, c := range cols {
+		ci := t.schema.Index(c)
+		if ci < 0 {
+			return 0, errorf("no column %q in table %q", c, tableName)
+		}
+		colPos[i] = ci
+	}
+	db.saveUndo(lower(tableName))
+	for _, in := range rows {
+		if len(in) != len(cols) {
+			return 0, errorf("InsertRows into %s: %d values for %d columns", tableName, len(in), len(cols))
+		}
+		row := make(Row, len(t.schema))
+		for i, c := range t.schema {
+			row[i] = value.Null(c.Type)
+		}
+		for i, v := range in {
+			ci := colPos[i]
+			cv, err := v.Convert(t.schema[ci].Type)
+			if err != nil {
+				return 0, errorf("column %q: %v", t.schema[ci].Name, err)
+			}
+			row[ci] = cv
+		}
+		t.insert(row)
+	}
+	if db.durable != nil && !t.temp {
+		// Keep durability by logging an equivalent statement.
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO " + t.name + " (" + strings.Join(cols, ", ") + ") VALUES ")
+		for ri, in := range rows {
+			if ri > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString("(")
+			for vi, v := range in {
+				if vi > 0 {
+					sb.WriteString(", ")
+				}
+				sb.WriteString(v.SQL())
+			}
+			sb.WriteString(")")
+		}
+		if db.inTxn {
+			db.txnLog = append(db.txnLog, sb.String())
+		} else {
+			db.durable.append(sb.String()) //nolint:errcheck
+		}
+	}
+	return len(rows), nil
+}
+
+// Tables returns the names of all tables, sorted.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		names = append(names, t.name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TableSchema returns the schema of the named table.
+func (db *DB) TableSchema(name string) (Schema, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[lower(name)]
+	if !ok {
+		return nil, false
+	}
+	return t.schema.clone(), true
+}
+
+// RowCount returns the number of rows in the named table.
+func (db *DB) RowCount(name string) (int, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[lower(name)]
+	if !ok {
+		return 0, false
+	}
+	return len(t.rows), true
+}
+
+// DropTemp removes all temporary tables, as happens when a perfbase
+// query session ends.
+func (db *DB) DropTemp() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for k, t := range db.tables {
+		if t.temp {
+			delete(db.tables, k)
+		}
+	}
+}

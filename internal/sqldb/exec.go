@@ -1,0 +1,563 @@
+package sqldb
+
+import (
+	"sort"
+	"strings"
+
+	"perfbase/internal/value"
+)
+
+// relation is an intermediate result during SELECT execution. Its
+// schema carries qualified column names ("alias.col") so references
+// resolve unambiguously across joins.
+type relation struct {
+	schema Schema
+	rows   []Row
+}
+
+// scan produces a relation from a stored table, qualifying columns
+// with the alias (or table name).
+func (db *DB) scan(fi fromItem) (*relation, error) {
+	t, ok := db.tables[lower(fi.Table)]
+	if !ok {
+		return nil, errorf("no such table %q", fi.Table)
+	}
+	alias := fi.Alias
+	if alias == "" {
+		alias = fi.Table
+	}
+	schema := make(Schema, len(t.schema))
+	for i, c := range t.schema {
+		schema[i] = Column{Name: alias + "." + c.Name, Type: c.Type}
+	}
+	return &relation{schema: schema, rows: t.rows}, nil
+}
+
+// crossJoin combines two relations with no condition.
+func crossJoin(a, b *relation) *relation {
+	out := &relation{schema: append(a.schema.clone(), b.schema...)}
+	out.rows = make([]Row, 0, len(a.rows)*len(b.rows))
+	for _, ra := range a.rows {
+		for _, rb := range b.rows {
+			row := make(Row, 0, len(ra)+len(rb))
+			row = append(row, ra...)
+			row = append(row, rb...)
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out
+}
+
+// join applies an INNER or LEFT join with an ON condition. Equi-joins
+// on two column references take a hash-join fast path; anything else
+// uses a nested loop.
+func join(a, b *relation, on sqlExpr, left bool) (*relation, error) {
+	out := &relation{schema: append(a.schema.clone(), b.schema...)}
+	ec := newEvalCtx(out.schema)
+
+	// Hash-join fast path.
+	if be, ok := on.(*binExpr); ok && be.Op == "=" {
+		lc, lok := be.L.(*colExpr)
+		rc, rok := be.R.(*colExpr)
+		if lok && rok {
+			aec := newEvalCtx(a.schema)
+			bec := newEvalCtx(b.schema)
+			li, lerr := aec.lookup(lc.Table, lc.Name)
+			ri, rerr := bec.lookup(rc.Table, rc.Name)
+			if lerr != nil || rerr != nil {
+				// Maybe the sides are swapped.
+				li, lerr = aec.lookup(rc.Table, rc.Name)
+				ri, rerr = bec.lookup(lc.Table, lc.Name)
+			}
+			if lerr == nil && rerr == nil {
+				ht := make(map[string][]int, len(b.rows))
+				for pos, rb := range b.rows {
+					k := indexKey(rb[ri])
+					ht[k] = append(ht[k], pos)
+				}
+				for _, ra := range a.rows {
+					matches := ht[indexKey(ra[li])]
+					if ra[li].IsNull() {
+						matches = nil // NULL never equi-joins
+					}
+					if len(matches) == 0 && left {
+						row := make(Row, 0, len(out.schema))
+						row = append(row, ra...)
+						for _, c := range b.schema {
+							row = append(row, value.Null(c.Type))
+						}
+						out.rows = append(out.rows, row)
+						continue
+					}
+					for _, pos := range matches {
+						row := make(Row, 0, len(out.schema))
+						row = append(row, ra...)
+						row = append(row, b.rows[pos]...)
+						out.rows = append(out.rows, row)
+					}
+				}
+				return out, nil
+			}
+		}
+	}
+
+	for _, ra := range a.rows {
+		matched := false
+		for _, rb := range b.rows {
+			row := make(Row, 0, len(out.schema))
+			row = append(row, ra...)
+			row = append(row, rb...)
+			ec.row = row
+			v, err := on.eval(ec)
+			if err != nil {
+				return nil, err
+			}
+			if boolTrue(v) {
+				out.rows = append(out.rows, row)
+				matched = true
+			}
+		}
+		if left && !matched {
+			row := make(Row, 0, len(out.schema))
+			row = append(row, ra...)
+			for _, c := range b.schema {
+				row = append(row, value.Null(c.Type))
+			}
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out, nil
+}
+
+// equalityCandidates extracts top-level `col = literal` predicates
+// from a conjunctive WHERE clause; the scan uses them to probe hash
+// indexes.
+func equalityCandidates(e sqlExpr, out map[string]value.Value) {
+	be, ok := e.(*binExpr)
+	if !ok {
+		return
+	}
+	switch be.Op {
+	case "and":
+		equalityCandidates(be.L, out)
+		equalityCandidates(be.R, out)
+	case "=":
+		if c, ok := be.L.(*colExpr); ok {
+			if l, ok := be.R.(*litExpr); ok {
+				out[lower(c.Name)] = l.v
+			}
+			return
+		}
+		if c, ok := be.R.(*colExpr); ok {
+			if l, ok := be.L.(*litExpr); ok {
+				out[lower(c.Name)] = l.v
+			}
+		}
+	}
+}
+
+// indexedScan serves a single-table FROM through a hash index when the
+// WHERE clause pins an indexed column to a literal. The full WHERE
+// still runs afterwards, so this is purely a row pre-filter.
+func (db *DB) indexedScan(fi fromItem, where sqlExpr) (*relation, bool) {
+	t, ok := db.tables[lower(fi.Table)]
+	if !ok || where == nil || len(t.indexes) == 0 {
+		return nil, false
+	}
+	cands := map[string]value.Value{}
+	equalityCandidates(where, cands)
+	for col, v := range cands {
+		idx, ok := t.indexes[col]
+		if !ok {
+			continue
+		}
+		ci := t.schema.Index(col)
+		if ci < 0 {
+			continue
+		}
+		cv, err := v.Convert(t.schema[ci].Type)
+		if err != nil {
+			continue
+		}
+		alias := fi.Alias
+		if alias == "" {
+			alias = fi.Table
+		}
+		schema := make(Schema, len(t.schema))
+		for i, c := range t.schema {
+			schema[i] = Column{Name: alias + "." + c.Name, Type: c.Type}
+		}
+		positions := idx.lookup(cv)
+		rows := make([]Row, len(positions))
+		for i, pos := range positions {
+			rows[i] = t.rows[pos]
+		}
+		return &relation{schema: schema, rows: rows}, true
+	}
+	return nil, false
+}
+
+// execSelect runs a SELECT and returns its result. The caller holds
+// the database lock.
+func (db *DB) execSelect(st *SelectStmt) (*Result, error) {
+	// FROM clause (or a single synthetic row for table-less SELECT).
+	var rel *relation
+	if len(st.From) == 0 {
+		rel = &relation{rows: []Row{{}}}
+	} else if len(st.From) == 1 && len(st.Joins) == 0 {
+		if r, ok := db.indexedScan(st.From[0], st.Where); ok {
+			rel = r
+		} else {
+			var err error
+			rel, err = db.scan(st.From[0])
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		var err error
+		rel, err = db.scan(st.From[0])
+		if err != nil {
+			return nil, err
+		}
+		for _, fi := range st.From[1:] {
+			r2, err := db.scan(fi)
+			if err != nil {
+				return nil, err
+			}
+			rel = crossJoin(rel, r2)
+		}
+		for _, jc := range st.Joins {
+			r2, err := db.scan(jc.Right)
+			if err != nil {
+				return nil, err
+			}
+			rel, err = join(rel, r2, jc.On, jc.Left)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// WHERE.
+	if st.Where != nil {
+		ec := newEvalCtx(rel.schema)
+		kept := rel.rows[:0:0]
+		for _, row := range rel.rows {
+			ec.row = row
+			v, err := st.Where.eval(ec)
+			if err != nil {
+				return nil, err
+			}
+			if boolTrue(v) {
+				kept = append(kept, row)
+			}
+		}
+		rel = &relation{schema: rel.schema, rows: kept}
+	}
+
+	// Detect aggregation.
+	var aggs []*aggExpr
+	for _, it := range st.Items {
+		if it.E != nil {
+			collectAggs(it.E, &aggs)
+		}
+	}
+	if st.Having != nil {
+		collectAggs(st.Having, &aggs)
+	}
+	grouped := len(st.GroupBy) > 0 || len(aggs) > 0
+
+	type groupRow struct {
+		rep  Row // representative source row
+		aggV map[*aggExpr]value.Value
+	}
+	var groups []groupRow
+
+	if grouped {
+		ec := newEvalCtx(rel.schema)
+		type bucket struct {
+			rep    Row
+			states []*aggState
+		}
+		index := map[string]*bucket{}
+		var order []string
+		for _, row := range rel.rows {
+			ec.row = row
+			var kb strings.Builder
+			for _, g := range st.GroupBy {
+				kv, err := g.eval(ec)
+				if err != nil {
+					return nil, err
+				}
+				kb.WriteString(indexKey(kv))
+				kb.WriteByte('\x1f')
+			}
+			k := kb.String()
+			b, ok := index[k]
+			if !ok {
+				b = &bucket{rep: row, states: make([]*aggState, len(aggs))}
+				for i, a := range aggs {
+					b.states[i] = newAggState(a)
+				}
+				index[k] = b
+				order = append(order, k)
+			}
+			for i, a := range aggs {
+				var av value.Value
+				if !a.Star {
+					var err error
+					av, err = a.Arg.eval(ec)
+					if err != nil {
+						return nil, err
+					}
+				}
+				if err := b.states[i].add(av); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// An aggregate query with no GROUP BY always yields one group,
+		// even over an empty input.
+		if len(order) == 0 && len(st.GroupBy) == 0 {
+			b := &bucket{rep: make(Row, len(rel.schema)), states: make([]*aggState, len(aggs))}
+			for i := range b.rep {
+				b.rep[i] = value.Null(rel.schema[i].Type)
+			}
+			for i, a := range aggs {
+				b.states[i] = newAggState(a)
+			}
+			index[""] = b
+			order = append(order, "")
+		}
+		for _, k := range order {
+			b := index[k]
+			g := groupRow{rep: b.rep, aggV: make(map[*aggExpr]value.Value, len(aggs))}
+			for i, a := range aggs {
+				g.aggV[a] = b.states[i].result()
+			}
+			groups = append(groups, g)
+		}
+		// HAVING.
+		if st.Having != nil {
+			kept := groups[:0:0]
+			hec := newEvalCtx(rel.schema)
+			for _, g := range groups {
+				hec.row = g.rep
+				hec.aggs = g.aggV
+				v, err := st.Having.eval(hec)
+				if err != nil {
+					return nil, err
+				}
+				if boolTrue(v) {
+					kept = append(kept, g)
+				}
+			}
+			groups = kept
+		}
+	} else {
+		groups = make([]groupRow, len(rel.rows))
+		for i, row := range rel.rows {
+			groups[i] = groupRow{rep: row}
+		}
+	}
+
+	// Projection schema.
+	outSchema, starCols, err := db.projectionSchema(st, rel.schema)
+	if err != nil {
+		return nil, err
+	}
+
+	// Project each group.
+	pec := newEvalCtx(rel.schema)
+	outRows := make([]Row, 0, len(groups))
+	for _, g := range groups {
+		pec.row = g.rep
+		pec.aggs = g.aggV
+		row := make(Row, 0, len(outSchema))
+		for i, it := range st.Items {
+			if it.Star {
+				for _, ci := range starCols[i] {
+					row = append(row, g.rep[ci])
+				}
+				continue
+			}
+			v, err := it.E.eval(pec)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+		outRows = append(outRows, row)
+	}
+
+	// DISTINCT.
+	if st.Distinct {
+		seen := map[string]bool{}
+		kept := outRows[:0:0]
+		for _, row := range outRows {
+			k := rowKey(row)
+			if !seen[k] {
+				seen[k] = true
+				kept = append(kept, row)
+			}
+		}
+		outRows = kept
+	}
+
+	// ORDER BY: keys may reference output aliases or source columns.
+	if len(st.OrderBy) > 0 {
+		reps := make([]Row, len(groups))
+		aggVs := make([]map[*aggExpr]value.Value, len(groups))
+		for i, g := range groups {
+			reps[i] = g.rep
+			aggVs[i] = g.aggV
+		}
+		if st.Distinct {
+			// After DISTINCT the source rows no longer align; order on
+			// output columns only.
+			reps = nil
+		}
+		keys := make([][]value.Value, len(outRows))
+		outEC := newEvalCtx(outSchema)
+		srcEC := newEvalCtx(rel.schema)
+		for ri, row := range outRows {
+			keys[ri] = make([]value.Value, len(st.OrderBy))
+			for oi, ob := range st.OrderBy {
+				outEC.row = row
+				v, err := ob.E.eval(outEC)
+				if err != nil && reps != nil {
+					srcEC.row = reps[ri]
+					srcEC.aggs = aggVs[ri]
+					v, err = ob.E.eval(srcEC)
+				}
+				if err != nil {
+					return nil, err
+				}
+				keys[ri][oi] = v
+			}
+		}
+		idx := make([]int, len(outRows))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			for oi, ob := range st.OrderBy {
+				c := value.Compare(keys[idx[a]][oi], keys[idx[b]][oi])
+				if c == 0 {
+					continue
+				}
+				if ob.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		sorted := make([]Row, len(outRows))
+		for i, j := range idx {
+			sorted[i] = outRows[j]
+		}
+		outRows = sorted
+	}
+
+	// OFFSET / LIMIT.
+	if st.Offset > 0 {
+		if st.Offset >= len(outRows) {
+			outRows = nil
+		} else {
+			outRows = outRows[st.Offset:]
+		}
+	}
+	if st.Limit >= 0 && st.Limit < len(outRows) {
+		outRows = outRows[:st.Limit]
+	}
+
+	return &Result{Columns: outSchema, Rows: outRows}, nil
+}
+
+// projectionSchema derives the output schema of a SELECT and, for star
+// items, the source column indexes they expand to.
+func (db *DB) projectionSchema(st *SelectStmt, src Schema) (Schema, map[int][]int, error) {
+	var out Schema
+	starCols := map[int][]int{}
+	for i, it := range st.Items {
+		if it.Star {
+			var cols []int
+			for ci, c := range src {
+				if it.Table != "" {
+					prefix := lower(it.Table) + "."
+					if !strings.HasPrefix(lower(c.Name), prefix) {
+						continue
+					}
+				}
+				cols = append(cols, ci)
+				out = append(out, Column{Name: bareName(c.Name), Type: c.Type})
+			}
+			if len(cols) == 0 {
+				return nil, nil, errorf("star expansion of %q matched no columns", it.Table)
+			}
+			starCols[i] = cols
+			continue
+		}
+		name := it.Alias
+		if name == "" {
+			if ce, ok := it.E.(*colExpr); ok {
+				name = ce.Name
+			} else if ae, ok := it.E.(*aggExpr); ok {
+				name = ae.Name
+			} else {
+				name = "col" + itoa(len(out)+1)
+			}
+		}
+		out = append(out, Column{Name: name, Type: exprType(it.E, src)})
+	}
+	// De-duplicate bare names that collide after qualification strip.
+	seen := map[string]int{}
+	for i := range out {
+		k := lower(out[i].Name)
+		seen[k]++
+		if seen[k] > 1 {
+			out[i].Name = out[i].Name + "_" + itoa(seen[k])
+		}
+	}
+	return out, starCols, nil
+}
+
+func bareName(qualified string) string {
+	if d := lastDot(qualified); d >= 0 {
+		return qualified[d+1:]
+	}
+	return qualified
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+func rowKey(row Row) string {
+	var sb strings.Builder
+	for _, v := range row {
+		sb.WriteString(indexKey(v))
+		sb.WriteByte('\x1f')
+	}
+	return sb.String()
+}

@@ -1,0 +1,128 @@
+package sqldb
+
+import (
+	"fmt"
+
+	"perfbase/internal/value"
+)
+
+// ExplainStmt is EXPLAIN SELECT ...: it reports the access paths the
+// engine will choose — full scan vs hash-index probe, hash join vs
+// nested loop — without executing the query. The ablation benchmarks
+// quantify these choices; EXPLAIN makes them inspectable.
+type ExplainStmt struct {
+	Query *SelectStmt
+}
+
+func (*ExplainStmt) stmt() {}
+
+// execExplain renders one plan line per step.
+func (db *DB) execExplain(st *ExplainStmt) (*Result, error) {
+	q := st.Query
+	var lines []string
+	add := func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+
+	switch {
+	case len(q.From) == 0:
+		add("no table: single synthetic row")
+	case len(q.From) == 1 && len(q.Joins) == 0:
+		fi := q.From[0]
+		t, ok := db.tables[lower(fi.Table)]
+		if !ok {
+			return nil, errorf("no such table %q", fi.Table)
+		}
+		if col, ok := db.explainIndexProbe(fi, q.Where); ok {
+			add("scan %s via hash index on %s", fi.Table, col)
+		} else {
+			add("scan %s (full, %d rows)", fi.Table, len(t.rows))
+		}
+	default:
+		for _, fi := range q.From {
+			t, ok := db.tables[lower(fi.Table)]
+			if !ok {
+				return nil, errorf("no such table %q", fi.Table)
+			}
+			add("scan %s (full, %d rows)", fi.Table, len(t.rows))
+		}
+		if len(q.From) > 1 {
+			add("cross join of %d tables", len(q.From))
+		}
+		for _, jc := range q.Joins {
+			kind := "inner"
+			if jc.Left {
+				kind = "left outer"
+			}
+			if isHashJoinable(jc.On) {
+				add("%s hash join with %s", kind, jc.Right.Table)
+			} else {
+				add("%s nested-loop join with %s", kind, jc.Right.Table)
+			}
+		}
+	}
+	if q.Where != nil {
+		add("filter rows (WHERE)")
+	}
+	var aggs []*aggExpr
+	for _, it := range q.Items {
+		if it.E != nil {
+			collectAggs(it.E, &aggs)
+		}
+	}
+	if q.Having != nil {
+		collectAggs(q.Having, &aggs)
+	}
+	if len(q.GroupBy) > 0 || len(aggs) > 0 {
+		add("aggregate %d function(s) over %d group key(s)", len(aggs), len(q.GroupBy))
+	}
+	if q.Having != nil {
+		add("filter groups (HAVING)")
+	}
+	if q.Distinct {
+		add("deduplicate rows (DISTINCT)")
+	}
+	if len(q.OrderBy) > 0 {
+		add("sort by %d key(s)", len(q.OrderBy))
+	}
+	if q.Limit >= 0 || q.Offset > 0 {
+		add("limit/offset")
+	}
+
+	res := &Result{Columns: Schema{{Name: "plan", Type: value.String}}}
+	for _, l := range lines {
+		res.Rows = append(res.Rows, Row{value.NewString(l)})
+	}
+	return res, nil
+}
+
+// explainIndexProbe mirrors indexedScan's decision without touching
+// rows, returning the probed column.
+func (db *DB) explainIndexProbe(fi fromItem, where sqlExpr) (string, bool) {
+	t, ok := db.tables[lower(fi.Table)]
+	if !ok || where == nil || len(t.indexes) == 0 {
+		return "", false
+	}
+	cands := map[string]value.Value{}
+	equalityCandidates(where, cands)
+	for col := range cands {
+		if _, ok := t.indexes[col]; ok {
+			if t.schema.Index(col) >= 0 {
+				return col, true
+			}
+		}
+	}
+	return "", false
+}
+
+// isHashJoinable mirrors join()'s fast-path predicate: an equality of
+// two plain column references.
+func isHashJoinable(on sqlExpr) bool {
+	be, ok := on.(*binExpr)
+	if !ok || be.Op != "=" {
+		return false
+	}
+	_, lok := be.L.(*colExpr)
+	_, rok := be.R.(*colExpr)
+	return lok && rok
+}

@@ -1,0 +1,93 @@
+package sqldb
+
+import (
+	"strings"
+	"testing"
+)
+
+// plan joins the EXPLAIN output lines.
+func plan(t *testing.T, db *DB, sql string) string {
+	t.Helper()
+	res := mustExec(t, db, sql)
+	if len(res.Columns) != 1 || res.Columns[0].Name != "plan" {
+		t.Fatalf("explain columns = %v", res.Columns.Names())
+	}
+	var lines []string
+	for _, r := range res.Rows {
+		lines = append(lines, r[0].Str())
+	}
+	return strings.Join(lines, "\n")
+}
+
+func TestExplainScanPaths(t *testing.T) {
+	db := seedDB(t)
+	p := plan(t, db, "EXPLAIN SELECT * FROM results WHERE fs = 'ufs'")
+	if !strings.Contains(p, "scan results (full, 10 rows)") {
+		t.Errorf("unindexed plan:\n%s", p)
+	}
+	mustExec(t, db, "CREATE INDEX ON results (fs)")
+	p = plan(t, db, "EXPLAIN SELECT * FROM results WHERE fs = 'ufs'")
+	if !strings.Contains(p, "via hash index on fs") {
+		t.Errorf("indexed plan:\n%s", p)
+	}
+	// Non-equality predicates cannot probe the index.
+	p = plan(t, db, "EXPLAIN SELECT * FROM results WHERE fs <> 'ufs'")
+	if !strings.Contains(p, "full") {
+		t.Errorf("range predicate plan:\n%s", p)
+	}
+	// The indexed and full paths return identical results.
+	a := mustExec(t, db, "SELECT COUNT(*) FROM results WHERE fs = 'ufs'")
+	if a.Rows[0][0].Int() != 6 {
+		t.Errorf("indexed result = %v", a.Rows[0][0])
+	}
+}
+
+func TestExplainJoins(t *testing.T) {
+	db := NewMemory()
+	mustExec(t, db, "CREATE TABLE l (id integer)")
+	mustExec(t, db, "CREATE TABLE r (id integer)")
+	p := plan(t, db, "EXPLAIN SELECT * FROM l JOIN r ON l.id = r.id")
+	if !strings.Contains(p, "inner hash join with r") {
+		t.Errorf("hash join plan:\n%s", p)
+	}
+	p = plan(t, db, "EXPLAIN SELECT * FROM l LEFT JOIN r ON l.id < r.id")
+	if !strings.Contains(p, "left outer nested-loop join with r") {
+		t.Errorf("nested loop plan:\n%s", p)
+	}
+	p = plan(t, db, "EXPLAIN SELECT * FROM l, r")
+	if !strings.Contains(p, "cross join of 2 tables") {
+		t.Errorf("cross join plan:\n%s", p)
+	}
+}
+
+func TestExplainPipelineSteps(t *testing.T) {
+	db := seedDB(t)
+	p := plan(t, db, `EXPLAIN SELECT DISTINCT fs, AVG(bw) FROM results
+		WHERE chunk > 10 GROUP BY fs HAVING COUNT(*) > 1 ORDER BY fs LIMIT 5`)
+	for _, want := range []string{
+		"filter rows (WHERE)",
+		"aggregate 2 function(s) over 1 group key(s)",
+		"filter groups (HAVING)",
+		"deduplicate rows (DISTINCT)",
+		"sort by 1 key(s)",
+		"limit/offset",
+	} {
+		if !strings.Contains(p, want) {
+			t.Errorf("plan missing %q:\n%s", want, p)
+		}
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	db := NewMemory()
+	if _, err := db.Exec("EXPLAIN SELECT * FROM ghost"); err == nil {
+		t.Error("explain of missing table accepted")
+	}
+	if _, err := db.Exec("EXPLAIN INSERT INTO t VALUES (1)"); err == nil {
+		t.Error("explain of non-select accepted")
+	}
+	p := plan(t, db, "EXPLAIN SELECT 1")
+	if !strings.Contains(p, "synthetic row") {
+		t.Errorf("table-less plan:\n%s", p)
+	}
+}

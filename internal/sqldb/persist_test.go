@@ -1,0 +1,252 @@
+package sqldb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "CREATE TABLE runs (id integer, fs string, bw float)")
+	mustExec(t, db, "INSERT INTO runs VALUES (1, 'ufs', 100.5), (2, 'nfs', 50.25)")
+	mustExec(t, db, "CREATE INDEX ON runs (fs)")
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	res := mustExec(t, db2, "SELECT id, fs, bw FROM runs ORDER BY id")
+	if len(res.Rows) != 2 {
+		t.Fatalf("reloaded rows = %d", len(res.Rows))
+	}
+	if res.Rows[0][1].Str() != "ufs" || res.Rows[1][2].Float() != 50.25 {
+		t.Errorf("reloaded data = %v", res.Rows)
+	}
+}
+
+func TestWALReplayWithoutCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "CREATE TABLE t (a integer)")
+	mustExec(t, db, "INSERT INTO t VALUES (1), (2)")
+	mustExec(t, db, "UPDATE t SET a = 20 WHERE a = 2")
+	mustExec(t, db, "DELETE FROM t WHERE a = 1")
+	// Simulate a crash: do NOT Close/Checkpoint; just reopen.
+	db.mu.Lock()
+	db.durable.close()
+	db.durable = nil
+	db.mu.Unlock()
+
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	res := mustExec(t, db2, "SELECT a FROM t")
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 20 {
+		t.Errorf("WAL replay state = %v", res.Rows)
+	}
+}
+
+func TestWALTruncatedTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "CREATE TABLE t (a integer)")
+	mustExec(t, db, "INSERT INTO t VALUES (1)")
+	db.mu.Lock()
+	db.durable.close()
+	db.durable = nil
+	db.mu.Unlock()
+
+	// Append garbage (a partial record) to the WAL.
+	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{200, 1, 'S', 'E'}); err != nil { // claims 200-byte record, truncated
+		t.Fatal(err)
+	}
+	f.Close()
+
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("truncated WAL tail should be tolerated: %v", err)
+	}
+	defer db2.Close()
+	res := mustExec(t, db2, "SELECT COUNT(*) FROM t")
+	if res.Rows[0][0].Int() != 1 {
+		t.Errorf("rows after truncated tail = %v", res.Rows[0][0])
+	}
+}
+
+func TestTransactionDurability(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "CREATE TABLE t (a integer)")
+	mustExec(t, db, "BEGIN")
+	mustExec(t, db, "INSERT INTO t VALUES (1)")
+	mustExec(t, db, "ROLLBACK")
+	mustExec(t, db, "BEGIN")
+	mustExec(t, db, "INSERT INTO t VALUES (2)")
+	mustExec(t, db, "COMMIT")
+	// Crash-style reopen.
+	db.mu.Lock()
+	db.durable.close()
+	db.durable = nil
+	db.mu.Unlock()
+
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	res := mustExec(t, db2, "SELECT a FROM t")
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 2 {
+		t.Errorf("only committed data should replay: %v", res.Rows)
+	}
+}
+
+func TestTempTablesNotPersisted(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "CREATE TABLE base (a integer)")
+	mustExec(t, db, "INSERT INTO base VALUES (1)")
+	mustExec(t, db, "CREATE TEMP TABLE scratch AS SELECT * FROM base")
+	mustExec(t, db, "INSERT INTO scratch VALUES (2)")
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if _, err := db2.Exec("SELECT * FROM scratch"); err == nil {
+		t.Error("temp table was persisted")
+	}
+	mustExec(t, db2, "SELECT * FROM base")
+}
+
+func TestCheckpointTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "CREATE TABLE t (a integer)")
+	for i := 0; i < 20; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO t VALUES (%d)", i))
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(filepath.Join(dir, walFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 0 {
+		t.Errorf("WAL size after checkpoint = %d, want 0", fi.Size())
+	}
+	// State intact after checkpoint + reopen.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	res := mustExec(t, db2, "SELECT COUNT(*) FROM t")
+	if res.Rows[0][0].Int() != 20 {
+		t.Errorf("rows after checkpoint+reopen = %v", res.Rows[0][0])
+	}
+}
+
+func TestMemoryCheckpointNoop(t *testing.T) {
+	db := NewMemory()
+	if err := db.Checkpoint(); err != nil {
+		t.Errorf("memory checkpoint: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Errorf("memory close: %v", err)
+	}
+}
+
+// Property: any sequence of inserted integers survives a WAL-replay
+// reopen with identical sum and count.
+func TestQuickWALDurability(t *testing.T) {
+	f := func(xs []int16) bool {
+		dir, err := os.MkdirTemp("", "sqldbq")
+		if err != nil {
+			return false
+		}
+		defer os.RemoveAll(dir)
+		db, err := Open(dir)
+		if err != nil {
+			return false
+		}
+		if _, err := db.Exec("CREATE TABLE t (a integer)"); err != nil {
+			return false
+		}
+		var sum int64
+		for _, x := range xs {
+			if _, err := db.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d)", x)); err != nil {
+				return false
+			}
+			sum += int64(x)
+		}
+		// Crash-style: close WAL handle without checkpoint.
+		db.mu.Lock()
+		db.durable.close()
+		db.durable = nil
+		db.mu.Unlock()
+		db2, err := Open(dir)
+		if err != nil {
+			return false
+		}
+		defer db2.Close()
+		res, err := db2.Exec("SELECT COUNT(*), SUM(a) FROM t")
+		if err != nil {
+			return false
+		}
+		if res.Rows[0][0].Int() != int64(len(xs)) {
+			return false
+		}
+		if len(xs) == 0 {
+			return res.Rows[0][1].IsNull()
+		}
+		return res.Rows[0][1].Int() == sum
+	}
+	cfg := &quick.Config{MaxCount: 20}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func osWriteBytes(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,74 @@
+package sqldb
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParserNeverPanics feeds arbitrary strings to the SQL parser:
+// every input must yield a statement or an error, never a panic.
+func TestParserNeverPanics(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on input %q: %v", s, r)
+				ok = false
+			}
+		}()
+		Parse(s) //nolint:errcheck
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParserNeverPanicsOnMutatedSQL mutates valid statements (random
+// truncation and splicing) — closer to real-world malformed input than
+// uniformly random strings.
+func TestParserNeverPanicsOnMutatedSQL(t *testing.T) {
+	seeds := []string{
+		"SELECT a, AVG(b) FROM t WHERE c = 'x' AND d BETWEEN 1 AND 2 GROUP BY a HAVING COUNT(*) > 1 ORDER BY a DESC LIMIT 10 OFFSET 2",
+		"CREATE TEMP TABLE x AS SELECT a.b, CAST(c AS float) FROM t a JOIN u ON a.i = u.i",
+		"INSERT INTO t (a, b) VALUES (1, 'x'), (NULL, TRUE)",
+		"UPDATE t SET a = a * 2 + SQRT(b) WHERE a IN (1, 2, 3)",
+		"ALTER TABLE t ADD COLUMN z timestamp",
+		"EXPLAIN SELECT DISTINCT a FROM t WHERE b LIKE '%x_'",
+	}
+	f := func(which uint8, cut1, cut2 uint16) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		a := seeds[int(which)%len(seeds)]
+		b := seeds[(int(which)+1)%len(seeds)]
+		i := int(cut1) % (len(a) + 1)
+		j := int(cut2) % (len(b) + 1)
+		Parse(a[:i] + b[j:]) //nolint:errcheck
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLexerNeverPanics covers the tokenizer alone, including inputs
+// with unterminated quotes and stray bytes.
+func TestLexerNeverPanics(t *testing.T) {
+	inputs := []string{
+		"'", "\"", "'''", "--", "1e", "1e+", ".", "..", "?", ";;",
+		"\x00", "\xff\xfe", strings.Repeat("(", 1000),
+	}
+	for _, in := range inputs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("lexer panic on %q: %v", in, r)
+				}
+			}()
+			lexSQL(in) //nolint:errcheck
+		}()
+	}
+}

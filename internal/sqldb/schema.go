@@ -1,0 +1,187 @@
+// Package sqldb is an embedded relational SQL database engine.
+//
+// It is the storage backend of perfbase, standing in for the
+// PostgreSQL server the original system used: every experiment, run
+// and query temp table lives in a sqldb database. The engine supports
+// a typed column model using the perfbase data types, a practical SQL
+// dialect (CREATE/DROP TABLE, CREATE TEMP TABLE AS SELECT, INSERT,
+// UPDATE, DELETE, and SELECT with joins, WHERE, GROUP BY with
+// statistics aggregates, HAVING, ORDER BY, DISTINCT and LIMIT),
+// optional write-ahead-log + snapshot persistence, and hash indexes.
+// The sibling package sqldb/wire exposes a database over TCP so that
+// query elements can run against remote servers (paper §4.3).
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+
+	"perfbase/internal/value"
+)
+
+// Column describes one column of a table or result.
+type Column struct {
+	// Name is the column name. Result columns derived from
+	// expressions carry their alias or a generated name.
+	Name string
+	// Type is the perfbase data type of the column.
+	Type value.Type
+}
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// Index returns the position of the named column, or -1. Lookup is
+// case-insensitive, like the rest of the SQL dialect.
+func (s Schema) Index(name string) int {
+	for i, c := range s {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	names := make([]string, len(s))
+	for i, c := range s {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// clone returns a deep copy of the schema.
+func (s Schema) clone() Schema {
+	out := make(Schema, len(s))
+	copy(out, s)
+	return out
+}
+
+// Row is one tuple of values, positionally matching a Schema.
+type Row = []value.Value
+
+// Result is the outcome of executing a statement. Non-SELECT
+// statements return an empty column set and the number of affected
+// rows.
+type Result struct {
+	// Columns describes the result columns of a SELECT.
+	Columns Schema
+	// Rows holds the result tuples of a SELECT.
+	Rows []Row
+	// Affected is the number of rows touched by INSERT/UPDATE/DELETE.
+	Affected int
+}
+
+// table is the in-memory representation of one table.
+type table struct {
+	name    string
+	schema  Schema
+	rows    []Row
+	temp    bool
+	indexes map[string]*hashIndex // keyed by lower-case column name
+}
+
+func newTable(name string, schema Schema, temp bool) *table {
+	return &table{
+		name:    name,
+		schema:  schema.clone(),
+		temp:    temp,
+		indexes: make(map[string]*hashIndex),
+	}
+}
+
+// insert appends a row (already coerced to the schema types) and
+// maintains indexes.
+func (t *table) insert(row Row) {
+	t.rows = append(t.rows, row)
+	for col, idx := range t.indexes {
+		ci := t.schema.Index(col)
+		idx.add(row[ci], len(t.rows)-1)
+	}
+}
+
+// rebuildIndexes recreates all indexes after a bulk row mutation
+// (UPDATE/DELETE reslice the row set, invalidating positions).
+func (t *table) rebuildIndexes() {
+	for col, idx := range t.indexes {
+		ci := t.schema.Index(col)
+		idx.rebuild(t.rows, ci)
+	}
+}
+
+// clone returns a deep copy of the table, used by the transaction undo
+// log. Rows share value storage (values are immutable).
+func (t *table) clone() *table {
+	ct := newTable(t.name, t.schema, t.temp)
+	ct.rows = make([]Row, len(t.rows))
+	for i, r := range t.rows {
+		nr := make(Row, len(r))
+		copy(nr, r)
+		ct.rows[i] = nr
+	}
+	for col := range t.indexes {
+		ci := ct.schema.Index(col)
+		idx := &hashIndex{}
+		idx.rebuild(ct.rows, ci)
+		ct.indexes[col] = idx
+	}
+	return ct
+}
+
+// hashIndex maps a column value (by its display string, which is
+// injective per type) to the row positions holding it.
+type hashIndex struct {
+	buckets map[string][]int
+}
+
+func indexKey(v value.Value) string {
+	if v.IsNull() {
+		return "\x00NULL"
+	}
+	return v.String()
+}
+
+func (ix *hashIndex) add(v value.Value, pos int) {
+	if ix.buckets == nil {
+		ix.buckets = make(map[string][]int)
+	}
+	k := indexKey(v)
+	ix.buckets[k] = append(ix.buckets[k], pos)
+}
+
+func (ix *hashIndex) lookup(v value.Value) []int {
+	return ix.buckets[indexKey(v)]
+}
+
+func (ix *hashIndex) rebuild(rows []Row, ci int) {
+	ix.buckets = make(map[string][]int)
+	for pos, r := range rows {
+		ix.add(r[ci], pos)
+	}
+}
+
+// validIdent reports whether s is a plausible SQL identifier; used to
+// guard dynamically composed statements in higher layers.
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z':
+		case i > 0 && r >= '0' && r <= '9':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ValidIdent reports whether s can be used as a table or column name.
+func ValidIdent(s string) bool { return validIdent(s) }
+
+// errorf builds engine errors with a uniform prefix.
+func errorf(format string, args ...any) error {
+	return fmt.Errorf("sqldb: "+format, args...)
+}

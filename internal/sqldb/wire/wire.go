@@ -1,0 +1,249 @@
+// Package wire exposes a sqldb database over TCP.
+//
+// The original perfbase stores experiments in a PostgreSQL server that
+// may run locally or on any reachable host, and its proposed parallel
+// query processing (paper §4.3) places additional database servers on
+// cluster nodes, accessed "via sockets, possibly using a high-speed
+// interconnection network". This package provides that socket layer: a
+// Server wraps a *sqldb.DB and serves SQL statements to any number of
+// concurrent clients; a Client implements the same Querier interface
+// as a local database, so the layers above never care about placement.
+//
+// The protocol is a persistent gob stream per connection: the client
+// sends {SQL}, the server answers {Columns, Rows, Affected, Err}.
+package wire
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"perfbase/internal/sqldb"
+)
+
+// request is one statement sent from client to server. When Bulk is
+// set, the request is a typed bulk insert instead of a SQL statement.
+type request struct {
+	SQL string
+
+	Bulk  bool
+	Table string
+	Cols  []string
+	Rows  []sqldb.Row
+}
+
+// response carries the result (or error text) of one statement.
+type response struct {
+	Columns  sqldb.Schema
+	Rows     []sqldb.Row
+	Affected int
+	Err      string
+}
+
+// Server serves a database to remote clients.
+type Server struct {
+	db *sqldb.DB
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps db in an unstarted server.
+func NewServer(db *sqldb.DB) *Server {
+	return &Server{db: db, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0").
+// It returns once the listener is ready; serving continues in the
+// background until Close.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("wire: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the listen address, valid after Listen.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return // client gone or protocol error
+		}
+		var resp response
+		if req.Bulk {
+			n, err := s.db.InsertRows(req.Table, req.Cols, req.Rows)
+			if err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.Affected = n
+			}
+			if err := enc.Encode(&resp); err != nil {
+				return
+			}
+			continue
+		}
+		res, err := s.db.Exec(req.SQL)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Columns = res.Columns
+			resp.Rows = res.Rows
+			resp.Affected = res.Affected
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the listener and terminates all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Client is a connection to a remote database server. It implements
+// sqldb.Querier; concurrent Exec calls are serialized on the single
+// connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	return &Client{
+		conn: conn,
+		enc:  gob.NewEncoder(conn),
+		dec:  gob.NewDecoder(conn),
+	}, nil
+}
+
+// Exec sends one statement and waits for its result.
+func (c *Client) Exec(sql string) (*sqldb.Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil, errors.New("wire: client is closed")
+	}
+	if err := c.enc.Encode(&request{SQL: sql}); err != nil {
+		return nil, fmt.Errorf("wire: send: %w", err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("wire: receive: %w", err)
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return &sqldb.Result{Columns: resp.Columns, Rows: resp.Rows, Affected: resp.Affected}, nil
+}
+
+// InsertRows implements sqldb.BulkInserter over the wire: the rows
+// travel in their binary encoding instead of as SQL text.
+func (c *Client) InsertRows(table string, cols []string, rows []sqldb.Row) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return 0, errors.New("wire: client is closed")
+	}
+	req := request{Bulk: true, Table: table, Cols: cols, Rows: rows}
+	if err := c.enc.Encode(&req); err != nil {
+		return 0, fmt.Errorf("wire: send: %w", err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		return 0, fmt.Errorf("wire: receive: %w", err)
+	}
+	if resp.Err != "" {
+		return 0, errors.New(resp.Err)
+	}
+	return resp.Affected, nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// Interface conformance: both ends satisfy sqldb.Querier and the bulk
+// fast path.
+var (
+	_ sqldb.Querier      = (*Client)(nil)
+	_ sqldb.Querier      = (*sqldb.DB)(nil)
+	_ sqldb.BulkInserter = (*Client)(nil)
+	_ sqldb.BulkInserter = (*sqldb.DB)(nil)
+)

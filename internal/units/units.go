@@ -1,0 +1,363 @@
+// Package units models the physical and logical units attached to
+// experiment parameters and result values.
+//
+// An experiment definition gives each variable a unit built from base
+// units ("byte", "s", "process", ...), optional SI scaling prefixes
+// ("Mega", "Kibi", ...) and fraction/product composition, e.g.
+// Mega·byte/s for a bandwidth. Units of the same dimension convert
+// into each other so that query results can be rescaled consistently,
+// and every unit pretty-prints in the compact form used for plot axis
+// labels ("MB/s").
+package units
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Prefix is a decimal or binary scaling prefix.
+type Prefix string
+
+// The supported scaling prefixes.
+const (
+	None  Prefix = ""
+	Nano  Prefix = "Nano"
+	Micro Prefix = "Micro"
+	Milli Prefix = "Milli"
+	Kilo  Prefix = "Kilo"
+	Mega  Prefix = "Mega"
+	Giga  Prefix = "Giga"
+	Tera  Prefix = "Tera"
+	Peta  Prefix = "Peta"
+	Exa   Prefix = "Exa"
+	Kibi  Prefix = "Kibi"
+	Mebi  Prefix = "Mebi"
+	Gibi  Prefix = "Gibi"
+	Tebi  Prefix = "Tebi"
+)
+
+// prefixInfo carries the multiplication factor and print symbol of a prefix.
+type prefixInfo struct {
+	factor float64
+	symbol string
+}
+
+var prefixes = map[Prefix]prefixInfo{
+	None:  {1, ""},
+	Nano:  {1e-9, "n"},
+	Micro: {1e-6, "u"},
+	Milli: {1e-3, "m"},
+	Kilo:  {1e3, "K"},
+	Mega:  {1e6, "M"},
+	Giga:  {1e9, "G"},
+	Tera:  {1e12, "T"},
+	Peta:  {1e15, "P"},
+	Exa:   {1e18, "E"},
+	Kibi:  {1024, "Ki"},
+	Mebi:  {1024 * 1024, "Mi"},
+	Gibi:  {1024 * 1024 * 1024, "Gi"},
+	Tebi:  {1024 * 1024 * 1024 * 1024, "Ti"},
+}
+
+// Factor returns the multiplication factor of the prefix (1 for the
+// empty prefix). Unknown prefixes report an error.
+func (p Prefix) Factor() (float64, error) {
+	info, ok := prefixes[p]
+	if !ok {
+		return 0, fmt.Errorf("units: unknown scaling prefix %q", string(p))
+	}
+	return info.factor, nil
+}
+
+// Symbol returns the short print symbol of the prefix ("M" for Mega).
+func (p Prefix) Symbol() string { return prefixes[p].symbol }
+
+// ParsePrefix resolves a prefix name case-insensitively.
+func ParsePrefix(s string) (Prefix, error) {
+	if s == "" {
+		return None, nil
+	}
+	for p := range prefixes {
+		if strings.EqualFold(string(p), s) {
+			return p, nil
+		}
+	}
+	return None, fmt.Errorf("units: unknown scaling prefix %q", s)
+}
+
+// baseSymbols maps base unit names to compact print symbols.
+var baseSymbols = map[string]string{
+	"byte":    "B",
+	"bit":     "b",
+	"s":       "s",
+	"second":  "s",
+	"min":     "min",
+	"hour":    "h",
+	"meter":   "m",
+	"flop":    "Flop",
+	"op":      "op",
+	"process": "PE",
+	"node":    "node",
+	"event":   "ev",
+	"error":   "err",
+	"percent": "%",
+	"dollar":  "$",
+}
+
+// Term is one base unit with a scaling prefix and an integer exponent.
+type Term struct {
+	Base  string
+	Scale Prefix
+	Exp   int // ≥1; position in Dividend/Divisor determines sign
+}
+
+// Unit is a product of terms divided by a product of terms. The zero
+// Unit is dimensionless ("1").
+type Unit struct {
+	Dividend []Term
+	Divisor  []Term
+}
+
+// Dimensionless is the unit of pure numbers.
+var Dimensionless = Unit{}
+
+// Base returns an unscaled unit of a single base unit.
+func Base(name string) Unit {
+	return Unit{Dividend: []Term{{Base: name, Exp: 1}}}
+}
+
+// Scaled returns a unit of a single scaled base unit, e.g.
+// Scaled("byte", Mega) for megabytes.
+func Scaled(name string, p Prefix) Unit {
+	return Unit{Dividend: []Term{{Base: name, Scale: p, Exp: 1}}}
+}
+
+// Per returns the fraction a/b.
+func Per(a, b Unit) Unit {
+	return Unit{
+		Dividend: append(append([]Term{}, a.Dividend...), b.Divisor...),
+		Divisor:  append(append([]Term{}, a.Divisor...), b.Dividend...),
+	}
+}
+
+// Mul returns the product a·b.
+func Mul(a, b Unit) Unit {
+	return Unit{
+		Dividend: append(append([]Term{}, a.Dividend...), b.Dividend...),
+		Divisor:  append(append([]Term{}, a.Divisor...), b.Divisor...),
+	}
+}
+
+// IsDimensionless reports whether the unit reduces to a pure number.
+func (u Unit) IsDimensionless() bool {
+	dim := u.dimension()
+	for _, e := range dim {
+		if e != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// dimension folds the unit into a map base→net exponent, ignoring scale.
+func (u Unit) dimension() map[string]int {
+	dim := make(map[string]int)
+	for _, t := range u.Dividend {
+		dim[canonicalBase(t.Base)] += t.exp()
+	}
+	for _, t := range u.Divisor {
+		dim[canonicalBase(t.Base)] -= t.exp()
+	}
+	return dim
+}
+
+func (t Term) exp() int {
+	if t.Exp == 0 {
+		return 1
+	}
+	return t.Exp
+}
+
+// canonicalBase folds alias spellings of base units.
+func canonicalBase(b string) string {
+	switch strings.ToLower(b) {
+	case "second", "sec":
+		return "s"
+	case "bytes":
+		return "byte"
+	}
+	return strings.ToLower(b)
+}
+
+// Compatible reports whether two units have the same dimension and may
+// be converted into each other.
+func Compatible(a, b Unit) bool {
+	da, db := a.dimension(), b.dimension()
+	for k, v := range da {
+		if db[k] != v {
+			return false
+		}
+	}
+	for k, v := range db {
+		if da[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// scaleFactor is the total multiplication factor of the unit relative
+// to its unscaled dimension (e.g. 1e6 for MB, 1e6 for MB/s).
+func (u Unit) scaleFactor() (float64, error) {
+	f := 1.0
+	for _, t := range u.Dividend {
+		pf, err := t.Scale.Factor()
+		if err != nil {
+			return 0, err
+		}
+		for i := 0; i < t.exp(); i++ {
+			f *= pf
+		}
+	}
+	for _, t := range u.Divisor {
+		pf, err := t.Scale.Factor()
+		if err != nil {
+			return 0, err
+		}
+		for i := 0; i < t.exp(); i++ {
+			f /= pf
+		}
+	}
+	return f, nil
+}
+
+// ConversionFactor returns the factor c such that a quantity x in unit
+// `from` equals x·c in unit `to`. The units must be compatible.
+func ConversionFactor(from, to Unit) (float64, error) {
+	if !Compatible(from, to) {
+		return 0, fmt.Errorf("units: cannot convert %s to %s: incompatible dimensions", from, to)
+	}
+	ff, err := from.scaleFactor()
+	if err != nil {
+		return 0, err
+	}
+	tf, err := to.scaleFactor()
+	if err != nil {
+		return 0, err
+	}
+	return ff / tf, nil
+}
+
+// Convert converts the quantity x from unit `from` to unit `to`.
+func Convert(x float64, from, to Unit) (float64, error) {
+	c, err := ConversionFactor(from, to)
+	if err != nil {
+		return 0, err
+	}
+	return x * c, nil
+}
+
+// String renders the unit in compact symbol form, e.g. "MB/s",
+// "KiB", "PE", or "1" for a dimensionless unit.
+func (u Unit) String() string {
+	num := termsString(u.Dividend)
+	den := termsString(u.Divisor)
+	switch {
+	case num == "" && den == "":
+		return "1"
+	case den == "":
+		return num
+	case num == "":
+		return "1/" + den
+	}
+	return num + "/" + den
+}
+
+func termsString(ts []Term) string {
+	parts := make([]string, 0, len(ts))
+	for _, t := range ts {
+		sym, ok := baseSymbols[canonicalBase(t.Base)]
+		if !ok {
+			sym = t.Base
+		}
+		s := t.Scale.Symbol() + sym
+		if t.exp() > 1 {
+			s += fmt.Sprintf("^%d", t.exp())
+		}
+		parts = append(parts, s)
+	}
+	return strings.Join(parts, "*")
+}
+
+// ParseCompact parses a compact unit string of the form produced by
+// String, e.g. "MB/s", "KiB", "byte", "1". Only single-term dividends
+// and divisors are supported; this covers all units appearing in
+// perfbase control files, which otherwise define units structurally.
+func ParseCompact(s string) (Unit, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "1" {
+		return Dimensionless, nil
+	}
+	numStr, denStr, hasDen := strings.Cut(s, "/")
+	num, err := parseTerm(numStr)
+	if err != nil {
+		return Unit{}, err
+	}
+	u := Unit{Dividend: []Term{num}}
+	if hasDen {
+		den, err := parseTerm(denStr)
+		if err != nil {
+			return Unit{}, err
+		}
+		u.Divisor = []Term{den}
+	}
+	return u, nil
+}
+
+// parseTerm parses a single prefixed base-unit symbol such as "MB" or
+// "s". Longest prefix symbol match wins, but a bare base symbol is
+// preferred over a prefix with empty base.
+func parseTerm(s string) (Term, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Term{}, fmt.Errorf("units: empty unit term")
+	}
+	// Direct base symbol?
+	if base := baseForSymbol(s); base != "" {
+		return Term{Base: base, Exp: 1}, nil
+	}
+	// Try prefix symbols, longest first.
+	type cand struct {
+		p   Prefix
+		sym string
+	}
+	var cands []cand
+	for p, info := range prefixes {
+		if info.symbol != "" && strings.HasPrefix(s, info.symbol) {
+			cands = append(cands, cand{p, info.symbol})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return len(cands[i].sym) > len(cands[j].sym) })
+	for _, c := range cands {
+		rest := s[len(c.sym):]
+		if base := baseForSymbol(rest); base != "" {
+			return Term{Base: base, Scale: c.p, Exp: 1}, nil
+		}
+	}
+	// Unknown symbol: accept as a custom base unit.
+	return Term{Base: s, Exp: 1}, nil
+}
+
+func baseForSymbol(sym string) string {
+	for base, s := range baseSymbols {
+		if s == sym {
+			return base
+		}
+	}
+	// Base unit names are accepted verbatim, too.
+	if _, ok := baseSymbols[canonicalBase(sym)]; ok {
+		return canonicalBase(sym)
+	}
+	return ""
+}

@@ -1,0 +1,203 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrefixFactors(t *testing.T) {
+	cases := map[Prefix]float64{
+		None: 1, Kilo: 1e3, Mega: 1e6, Giga: 1e9, Tera: 1e12,
+		Milli: 1e-3, Micro: 1e-6, Nano: 1e-9,
+		Kibi: 1024, Mebi: 1 << 20, Gibi: 1 << 30,
+	}
+	for p, want := range cases {
+		got, err := p.Factor()
+		if err != nil || got != want {
+			t.Errorf("Factor(%q) = %v, %v; want %v", p, got, err, want)
+		}
+	}
+	if _, err := Prefix("Bogus").Factor(); err == nil {
+		t.Error("unknown prefix accepted")
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	p, err := ParsePrefix("mega")
+	if err != nil || p != Mega {
+		t.Errorf("ParsePrefix(mega) = %v, %v", p, err)
+	}
+	if p, err := ParsePrefix(""); err != nil || p != None {
+		t.Errorf("ParsePrefix empty = %v, %v", p, err)
+	}
+	if _, err := ParsePrefix("jumbo"); err == nil {
+		t.Error("unknown prefix name accepted")
+	}
+}
+
+func TestUnitString(t *testing.T) {
+	bandwidth := Per(Scaled("byte", Mega), Base("s"))
+	if got := bandwidth.String(); got != "MB/s" {
+		t.Errorf("bandwidth unit = %q, want MB/s", got)
+	}
+	if got := Scaled("byte", Mebi).String(); got != "MiB" {
+		t.Errorf("MiB unit = %q", got)
+	}
+	if got := Base("process").String(); got != "PE" {
+		t.Errorf("process unit = %q", got)
+	}
+	if got := Dimensionless.String(); got != "1" {
+		t.Errorf("dimensionless = %q", got)
+	}
+	hz := Per(Dimensionless, Base("s"))
+	if got := hz.String(); got != "1/s" {
+		t.Errorf("1/s = %q", got)
+	}
+	area := Unit{Dividend: []Term{{Base: "meter", Exp: 2}}}
+	if got := area.String(); got != "m^2" {
+		t.Errorf("m^2 = %q", got)
+	}
+}
+
+func TestCompatible(t *testing.T) {
+	mbs := Per(Scaled("byte", Mega), Base("s"))
+	kbs := Per(Scaled("byte", Kilo), Base("s"))
+	if !Compatible(mbs, kbs) {
+		t.Error("MB/s and KB/s should be compatible")
+	}
+	if Compatible(mbs, Base("s")) {
+		t.Error("MB/s and s should not be compatible")
+	}
+	if !Compatible(Base("second"), Base("s")) {
+		t.Error("alias base units should be compatible")
+	}
+	if !Compatible(Dimensionless, Dimensionless) {
+		t.Error("dimensionless is self-compatible")
+	}
+	// byte/byte is dimensionless.
+	ratio := Per(Base("byte"), Base("byte"))
+	if !ratio.IsDimensionless() {
+		t.Error("byte/byte should be dimensionless")
+	}
+	if !Compatible(ratio, Dimensionless) {
+		t.Error("byte/byte should be compatible with 1")
+	}
+}
+
+func TestConvert(t *testing.T) {
+	mb := Scaled("byte", Mega)
+	kb := Scaled("byte", Kilo)
+	b := Base("byte")
+	got, err := Convert(2, mb, kb)
+	if err != nil || got != 2000 {
+		t.Errorf("2 MB = %v KB, %v", got, err)
+	}
+	got, err = Convert(1, Scaled("byte", Mebi), b)
+	if err != nil || got != 1048576 {
+		t.Errorf("1 MiB = %v B, %v", got, err)
+	}
+	mbs := Per(mb, Base("s"))
+	kbs := Per(kb, Base("s"))
+	got, err = Convert(1.5, mbs, kbs)
+	if err != nil || got != 1500 {
+		t.Errorf("1.5 MB/s = %v KB/s, %v", got, err)
+	}
+	if _, err := Convert(1, mb, Base("s")); err == nil {
+		t.Error("incompatible conversion accepted")
+	}
+	// Divisor scaling: byte/Ks vs byte/s.
+	perKs := Per(b, Scaled("s", Kilo))
+	got, err = Convert(1000, perKs, Per(b, Base("s")))
+	if err != nil || got != 1 {
+		t.Errorf("1000 B/Ks = %v B/s, %v", got, err)
+	}
+}
+
+func TestMul(t *testing.T) {
+	energy := Mul(Base("flop"), Base("s"))
+	if got := energy.String(); got != "Flop*s" {
+		t.Errorf("Flop*s = %q", got)
+	}
+	if !Compatible(Mul(Per(Base("byte"), Base("s")), Base("s")), Base("byte")) {
+		t.Error("(B/s)*s should be compatible with B")
+	}
+}
+
+func TestParseCompact(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"MB/s", "MB/s"},
+		{"KiB", "KiB"},
+		{"B", "B"},
+		{"byte", "B"},
+		{"s", "s"},
+		{"1", "1"},
+		{"", "1"},
+		{"PE", "PE"},
+		{"widget", "widget"}, // custom base unit
+	}
+	for _, c := range cases {
+		u, err := ParseCompact(c.in)
+		if err != nil {
+			t.Fatalf("ParseCompact(%q): %v", c.in, err)
+		}
+		if got := u.String(); got != c.want {
+			t.Errorf("ParseCompact(%q).String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+	u, err := ParseCompact("MB/s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Compatible(u, Per(Base("byte"), Base("s"))) {
+		t.Error("parsed MB/s has wrong dimension")
+	}
+}
+
+// Property: conversion round-trips within floating point accuracy.
+func TestQuickConvertRoundTrip(t *testing.T) {
+	pairs := [][2]Unit{
+		{Scaled("byte", Mega), Scaled("byte", Kibi)},
+		{Per(Scaled("byte", Giga), Base("s")), Per(Base("byte"), Base("s"))},
+		{Base("s"), Scaled("s", Milli)},
+	}
+	f := func(x float64, which uint8) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e290 {
+			return true // avoid float overflow outside any physical range
+		}
+		p := pairs[int(which)%len(pairs)]
+		y, err := Convert(x, p[0], p[1])
+		if err != nil {
+			return false
+		}
+		back, err := Convert(y, p[1], p[0])
+		if err != nil {
+			return false
+		}
+		if x == 0 {
+			return back == 0
+		}
+		return math.Abs(back-x) <= 1e-9*math.Abs(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compatible is symmetric.
+func TestQuickCompatibleSymmetric(t *testing.T) {
+	us := []Unit{
+		Base("byte"), Base("s"), Per(Base("byte"), Base("s")),
+		Scaled("byte", Mega), Dimensionless, Base("process"),
+	}
+	f := func(i, j uint8) bool {
+		a, b := us[int(i)%len(us)], us[int(j)%len(us)]
+		return Compatible(a, b) == Compatible(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

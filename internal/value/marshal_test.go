@@ -1,0 +1,114 @@
+package value
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func roundTrip(t *testing.T, v Value) Value {
+	t.Helper()
+	data, err := v.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary(%v): %v", v, err)
+	}
+	var out Value
+	if err := out.UnmarshalBinary(data); err != nil {
+		t.Fatalf("UnmarshalBinary(%v): %v", v, err)
+	}
+	return out
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	ts := time.Date(2005, 9, 27, 10, 0, 0, 123456789, time.UTC)
+	cases := []Value{
+		NewInt(-42), NewInt(0), NewFloat(3.14159), NewFloat(-0.0),
+		NewString(""), NewString("héllo 'world'"),
+		NewVersion("2.6.10"), NewBool(true), NewBool(false),
+		NewTimestamp(ts),
+		Null(Integer), Null(String), Null(Timestamp),
+	}
+	for _, v := range cases {
+		got := roundTrip(t, v)
+		if got.Type() != v.Type() || got.IsNull() != v.IsNull() {
+			t.Errorf("round trip changed type/null: %v -> %v", v, got)
+			continue
+		}
+		if !v.IsNull() && !Equal(got, v) {
+			t.Errorf("round trip changed value: %v -> %v", v, got)
+		}
+	}
+}
+
+func TestBinaryErrors(t *testing.T) {
+	var v Value
+	if err := v.UnmarshalBinary(nil); err == nil {
+		t.Error("empty payload accepted")
+	}
+	if err := v.UnmarshalBinary([]byte{200, 0, 0}); err == nil {
+		t.Error("invalid type byte accepted")
+	}
+	if err := v.UnmarshalBinary([]byte{byte(Integer), 0, 1, 2}); err == nil {
+		t.Error("short integer payload accepted")
+	}
+	if err := v.UnmarshalBinary([]byte{byte(Boolean), 0}); err == nil {
+		t.Error("empty boolean payload accepted")
+	}
+}
+
+func TestGobRoundTrip(t *testing.T) {
+	in := []Value{NewInt(7), NewString("x"), Null(Float), NewBool(true)}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+		t.Fatal(err)
+	}
+	var out []Value
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("gob round trip length %d != %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Type() != in[i].Type() || out[i].IsNull() != in[i].IsNull() {
+			t.Errorf("element %d changed: %v -> %v", i, in[i], out[i])
+		}
+		if !in[i].IsNull() && !Equal(out[i], in[i]) {
+			t.Errorf("element %d value changed: %v -> %v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestQuickBinaryRoundTripInt(t *testing.T) {
+	f := func(i int64) bool {
+		v := roundTripNoT(NewInt(i))
+		return v.Int() == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBinaryRoundTripString(t *testing.T) {
+	f := func(s string) bool {
+		v := roundTripNoT(NewString(s))
+		return v.Str() == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func roundTripNoT(v Value) Value {
+	data, err := v.MarshalBinary()
+	if err != nil {
+		return Value{}
+	}
+	var out Value
+	if err := out.UnmarshalBinary(data); err != nil {
+		return Value{}
+	}
+	return out
+}

@@ -1,0 +1,249 @@
+// Package value implements the typed data model of perfbase.
+//
+// Every parameter and result value of an experiment has one of the
+// perfbase data types (integer, float, string, timestamp, boolean or
+// version). A Value carries one datum of such a type, or NULL. Values
+// are the common currency between the input parser, the SQL engine and
+// the query processor.
+package value
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Type enumerates the perfbase data types.
+type Type int
+
+const (
+	// Integer is a signed 64-bit integer.
+	Integer Type = iota
+	// Float is a 64-bit IEEE-754 floating point number.
+	Float
+	// String is an arbitrary text string.
+	String
+	// Timestamp is a point in time with second resolution or better.
+	Timestamp
+	// Boolean is a truth value.
+	Boolean
+	// Version is a dotted revision string such as "2.6.10" which
+	// compares component-wise numerically rather than lexicographically.
+	Version
+)
+
+// typeNames maps type constants to their canonical names as used in
+// experiment definitions.
+var typeNames = map[Type]string{
+	Integer:   "integer",
+	Float:     "float",
+	String:    "string",
+	Timestamp: "timestamp",
+	Boolean:   "boolean",
+	Version:   "version",
+}
+
+// String returns the canonical lower-case name of the type.
+func (t Type) String() string {
+	if n, ok := typeNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("type(%d)", int(t))
+}
+
+// TypeFromString resolves a type name from an experiment definition.
+// Recognised spellings include the canonical names plus common aliases
+// ("int", "double", "text", "date", "bool").
+func TypeFromString(s string) (Type, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "integer", "int", "int4", "int8":
+		return Integer, nil
+	case "float", "double", "real", "float4", "float8":
+		return Float, nil
+	case "string", "text", "varchar":
+		return String, nil
+	case "timestamp", "date", "datetime":
+		return Timestamp, nil
+	case "boolean", "bool":
+		return Boolean, nil
+	case "version", "revision":
+		return Version, nil
+	}
+	return 0, fmt.Errorf("value: unknown data type %q", s)
+}
+
+// Numeric reports whether the type has a numeric interpretation.
+func (t Type) Numeric() bool { return t == Integer || t == Float }
+
+// Value is one datum of a perfbase data type, or NULL. The zero Value
+// is a NULL integer.
+type Value struct {
+	typ  Type
+	null bool
+
+	i int64     // Integer
+	f float64   // Float
+	s string    // String, Version
+	t time.Time // Timestamp
+	b bool      // Boolean
+}
+
+// Null returns the NULL value of the given type.
+func Null(t Type) Value { return Value{typ: t, null: true} }
+
+// NewInt returns an Integer value.
+func NewInt(i int64) Value { return Value{typ: Integer, i: i} }
+
+// NewFloat returns a Float value.
+func NewFloat(f float64) Value { return Value{typ: Float, f: f} }
+
+// NewString returns a String value.
+func NewString(s string) Value { return Value{typ: String, s: s} }
+
+// NewTimestamp returns a Timestamp value.
+func NewTimestamp(t time.Time) Value { return Value{typ: Timestamp, t: t} }
+
+// NewBool returns a Boolean value.
+func NewBool(b bool) Value { return Value{typ: Boolean, b: b} }
+
+// NewVersion returns a Version value. The string is not validated;
+// non-numeric components compare lexicographically.
+func NewVersion(s string) Value { return Value{typ: Version, s: s} }
+
+// Type returns the data type of the value.
+func (v Value) Type() Type { return v.typ }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.null }
+
+// Int returns the integer datum. It is only meaningful for Integer values.
+func (v Value) Int() int64 { return v.i }
+
+// Float returns the float datum. For Integer values the converted
+// integer is returned so numeric code can treat both uniformly.
+func (v Value) Float() float64 {
+	if v.typ == Integer {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// Str returns the string datum of a String or Version value.
+func (v Value) Str() string { return v.s }
+
+// Time returns the timestamp datum.
+func (v Value) Time() time.Time { return v.t }
+
+// Bool returns the boolean datum.
+func (v Value) Bool() bool { return v.b }
+
+// String formats the value for display. NULL renders as "NULL";
+// timestamps render in RFC 3339 form.
+func (v Value) String() string {
+	if v.null {
+		return "NULL"
+	}
+	switch v.typ {
+	case Integer:
+		return strconv.FormatInt(v.i, 10)
+	case Float:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case String, Version:
+		return v.s
+	case Timestamp:
+		return v.t.Format(time.RFC3339)
+	case Boolean:
+		return strconv.FormatBool(v.b)
+	}
+	return "?"
+}
+
+// SQL formats the value as an SQL literal suitable for embedding in a
+// statement for the embedded database engine.
+func (v Value) SQL() string {
+	if v.null {
+		return "NULL"
+	}
+	switch v.typ {
+	case Integer:
+		return strconv.FormatInt(v.i, 10)
+	case Float:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case String, Version:
+		return QuoteSQL(v.s)
+	case Timestamp:
+		return QuoteSQL(v.t.Format(time.RFC3339Nano))
+	case Boolean:
+		if v.b {
+			return "TRUE"
+		}
+		return "FALSE"
+	}
+	return "NULL"
+}
+
+// QuoteSQL quotes s as a single-quoted SQL string literal, doubling
+// embedded quotes.
+func QuoteSQL(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}
+
+// Convert coerces the value to type t. Numeric conversions truncate
+// toward zero; any value converts to String via its display form;
+// strings convert via Parse. NULL converts to NULL of the target type.
+func (v Value) Convert(t Type) (Value, error) {
+	if v.null {
+		return Null(t), nil
+	}
+	if v.typ == t {
+		return v, nil
+	}
+	switch t {
+	case Integer:
+		switch v.typ {
+		case Float:
+			return NewInt(int64(v.f)), nil
+		case Boolean:
+			if v.b {
+				return NewInt(1), nil
+			}
+			return NewInt(0), nil
+		case String:
+			return Parse(Integer, v.s)
+		case Timestamp:
+			return NewInt(v.t.Unix()), nil
+		}
+	case Float:
+		switch v.typ {
+		case Integer:
+			return NewFloat(float64(v.i)), nil
+		case String:
+			return Parse(Float, v.s)
+		case Timestamp:
+			return NewFloat(float64(v.t.UnixNano()) / 1e9), nil
+		}
+	case String:
+		return NewString(v.String()), nil
+	case Version:
+		if v.typ == String {
+			return NewVersion(v.s), nil
+		}
+		return NewVersion(v.String()), nil
+	case Timestamp:
+		if v.typ == String {
+			return Parse(Timestamp, v.s)
+		}
+		if v.typ == Integer {
+			return NewTimestamp(time.Unix(v.i, 0).UTC()), nil
+		}
+	case Boolean:
+		switch v.typ {
+		case Integer:
+			return NewBool(v.i != 0), nil
+		case String:
+			return Parse(Boolean, v.s)
+		}
+	}
+	return Value{}, fmt.Errorf("value: cannot convert %s to %s", v.typ, t)
+}
