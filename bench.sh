@@ -1,0 +1,37 @@
+#!/bin/sh
+# bench.sh — run the headline benchmarks and record the numbers as
+# JSON in BENCH_PR1.json (one object per benchmark line, in go test
+# -bench output order). Re-run after executor changes and compare the
+# committed numbers in CHANGES.md.
+set -eu
+cd "$(dirname "$0")"
+
+OUT=BENCH_PR1.json
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+go test -run '^$' -bench \
+  'BenchmarkExprDerived$|BenchmarkFig3_ParallelSpeedupTCP$' \
+  -benchmem -count=1 . | tee -a "$TMP"
+go test -run '^$' -bench \
+  'BenchmarkAblation_FilterScan$|BenchmarkAblation_FilterIndexed$' \
+  -benchmem -count=1 ./internal/sqldb | tee -a "$TMP"
+
+awk '
+BEGIN { print "[" ; first = 1 }
+/^Benchmark/ {
+    name = $1; iters = $2; ns = $3
+    bytes = "null"; allocs = "null"
+    for (i = 4; i <= NF; i++) {
+        if ($i == "B/op") bytes = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (!first) print ","
+    first = 0
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        name, iters, ns, bytes, allocs
+}
+END { print "\n]" }
+' "$TMP" > "$OUT"
+
+echo "wrote $OUT"

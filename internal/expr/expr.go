@@ -49,11 +49,14 @@ func (m MapResolver) Resolve(name string) (value.Value, bool) {
 // Expr is a compiled expression.
 type Expr struct {
 	root node
+	prog program
 	src  string
 }
 
-// Compile parses the expression source. The returned Expr is immutable
-// and safe for concurrent evaluation.
+// Compile parses the expression source and lowers the tree to a flat
+// postfix instruction sequence: operator dispatch and function lookup
+// happen once here, so Eval only runs a tight stack-machine loop. The
+// returned Expr is immutable and safe for concurrent evaluation.
 func Compile(src string) (*Expr, error) {
 	toks, err := lex(src)
 	if err != nil {
@@ -67,7 +70,9 @@ func Compile(src string) (*Expr, error) {
 	if p.pos != len(p.toks) {
 		return nil, fmt.Errorf("expr: trailing input %q in %q", p.toks[p.pos].text, src)
 	}
-	return &Expr{root: root, src: src}, nil
+	e := &Expr{root: root, src: src}
+	e.prog.compile(root)
+	return e, nil
 }
 
 // String returns the original source of the expression.
@@ -76,7 +81,7 @@ func (e *Expr) String() string { return e.src }
 // Eval evaluates the expression with variables supplied by r (which may
 // be nil for closed expressions).
 func (e *Expr) Eval(r Resolver) (value.Value, error) {
-	return e.root.eval(r)
+	return e.prog.run(r)
 }
 
 // Variables returns the set of free variable names referenced by the
@@ -109,52 +114,18 @@ func (e *Expr) Variables() []string {
 
 // ---------------------------------------------------------------- nodes
 
-type node interface {
-	eval(r Resolver) (value.Value, error)
-}
+// node is a parsed expression tree node. The tree is kept only for
+// structural walks (Variables); evaluation runs through the closures
+// produced by compileNode.
+type node interface{ exprNode() }
 
 type litNode struct{ v value.Value }
 
-func (n *litNode) eval(Resolver) (value.Value, error) { return n.v, nil }
-
 type varNode struct{ name string }
-
-func (n *varNode) eval(r Resolver) (value.Value, error) {
-	if r == nil {
-		return value.Value{}, fmt.Errorf("expr: unbound variable %q", n.name)
-	}
-	v, ok := r.Resolve(n.name)
-	if !ok {
-		return value.Value{}, fmt.Errorf("expr: unbound variable %q", n.name)
-	}
-	return v, nil
-}
 
 type unaryNode struct {
 	op      string
 	operand node
-}
-
-func (n *unaryNode) eval(r Resolver) (value.Value, error) {
-	v, err := n.operand.eval(r)
-	if err != nil {
-		return value.Value{}, err
-	}
-	switch n.op {
-	case "-":
-		return value.Neg(v)
-	case "+":
-		return v, nil
-	case "not":
-		if v.Type() != value.Boolean {
-			return value.Value{}, fmt.Errorf("expr: 'not' applied to %s", v.Type())
-		}
-		if v.IsNull() {
-			return v, nil
-		}
-		return value.NewBool(!v.Bool()), nil
-	}
-	return value.Value{}, fmt.Errorf("expr: unknown unary operator %q", n.op)
 }
 
 type binNode struct {
@@ -162,88 +133,370 @@ type binNode struct {
 	l, r node
 }
 
-func (n *binNode) eval(r Resolver) (value.Value, error) {
-	lv, err := n.l.eval(r)
-	if err != nil {
-		return value.Value{}, err
-	}
-	// Short-circuit boolean operators.
-	switch n.op {
-	case "and":
-		if !lv.IsNull() && lv.Type() == value.Boolean && !lv.Bool() {
-			return value.NewBool(false), nil
-		}
-	case "or":
-		if !lv.IsNull() && lv.Type() == value.Boolean && lv.Bool() {
-			return value.NewBool(true), nil
-		}
-	}
-	rv, err := n.r.eval(r)
-	if err != nil {
-		return value.Value{}, err
-	}
-	switch n.op {
-	case "+":
-		return value.Add(lv, rv)
-	case "-":
-		return value.Sub(lv, rv)
-	case "*":
-		return value.Mul(lv, rv)
-	case "/":
-		return value.Div(lv, rv)
-	case "%":
-		return value.Mod(lv, rv)
-	case "^":
-		return value.Pow(lv, rv)
-	case "==":
-		return value.NewBool(value.Equal(lv, rv)), nil
-	case "!=":
-		return value.NewBool(!value.Equal(lv, rv)), nil
-	case "<":
-		return value.NewBool(value.Compare(lv, rv) < 0), nil
-	case "<=":
-		return value.NewBool(value.Compare(lv, rv) <= 0), nil
-	case ">":
-		return value.NewBool(value.Compare(lv, rv) > 0), nil
-	case ">=":
-		return value.NewBool(value.Compare(lv, rv) >= 0), nil
-	case "and", "or":
-		if lv.Type() != value.Boolean || rv.Type() != value.Boolean {
-			return value.Value{}, fmt.Errorf("expr: %q applied to %s and %s", n.op, lv.Type(), rv.Type())
-		}
-		if lv.IsNull() || rv.IsNull() {
-			return value.Null(value.Boolean), nil
-		}
-		if n.op == "and" {
-			return value.NewBool(lv.Bool() && rv.Bool()), nil
-		}
-		return value.NewBool(lv.Bool() || rv.Bool()), nil
-	}
-	return value.Value{}, fmt.Errorf("expr: unknown operator %q", n.op)
-}
-
 type callNode struct {
 	name string
 	args []node
 }
 
-func (n *callNode) eval(r Resolver) (value.Value, error) {
-	fn, ok := functions[n.name]
-	if !ok {
-		return value.Value{}, fmt.Errorf("expr: unknown function %q", n.name)
-	}
-	if fn.arity >= 0 && len(n.args) != fn.arity {
-		return value.Value{}, fmt.Errorf("expr: %s expects %d argument(s), got %d", n.name, fn.arity, len(n.args))
-	}
-	args := make([]value.Value, len(n.args))
-	for i, a := range n.args {
-		v, err := a.eval(r)
-		if err != nil {
-			return value.Value{}, err
+func (*litNode) exprNode()   {}
+func (*varNode) exprNode()   {}
+func (*unaryNode) exprNode() {}
+func (*binNode) exprNode()   {}
+func (*callNode) exprNode()  {}
+
+// ------------------------------------------------------------- compiler
+
+// The compiler lowers the parse tree to a postfix instruction list run
+// by a stack machine. This shape was chosen over a closure chain
+// deliberately: value.Value is a large struct, and both tree walking
+// and nested closures copy one up the call chain per operator per
+// evaluation. The stack machine keeps operands in a flat array
+// (stack-allocated for typical expression depths) and computes binary
+// operators in place through pointers, so a full evaluation performs
+// only one bulk copy per pushed operand.
+
+type vmOp uint8
+
+const (
+	vmLit vmOp = iota
+	vmVar
+	vmAdd
+	vmSub
+	vmMul
+	vmDiv
+	vmMod
+	vmPow
+	vmNeg
+	vmNot
+	vmCmp      // comparison; kind selects the predicate
+	vmAndShort // short-circuit probe: jump if left operand decides AND
+	vmOrShort  // short-circuit probe: jump if left operand decides OR
+	vmBool     // strict and/or combine; kind: 1 = and, 0 = or
+	vmCall
+	vmErr // compile-time error deferred to evaluation
+)
+
+// Comparison kinds for vmCmp.
+const (
+	cmpEQ = iota
+	cmpNE
+	cmpLT
+	cmpLE
+	cmpGT
+	cmpGE
+)
+
+type vmInstr struct {
+	op   vmOp
+	kind uint8
+	jump int    // vmAndShort/vmOrShort: pc of the vmBool to skip
+	argc int    // vmCall
+	name string // vmVar, vmCall (diagnostics)
+	lit  value.Value
+	fn   func([]value.Value) (value.Value, error) // vmCall
+	err  error                                    // vmErr
+}
+
+// program is a compiled instruction sequence.
+type program struct {
+	code     []vmInstr
+	maxStack int
+}
+
+// arithSlowOps maps arithmetic opcodes to the general value operations
+// used outside the numeric fast path (string concat, NULL propagation,
+// type errors, division by zero — keeping their exact error text).
+var arithSlowOps = [...]func(a, b value.Value) (value.Value, error){
+	vmAdd: value.Add, vmSub: value.Sub, vmMul: value.Mul,
+	vmDiv: value.Div, vmMod: value.Mod, vmPow: value.Pow,
+}
+
+func (p *program) compile(n node) {
+	depth := 0
+	p.emit(n, &depth)
+}
+
+// emit appends the instructions for n. depth tracks the operand stack
+// height to size the evaluation stack.
+func (p *program) emit(n node, depth *int) {
+	push := func() {
+		*depth++
+		if *depth > p.maxStack {
+			p.maxStack = *depth
 		}
-		args[i] = v
 	}
-	return fn.impl(args)
+	switch t := n.(type) {
+	case *litNode:
+		p.code = append(p.code, vmInstr{op: vmLit, lit: t.v})
+		push()
+	case *varNode:
+		p.code = append(p.code, vmInstr{op: vmVar, name: t.name})
+		push()
+	case *unaryNode:
+		if t.op == "+" {
+			p.emit(t.operand, depth)
+			return
+		}
+		p.emit(t.operand, depth)
+		switch t.op {
+		case "-":
+			p.code = append(p.code, vmInstr{op: vmNeg})
+		case "not":
+			p.code = append(p.code, vmInstr{op: vmNot})
+		default:
+			p.code = append(p.code, vmInstr{op: vmErr, err: fmt.Errorf("expr: unknown unary operator %q", t.op)})
+		}
+	case *binNode:
+		switch t.op {
+		case "and", "or":
+			p.emit(t.l, depth)
+			probe := len(p.code)
+			op := vmAndShort
+			var kind uint8
+			if t.op == "or" {
+				op = vmOrShort
+			} else {
+				kind = 1
+			}
+			p.code = append(p.code, vmInstr{op: op})
+			p.emit(t.r, depth)
+			p.code = append(p.code, vmInstr{op: vmBool, kind: kind})
+			p.code[probe].jump = len(p.code) - 1 // skip the vmBool
+			*depth--
+			return
+		}
+		p.emit(t.l, depth)
+		p.emit(t.r, depth)
+		*depth--
+		switch t.op {
+		case "+":
+			p.code = append(p.code, vmInstr{op: vmAdd})
+		case "-":
+			p.code = append(p.code, vmInstr{op: vmSub})
+		case "*":
+			p.code = append(p.code, vmInstr{op: vmMul})
+		case "/":
+			p.code = append(p.code, vmInstr{op: vmDiv})
+		case "%":
+			p.code = append(p.code, vmInstr{op: vmMod})
+		case "^":
+			p.code = append(p.code, vmInstr{op: vmPow})
+		case "==":
+			p.code = append(p.code, vmInstr{op: vmCmp, kind: cmpEQ})
+		case "!=":
+			p.code = append(p.code, vmInstr{op: vmCmp, kind: cmpNE})
+		case "<":
+			p.code = append(p.code, vmInstr{op: vmCmp, kind: cmpLT})
+		case "<=":
+			p.code = append(p.code, vmInstr{op: vmCmp, kind: cmpLE})
+		case ">":
+			p.code = append(p.code, vmInstr{op: vmCmp, kind: cmpGT})
+		case ">=":
+			p.code = append(p.code, vmInstr{op: vmCmp, kind: cmpGE})
+		default:
+			p.code = append(p.code, vmInstr{op: vmErr, err: fmt.Errorf("expr: unknown operator %q", t.op)})
+		}
+	case *callNode:
+		fn, ok := functions[t.name]
+		if !ok {
+			// Historical behaviour: unknown functions fail at Eval.
+			p.code = append(p.code, vmInstr{op: vmErr, err: fmt.Errorf("expr: unknown function %q", t.name)})
+			push()
+			return
+		}
+		if fn.arity >= 0 && len(t.args) != fn.arity {
+			p.code = append(p.code, vmInstr{op: vmErr, err: fmt.Errorf("expr: %s expects %d argument(s), got %d", t.name, fn.arity, len(t.args))})
+			push()
+			return
+		}
+		for _, a := range t.args {
+			p.emit(a, depth)
+		}
+		p.code = append(p.code, vmInstr{op: vmCall, argc: len(t.args), name: t.name, fn: fn.impl})
+		*depth -= len(t.args) - 1
+		if len(t.args) == 0 {
+			push()
+		}
+	default:
+		p.code = append(p.code, vmInstr{op: vmErr, err: fmt.Errorf("expr: unknown node %T", n)})
+		push()
+	}
+}
+
+// run executes the program. The operand stack lives in a fixed-size
+// local array for typical expressions so evaluation does not allocate.
+func (p *program) run(r Resolver) (value.Value, error) {
+	var local [16]value.Value
+	stack := local[:]
+	if p.maxStack > len(local) {
+		stack = make([]value.Value, p.maxStack)
+	}
+	sp := 0
+	code := p.code
+	for pc := 0; pc < len(code); pc++ {
+		in := &code[pc]
+		switch in.op {
+		case vmLit:
+			stack[sp] = in.lit
+			sp++
+		case vmVar:
+			if r == nil {
+				return value.Value{}, fmt.Errorf("expr: unbound variable %q", in.name)
+			}
+			v, ok := r.Resolve(in.name)
+			if !ok {
+				return value.Value{}, fmt.Errorf("expr: unbound variable %q", in.name)
+			}
+			stack[sp] = v
+			sp++
+		case vmAdd, vmSub, vmMul, vmDiv, vmMod, vmPow:
+			sp--
+			if err := vmArith(in.op, &stack[sp-1], &stack[sp]); err != nil {
+				return value.Value{}, err
+			}
+		case vmNeg:
+			v, err := value.Neg(stack[sp-1])
+			if err != nil {
+				return value.Value{}, err
+			}
+			stack[sp-1] = v
+		case vmNot:
+			v := &stack[sp-1]
+			if v.Type() != value.Boolean {
+				return value.Value{}, fmt.Errorf("expr: 'not' applied to %s", v.Type())
+			}
+			if !v.IsNull() {
+				v.SetBool(!v.Bool())
+			}
+		case vmCmp:
+			sp--
+			c := value.Compare(stack[sp-1], stack[sp])
+			var ok bool
+			switch in.kind {
+			case cmpEQ:
+				ok = c == 0
+			case cmpNE:
+				ok = c != 0
+			case cmpLT:
+				ok = c < 0
+			case cmpLE:
+				ok = c <= 0
+			case cmpGT:
+				ok = c > 0
+			case cmpGE:
+				ok = c >= 0
+			}
+			stack[sp-1].SetBool(ok)
+		case vmAndShort:
+			v := &stack[sp-1]
+			if !v.IsNull() && v.Type() == value.Boolean && !v.Bool() {
+				v.SetBool(false)
+				pc = in.jump
+			}
+		case vmOrShort:
+			v := &stack[sp-1]
+			if !v.IsNull() && v.Type() == value.Boolean && v.Bool() {
+				v.SetBool(true)
+				pc = in.jump
+			}
+		case vmBool:
+			sp--
+			a, b := &stack[sp-1], &stack[sp]
+			if a.Type() != value.Boolean || b.Type() != value.Boolean {
+				op := "or"
+				if in.kind == 1 {
+					op = "and"
+				}
+				return value.Value{}, fmt.Errorf("expr: %q applied to %s and %s", op, a.Type(), b.Type())
+			}
+			if a.IsNull() || b.IsNull() {
+				a.SetNull(value.Boolean)
+			} else if in.kind == 1 {
+				a.SetBool(a.Bool() && b.Bool())
+			} else {
+				a.SetBool(a.Bool() || b.Bool())
+			}
+		case vmCall:
+			args := make([]value.Value, in.argc)
+			copy(args, stack[sp-in.argc:sp])
+			v, err := in.fn(args)
+			if err != nil {
+				return value.Value{}, err
+			}
+			sp -= in.argc
+			stack[sp] = v
+			sp++
+		case vmErr:
+			return value.Value{}, in.err
+		}
+	}
+	return stack[sp-1], nil
+}
+
+// vmArith computes a binary arithmetic operator in place: non-NULL
+// numeric operands run inline, everything else defers to the value
+// package for identical semantics and error text.
+func vmArith(op vmOp, a, b *value.Value) error {
+	if a.Type().Numeric() && b.Type().Numeric() && !a.IsNull() && !b.IsNull() {
+		if a.Type() == value.Integer && b.Type() == value.Integer {
+			x, y := a.Int(), b.Int()
+			switch op {
+			case vmAdd:
+				a.SetInt(x + y)
+				return nil
+			case vmSub:
+				a.SetInt(x - y)
+				return nil
+			case vmMul:
+				a.SetInt(x * y)
+				return nil
+			case vmDiv, vmMod:
+				if y == 0 {
+					break // identical error from the slow path
+				}
+				if op == vmDiv {
+					a.SetInt(x / y)
+				} else {
+					a.SetInt(x % y)
+				}
+				return nil
+			case vmPow:
+				a.SetFloat(math.Pow(float64(x), float64(y)))
+				return nil
+			}
+		} else {
+			x, y := a.Float(), b.Float()
+			switch op {
+			case vmAdd:
+				a.SetFloat(x + y)
+				return nil
+			case vmSub:
+				a.SetFloat(x - y)
+				return nil
+			case vmMul:
+				a.SetFloat(x * y)
+				return nil
+			case vmDiv:
+				if y == 0 {
+					break
+				}
+				a.SetFloat(x / y)
+				return nil
+			case vmMod:
+				a.SetFloat(math.Mod(x, y))
+				return nil
+			case vmPow:
+				a.SetFloat(math.Pow(x, y))
+				return nil
+			}
+		}
+	}
+	v, err := arithSlowOps[op](*a, *b)
+	if err != nil {
+		return err
+	}
+	*a = v
+	return nil
 }
 
 // ------------------------------------------------------------ functions

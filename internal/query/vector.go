@@ -121,14 +121,18 @@ func tempName(elemID string) string {
 	return fmt.Sprintf("pbq%d_%s", n, clean)
 }
 
-// createVectorTable creates the temp table for a vector being built.
-func createVectorTable(db sqldb.Querier, table string, cols []ColumnMeta) error {
+// vectorTableDDL builds the CREATE TEMP TABLE statement for a vector.
+func vectorTableDDL(table string, cols []ColumnMeta) string {
 	defs := make([]string, len(cols))
 	for i, c := range cols {
 		defs[i] = c.Name + " " + c.Type.String()
 	}
-	_, err := db.Exec("CREATE TEMP TABLE " + table + " (" + strings.Join(defs, ", ") + ")")
-	if err != nil {
+	return "CREATE TEMP TABLE " + table + " (" + strings.Join(defs, ", ") + ")"
+}
+
+// createVectorTable creates the temp table for a vector being built.
+func createVectorTable(db sqldb.Querier, table string, cols []ColumnMeta) error {
+	if _, err := db.Exec(vectorTableDDL(table, cols)); err != nil {
 		return fmt.Errorf("query: create vector table %s: %w", table, err)
 	}
 	return nil
@@ -136,7 +140,9 @@ func createVectorTable(db sqldb.Querier, table string, cols []ColumnMeta) error 
 
 // Materialize copies a vector to another database (the socket transfer
 // of paper Fig. 3 when elements are placed on different servers). If
-// the vector already lives there it is returned unchanged.
+// the vector already lives there it is returned unchanged. A target
+// that supports pipelining receives the table creation and the row
+// transfer in one batch — one network round trip instead of two.
 func Materialize(v *Vector, target sqldb.Querier) (*Vector, error) {
 	if v.DB == target {
 		return v, nil
@@ -146,6 +152,16 @@ func Materialize(v *Vector, target sqldb.Querier) (*Vector, error) {
 		return nil, err
 	}
 	out := &Vector{DB: target, Table: tempName("xfer"), Cols: v.Cols, FromSource: v.FromSource}
+	if pl, ok := target.(sqldb.Pipeliner); ok {
+		_, err := pl.ExecPipeline([]sqldb.PipelineRequest{
+			{SQL: vectorTableDDL(out.Table, out.Cols)},
+			{Bulk: true, Table: out.Table, Cols: colNames(out.Cols), Rows: res.Rows},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("query: materialize %s: %w", out.Table, err)
+		}
+		return out, nil
+	}
 	if err := createVectorTable(target, out.Table, out.Cols); err != nil {
 		return nil, err
 	}

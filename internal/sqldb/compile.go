@@ -1,0 +1,576 @@
+package sqldb
+
+import (
+	"regexp"
+	"strings"
+
+	"perfbase/internal/value"
+)
+
+// This file implements the compiled expression executor. Instead of
+// re-resolving column names against a map and re-dispatching on
+// operator strings for every row (the interpreter in eval.go, still
+// used for one-shot INSERT ... VALUES lists), a SELECT/UPDATE/DELETE
+// compiles each expression once: column references become integer row
+// offsets, operators become type-specialized closures, and constant
+// LIKE patterns become precompiled regexps. The resulting closures are
+// immutable and safe for concurrent executions; all per-execution
+// state lives in execCtx.
+
+// execCtx is the per-execution mutable state a compiled expression
+// reads: the current row and, after grouping, the aggregate results.
+type execCtx struct {
+	row  Row
+	aggs map[*aggExpr]value.Value
+}
+
+// compiledExpr evaluates an expression against the row in ctx with all
+// name resolution already done.
+type compiledExpr func(ctx *execCtx) (value.Value, error)
+
+// errExpr defers a compile-time failure (unknown column, unknown
+// function) to evaluation time. This preserves interpreter semantics:
+// a bad reference in a filter over zero rows is never reported.
+func errExpr(err error) compiledExpr {
+	return func(*execCtx) (value.Value, error) { return value.Value{}, err }
+}
+
+// compileExpr lowers e against the schema captured in ec.
+func compileExpr(e sqlExpr, ec *evalCtx) compiledExpr {
+	switch t := e.(type) {
+	case *litExpr:
+		v := t.v
+		return func(*execCtx) (value.Value, error) { return v, nil }
+	case *colExpr:
+		i, err := ec.lookup(t.Table, t.Name)
+		if err != nil {
+			return errExpr(err)
+		}
+		return func(ctx *execCtx) (value.Value, error) { return ctx.row[i], nil }
+	case *binExpr:
+		return compileBin(t, ec)
+	case *unaryExpr:
+		sub := compileExpr(t.E, ec)
+		if t.Op == "-" {
+			return func(ctx *execCtx) (value.Value, error) {
+				v, err := sub(ctx)
+				if err != nil {
+					return value.Value{}, err
+				}
+				return value.Neg(v)
+			}
+		}
+		if t.Op == "not" {
+			return func(ctx *execCtx) (value.Value, error) {
+				v, err := sub(ctx)
+				if err != nil {
+					return value.Value{}, err
+				}
+				if v.IsNull() {
+					return v, nil
+				}
+				if v.Type() != value.Boolean {
+					return value.Value{}, errorf("NOT applied to %s", v.Type())
+				}
+				return value.NewBool(!v.Bool()), nil
+			}
+		}
+		op := t.Op
+		return errExpr(errorf("unknown unary operator %q", op))
+	case *isNullExpr:
+		sub := compileExpr(t.E, ec)
+		negate := t.Negate
+		return func(ctx *execCtx) (value.Value, error) {
+			v, err := sub(ctx)
+			if err != nil {
+				return value.Value{}, err
+			}
+			return value.NewBool(v.IsNull() != negate), nil
+		}
+	case *inExpr:
+		sub := compileExpr(t.E, ec)
+		list := make([]compiledExpr, len(t.List))
+		for i, item := range t.List {
+			list[i] = compileExpr(item, ec)
+		}
+		negate := t.Negate
+		return func(ctx *execCtx) (value.Value, error) {
+			v, err := sub(ctx)
+			if err != nil {
+				return value.Value{}, err
+			}
+			if v.IsNull() {
+				return value.Null(value.Boolean), nil
+			}
+			found := false
+			for _, item := range list {
+				iv, err := item(ctx)
+				if err != nil {
+					return value.Value{}, err
+				}
+				if !iv.IsNull() && value.Equal(v, iv) {
+					found = true
+					break
+				}
+			}
+			return value.NewBool(found != negate), nil
+		}
+	case *betweenExpr:
+		sub := compileExpr(t.E, ec)
+		lo := compileExpr(t.Lo, ec)
+		hi := compileExpr(t.Hi, ec)
+		negate := t.Negate
+		return func(ctx *execCtx) (value.Value, error) {
+			v, err := sub(ctx)
+			if err != nil {
+				return value.Value{}, err
+			}
+			lv, err := lo(ctx)
+			if err != nil {
+				return value.Value{}, err
+			}
+			hv, err := hi(ctx)
+			if err != nil {
+				return value.Value{}, err
+			}
+			if v.IsNull() || lv.IsNull() || hv.IsNull() {
+				return value.Null(value.Boolean), nil
+			}
+			in := value.Compare(v, lv) >= 0 && value.Compare(v, hv) <= 0
+			return value.NewBool(in != negate), nil
+		}
+	case *funcExpr:
+		return compileFunc(t, ec)
+	case *aggExpr:
+		return func(ctx *execCtx) (value.Value, error) {
+			if ctx.aggs == nil {
+				return value.Value{}, errorf("aggregate %s used outside grouped query", t.Name)
+			}
+			v, ok := ctx.aggs[t]
+			if !ok {
+				return value.Value{}, errorf("internal: aggregate %s not computed", t.Name)
+			}
+			return v, nil
+		}
+	case *castExpr:
+		sub := compileExpr(t.E, ec)
+		to := t.To
+		return func(ctx *execCtx) (value.Value, error) {
+			v, err := sub(ctx)
+			if err != nil {
+				return value.Value{}, err
+			}
+			return v.Convert(to)
+		}
+	}
+	return errExpr(errorf("unknown expression %T", e))
+}
+
+// compileBin lowers a binary operator, dispatching on the operator
+// string once at compile time instead of once per row.
+func compileBin(e *binExpr, ec *evalCtx) compiledExpr {
+	l := compileExpr(e.L, ec)
+	r := compileExpr(e.R, ec)
+	switch e.Op {
+	case "and":
+		return func(ctx *execCtx) (value.Value, error) {
+			lv, err := l(ctx)
+			if err != nil {
+				return value.Value{}, err
+			}
+			if boolFalse(lv) {
+				return value.NewBool(false), nil
+			}
+			rv, err := r(ctx)
+			if err != nil {
+				return value.Value{}, err
+			}
+			return value.NewBool(boolTrue(lv) && boolTrue(rv)), nil
+		}
+	case "or":
+		return func(ctx *execCtx) (value.Value, error) {
+			lv, err := l(ctx)
+			if err != nil {
+				return value.Value{}, err
+			}
+			if boolTrue(lv) {
+				return value.NewBool(true), nil
+			}
+			rv, err := r(ctx)
+			if err != nil {
+				return value.Value{}, err
+			}
+			return value.NewBool(boolTrue(lv) || boolTrue(rv)), nil
+		}
+	case "+":
+		return compileArith(l, r, value.Add)
+	case "-":
+		return compileArith(l, r, value.Sub)
+	case "*":
+		return compileArith(l, r, value.Mul)
+	case "/":
+		return compileArith(l, r, value.Div)
+	case "%":
+		return compileArith(l, r, value.Mod)
+	case "||":
+		return func(ctx *execCtx) (value.Value, error) {
+			lv, err := l(ctx)
+			if err != nil {
+				return value.Value{}, err
+			}
+			rv, err := r(ctx)
+			if err != nil {
+				return value.Value{}, err
+			}
+			ls, err := lv.Convert(value.String)
+			if err != nil {
+				return value.Value{}, err
+			}
+			rs, err := rv.Convert(value.String)
+			if err != nil {
+				return value.Value{}, err
+			}
+			return value.Add(ls, rs)
+		}
+	case "=":
+		return compileCmp(e, ec, l, r, func(c int) bool { return c == 0 })
+	case "<>":
+		return compileCmp(e, ec, l, r, func(c int) bool { return c != 0 })
+	case "<":
+		return compileCmp(e, ec, l, r, func(c int) bool { return c < 0 })
+	case "<=":
+		return compileCmp(e, ec, l, r, func(c int) bool { return c <= 0 })
+	case ">":
+		return compileCmp(e, ec, l, r, func(c int) bool { return c > 0 })
+	case ">=":
+		return compileCmp(e, ec, l, r, func(c int) bool { return c >= 0 })
+	case "like":
+		// A constant pattern (the overwhelmingly common case) compiles
+		// its regexp once here instead of consulting the pattern cache
+		// per row.
+		if lit, ok := e.R.(*litExpr); ok && !lit.v.IsNull() {
+			re, err := likePattern(lit.v.Str())
+			if err != nil {
+				return errExpr(err)
+			}
+			return func(ctx *execCtx) (value.Value, error) {
+				lv, err := l(ctx)
+				if err != nil {
+					return value.Value{}, err
+				}
+				if lv.IsNull() {
+					return value.Null(value.Boolean), nil
+				}
+				s, err := lv.Convert(value.String)
+				if err != nil {
+					return value.Value{}, err
+				}
+				return value.NewBool(re.MatchString(s.Str())), nil
+			}
+		}
+		return func(ctx *execCtx) (value.Value, error) {
+			lv, err := l(ctx)
+			if err != nil {
+				return value.Value{}, err
+			}
+			rv, err := r(ctx)
+			if err != nil {
+				return value.Value{}, err
+			}
+			return evalLike(lv, rv)
+		}
+	}
+	op := e.Op
+	return errExpr(errorf("unknown operator %q", op))
+}
+
+func compileArith(l, r compiledExpr, op func(a, b value.Value) (value.Value, error)) compiledExpr {
+	return func(ctx *execCtx) (value.Value, error) {
+		lv, err := l(ctx)
+		if err != nil {
+			return value.Value{}, err
+		}
+		rv, err := r(ctx)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return op(lv, rv)
+	}
+}
+
+func compileCmp(e *binExpr, ec *evalCtx, l, r compiledExpr, ok func(int) bool) compiledExpr {
+	// column <op> literal (either operand order): compare the row slot
+	// against the captured literal in place, with no Value copies.
+	// This is the shape of nearly every benchmark filter.
+	if ce, isCol := e.L.(*colExpr); isCol {
+		if le, isLit := e.R.(*litExpr); isLit {
+			if i, err := ec.lookup(ce.Table, ce.Name); err == nil {
+				return cmpColLit(i, le.v, ok, false)
+			}
+		}
+	}
+	if ce, isCol := e.R.(*colExpr); isCol {
+		if le, isLit := e.L.(*litExpr); isLit {
+			if i, err := ec.lookup(ce.Table, ce.Name); err == nil {
+				return cmpColLit(i, le.v, ok, true)
+			}
+		}
+	}
+	return func(ctx *execCtx) (value.Value, error) {
+		lv, err := l(ctx)
+		if err != nil {
+			return value.Value{}, err
+		}
+		rv, err := r(ctx)
+		if err != nil {
+			return value.Value{}, err
+		}
+		if lv.IsNull() || rv.IsNull() {
+			return value.Null(value.Boolean), nil
+		}
+		return value.NewBool(ok(value.ComparePtr(&lv, &rv))), nil
+	}
+}
+
+// cmpColLit compares row column i against a literal. swapped means the
+// literal was the left operand (`5 < col`), so the comparison result
+// is negated relative to Compare(col, lit).
+func cmpColLit(i int, lit value.Value, ok func(int) bool, swapped bool) compiledExpr {
+	if lit.IsNull() {
+		return func(*execCtx) (value.Value, error) { return value.Null(value.Boolean), nil }
+	}
+	return func(ctx *execCtx) (value.Value, error) {
+		c := &ctx.row[i]
+		if c.IsNull() {
+			return value.Null(value.Boolean), nil
+		}
+		cv := value.ComparePtr(c, &lit)
+		if swapped {
+			cv = -cv
+		}
+		return value.NewBool(ok(cv)), nil
+	}
+}
+
+// likePattern translates a SQL LIKE pattern to a compiled regexp,
+// sharing the interpreter's cache.
+func likePattern(p string) (*regexp.Regexp, error) {
+	if cached, ok := likeCache.Load(p); ok {
+		return cached.(*regexp.Regexp), nil
+	}
+	var sb strings.Builder
+	sb.WriteString("(?is)^")
+	for _, r := range p {
+		switch r {
+		case '%':
+			sb.WriteString(".*")
+		case '_':
+			sb.WriteString(".")
+		default:
+			sb.WriteString(regexp.QuoteMeta(string(r)))
+		}
+	}
+	sb.WriteString("$")
+	re, err := regexp.Compile(sb.String())
+	if err != nil {
+		return nil, errorf("bad LIKE pattern %q: %v", p, err)
+	}
+	likeCache.Store(p, re)
+	return re, nil
+}
+
+// compileFunc lowers a scalar function call, resolving the function
+// and checking arity once. Unknown names defer the error to runtime
+// (matching the interpreter, which only reports them when a row is
+// actually evaluated).
+func compileFunc(e *funcExpr, ec *evalCtx) compiledExpr {
+	args := make([]compiledExpr, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = compileExpr(a, ec)
+	}
+	// The application funnels through the interpreter's function
+	// switch, but with arguments produced by compiled sub-expressions;
+	// resolving the function name per call is cheap next to the work
+	// the functions themselves do.
+	return func(ctx *execCtx) (value.Value, error) {
+		buf := make([]value.Value, len(args))
+		for i, a := range args {
+			v, err := a(ctx)
+			if err != nil {
+				return value.Value{}, err
+			}
+			buf[i] = v
+		}
+		return applyFunc(e, buf)
+	}
+}
+
+// ------------------------------------------------------ select plans
+
+// compiledSelect is the compiled form of one SELECT: every expression
+// lowered against the source schema, projection layout resolved. A
+// plan depends only on the schemas of the referenced tables, so the
+// plan cache can reuse it until a DDL bumps a table version. It holds
+// no per-execution state and is safe for concurrent runs.
+type compiledSelect struct {
+	srcSchema Schema
+	where     compiledExpr // nil when no WHERE clause
+
+	grouped bool
+	aggs    []*aggExpr
+	aggArgs []compiledExpr // aligned with aggs; nil for COUNT(*)
+	groupBy []compiledExpr
+	having  compiledExpr // nil when no HAVING clause
+
+	outSchema Schema
+	starCols  map[int][]int  // select-item index -> source columns
+	items     []compiledExpr // aligned with st.Items; nil for stars
+
+	orderOut []compiledExpr // ORDER BY keys against the output schema
+	orderSrc []compiledExpr // ORDER BY keys against the source schema
+}
+
+// planSelect compiles st against the current catalog. The caller must
+// hold the database lock (read suffices).
+func (db *DB) planSelect(st *SelectStmt) (*compiledSelect, error) {
+	src, err := db.selectSourceSchema(st)
+	if err != nil {
+		return nil, err
+	}
+	p := &compiledSelect{srcSchema: src}
+	ec := newEvalCtx(src)
+	if st.Where != nil {
+		p.where = compileExpr(st.Where, ec)
+	}
+	for _, it := range st.Items {
+		if it.E != nil {
+			collectAggs(it.E, &p.aggs)
+		}
+	}
+	if st.Having != nil {
+		collectAggs(st.Having, &p.aggs)
+	}
+	p.grouped = len(st.GroupBy) > 0 || len(p.aggs) > 0
+	for _, g := range st.GroupBy {
+		p.groupBy = append(p.groupBy, compileExpr(g, ec))
+	}
+	p.aggArgs = make([]compiledExpr, len(p.aggs))
+	for i, a := range p.aggs {
+		if !a.Star {
+			p.aggArgs[i] = compileExpr(a.Arg, ec)
+		}
+	}
+	if st.Having != nil {
+		p.having = compileExpr(st.Having, ec)
+	}
+	p.outSchema, p.starCols, err = db.projectionSchema(st, src)
+	if err != nil {
+		return nil, err
+	}
+	p.items = make([]compiledExpr, len(st.Items))
+	for i, it := range st.Items {
+		if !it.Star {
+			p.items[i] = compileExpr(it.E, ec)
+		}
+	}
+	if len(st.OrderBy) > 0 {
+		oec := newEvalCtx(p.outSchema)
+		for _, ob := range st.OrderBy {
+			p.orderOut = append(p.orderOut, compileExpr(ob.E, oec))
+			p.orderSrc = append(p.orderSrc, compileExpr(ob.E, ec))
+		}
+	}
+	return p, nil
+}
+
+// selectSourceSchema derives the schema a SELECT's expressions resolve
+// against — the concatenation of all FROM and JOIN table schemas with
+// alias qualification — without touching any rows.
+func (db *DB) selectSourceSchema(st *SelectStmt) (Schema, error) {
+	if len(st.From) == 0 {
+		return nil, nil
+	}
+	var src Schema
+	for _, fi := range st.From {
+		s, err := db.scanSchema(fi)
+		if err != nil {
+			return nil, err
+		}
+		src = append(src, s...)
+	}
+	for _, jc := range st.Joins {
+		s, err := db.scanSchema(jc.Right)
+		if err != nil {
+			return nil, err
+		}
+		src = append(src, s...)
+	}
+	return src, nil
+}
+
+// projectRow materializes one output row for the group or row whose
+// state is in ctx (rep is the representative source row stars copy
+// from).
+func (p *compiledSelect) projectRow(ctx *execCtx, rep Row) (Row, error) {
+	row := make(Row, 0, len(p.outSchema))
+	for i, item := range p.items {
+		if cols, ok := p.starCols[i]; ok {
+			for _, ci := range cols {
+				row = append(row, rep[ci])
+			}
+			continue
+		}
+		v, err := item(ctx)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, v)
+	}
+	return row, nil
+}
+
+// resolvable reports whether every column reference and function in e
+// resolves against ec's schema, i.e. whether compileExpr produced a
+// fully compiled evaluator rather than one with deferred errors.
+// EXPLAIN uses this to label plan steps "compiled" vs "interpreted".
+func resolvable(e sqlExpr, ec *evalCtx) bool {
+	switch t := e.(type) {
+	case nil:
+		return true
+	case *litExpr:
+		return true
+	case *colExpr:
+		_, err := ec.lookup(t.Table, t.Name)
+		return err == nil
+	case *binExpr:
+		return resolvable(t.L, ec) && resolvable(t.R, ec)
+	case *unaryExpr:
+		return resolvable(t.E, ec)
+	case *isNullExpr:
+		return resolvable(t.E, ec)
+	case *inExpr:
+		if !resolvable(t.E, ec) {
+			return false
+		}
+		for _, item := range t.List {
+			if !resolvable(item, ec) {
+				return false
+			}
+		}
+		return true
+	case *betweenExpr:
+		return resolvable(t.E, ec) && resolvable(t.Lo, ec) && resolvable(t.Hi, ec)
+	case *funcExpr:
+		for _, a := range t.Args {
+			if !resolvable(a, ec) {
+				return false
+			}
+		}
+		return true
+	case *aggExpr:
+		return t.Star || resolvable(t.Arg, ec)
+	case *castExpr:
+		return resolvable(t.E, ec)
+	}
+	return false
+}

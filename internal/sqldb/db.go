@@ -22,6 +22,14 @@ type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*table
 
+	// tableVers counts schema-affecting changes per (lower-cased)
+	// table name; cached plans record the versions they were compiled
+	// against and recompile on mismatch. Guarded by mu.
+	tableVers map[string]int64
+	// plans caches parsed statements and compiled SELECT plans by raw
+	// SQL text. It has its own lock; see plancache.go.
+	plans planCache
+
 	// Transaction state: undo holds pre-transaction table snapshots
 	// (nil pointer = table did not exist before the transaction).
 	inTxn   bool
@@ -36,13 +44,21 @@ func NewMemory() *DB {
 	return &DB{tables: make(map[string]*table)}
 }
 
-// Exec parses and executes one SQL statement.
+// Exec parses and executes one SQL statement. Statements are cached
+// by their text: a repeated Exec of the same SQL skips the lexer and
+// parser, and repeated SELECTs also reuse the compiled plan (see
+// plancache.go for the invalidation rules).
 func (db *DB) Exec(sql string) (*Result, error) {
+	if cp := db.plans.get(sql); cp != nil {
+		return db.execCached(cp, sql)
+	}
 	st, err := Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return db.ExecParsed(st, sql)
+	cp := &cachedPlan{st: st, tables: referencedTables(st)}
+	db.plans.put(sql, cp)
+	return db.execCached(cp, sql)
 }
 
 // ExecArgs executes a statement with '?' placeholders bound to args.
@@ -130,19 +146,28 @@ func (db *DB) execMutation(st Statement) (*Result, error) {
 		if !db.inTxn {
 			return nil, errorf("no open transaction")
 		}
+		undone := make([]string, 0, len(db.undo))
 		for name, t := range db.undo {
 			if t == nil {
 				delete(db.tables, name)
 			} else {
 				db.tables[name] = t
 			}
+			undone = append(undone, name)
 		}
 		db.inTxn = false
 		db.undo = nil
 		db.txnLog = nil
+		// Restored pre-images may differ in schema from the aborted
+		// state; treat every touched table as schema-changed.
+		db.schemaChanged(undone...)
 		return &Result{}, nil
 	case *CreateTableStmt:
-		return db.execCreateTable(s)
+		res, err := db.execCreateTable(s)
+		if err == nil {
+			db.schemaChanged(lower(s.Name))
+		}
+		return res, err
 	case *DropTableStmt:
 		key := lower(s.Name)
 		if _, ok := db.tables[key]; !ok {
@@ -153,6 +178,7 @@ func (db *DB) execMutation(st Statement) (*Result, error) {
 		}
 		db.saveUndo(key)
 		delete(db.tables, key)
+		db.schemaChanged(key)
 		return &Result{}, nil
 	case *CreateIndexStmt:
 		t, ok := db.tables[lower(s.Table)]
@@ -166,9 +192,20 @@ func (db *DB) execMutation(st Statement) (*Result, error) {
 		idx := &hashIndex{}
 		idx.rebuild(t.rows, ci)
 		t.indexes[lower(s.Column)] = idx
+		// Index choice is made per execution, but bump anyway so
+		// EXPLAIN-sensitive consumers never see a stale plan.
+		db.schemaChanged(lower(s.Table))
 		return &Result{}, nil
 	case *AlterTableStmt:
-		return db.execAlter(s)
+		res, err := db.execAlter(s)
+		if err == nil {
+			if s.Rename != "" {
+				db.schemaChanged(lower(s.Table), lower(s.Rename))
+			} else {
+				db.schemaChanged(lower(s.Table))
+			}
+		}
+		return res, err
 	case *InsertStmt:
 		return db.execInsert(s)
 	case *UpdateStmt:
@@ -316,25 +353,31 @@ func (db *DB) execUpdate(s *UpdateStmt) (*Result, error) {
 	if !ok {
 		return nil, errorf("no such table %q", s.Table)
 	}
+	// Resolve SET targets and compile all expressions once.
 	type setOp struct {
 		ci int
-		e  sqlExpr
+		e  compiledExpr
 	}
+	ec := newEvalCtx(tableECSchema(t))
 	sets := make([]setOp, len(s.Set))
 	for i, a := range s.Set {
 		ci := t.schema.Index(a.Col)
 		if ci < 0 {
 			return nil, errorf("no column %q in table %q", a.Col, s.Table)
 		}
-		sets[i] = setOp{ci, a.E}
+		sets[i] = setOp{ci, compileExpr(a.E, ec)}
+	}
+	var where compiledExpr
+	if s.Where != nil {
+		where = compileExpr(s.Where, ec)
 	}
 	db.saveUndo(lower(s.Table))
-	ec := newEvalCtx(tableECSchema(t))
+	ctx := &execCtx{}
 	affected := 0
 	for ri, row := range t.rows {
-		ec.row = row
-		if s.Where != nil {
-			v, err := s.Where.eval(ec)
+		ctx.row = row
+		if where != nil {
+			v, err := where(ctx)
 			if err != nil {
 				return nil, err
 			}
@@ -345,7 +388,7 @@ func (db *DB) execUpdate(s *UpdateStmt) (*Result, error) {
 		updated := make(Row, len(row))
 		copy(updated, row)
 		for _, op := range sets {
-			v, err := op.e.eval(ec)
+			v, err := op.e(ctx)
 			if err != nil {
 				return nil, err
 			}
@@ -370,13 +413,17 @@ func (db *DB) execDelete(s *DeleteStmt) (*Result, error) {
 		return nil, errorf("no such table %q", s.Table)
 	}
 	db.saveUndo(lower(s.Table))
-	ec := newEvalCtx(tableECSchema(t))
+	var where compiledExpr
+	if s.Where != nil {
+		where = compileExpr(s.Where, newEvalCtx(tableECSchema(t)))
+	}
+	ctx := &execCtx{}
 	kept := t.rows[:0:0]
 	deleted := 0
 	for _, row := range t.rows {
-		if s.Where != nil {
-			ec.row = row
-			v, err := s.Where.eval(ec)
+		if where != nil {
+			ctx.row = row
+			v, err := where(ctx)
 			if err != nil {
 				return nil, err
 			}
@@ -511,9 +558,26 @@ func (db *DB) RowCount(name string) (int, bool) {
 func (db *DB) DropTemp() {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	var dropped []string
 	for k, t := range db.tables {
 		if t.temp {
 			delete(db.tables, k)
+			dropped = append(dropped, k)
 		}
 	}
+	db.schemaChanged(dropped...)
+}
+
+// schemaChanged bumps the version of each (lower-cased) table and
+// evicts cached plans referencing them. Caller holds the write lock.
+func (db *DB) schemaChanged(keys ...string) {
+	if len(keys) == 0 {
+		return
+	}
+	set := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		db.bumpVersion(k)
+		set[k] = true
+	}
+	db.plans.invalidate(set)
 }

@@ -208,6 +208,12 @@ func (e *funcExpr) eval(ec *evalCtx) (value.Value, error) {
 		}
 		args[i] = v
 	}
+	return applyFunc(e, args)
+}
+
+// applyFunc applies a scalar function to already-evaluated arguments.
+// Both the interpreter above and the compiled executor funnel here.
+func applyFunc(e *funcExpr, args []value.Value) (value.Value, error) {
 	switch e.Name {
 	case "abs":
 		if err := wantArgs(e, args, 1); err != nil {

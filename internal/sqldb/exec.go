@@ -15,9 +15,9 @@ type relation struct {
 	rows   []Row
 }
 
-// scan produces a relation from a stored table, qualifying columns
-// with the alias (or table name).
-func (db *DB) scan(fi fromItem) (*relation, error) {
+// scanSchema derives the schema a table contributes to a SELECT,
+// qualifying columns with the alias (or table name).
+func (db *DB) scanSchema(fi fromItem) (Schema, error) {
 	t, ok := db.tables[lower(fi.Table)]
 	if !ok {
 		return nil, errorf("no such table %q", fi.Table)
@@ -30,7 +30,16 @@ func (db *DB) scan(fi fromItem) (*relation, error) {
 	for i, c := range t.schema {
 		schema[i] = Column{Name: alias + "." + c.Name, Type: c.Type}
 	}
-	return &relation{schema: schema, rows: t.rows}, nil
+	return schema, nil
+}
+
+// scan produces a relation from a stored table.
+func (db *DB) scan(fi fromItem) (*relation, error) {
+	schema, err := db.scanSchema(fi)
+	if err != nil {
+		return nil, err
+	}
+	return &relation{schema: schema, rows: db.tables[lower(fi.Table)].rows}, nil
 }
 
 // crossJoin combines two relations with no condition.
@@ -48,67 +57,84 @@ func crossJoin(a, b *relation) *relation {
 	return out
 }
 
-// join applies an INNER or LEFT join with an ON condition. Equi-joins
-// on two column references take a hash-join fast path; anything else
-// uses a nested loop.
-func join(a, b *relation, on sqlExpr, left bool) (*relation, error) {
-	out := &relation{schema: append(a.schema.clone(), b.schema...)}
-	ec := newEvalCtx(out.schema)
-
-	// Hash-join fast path.
-	if be, ok := on.(*binExpr); ok && be.Op == "=" {
-		lc, lok := be.L.(*colExpr)
-		rc, rok := be.R.(*colExpr)
-		if lok && rok {
-			aec := newEvalCtx(a.schema)
-			bec := newEvalCtx(b.schema)
-			li, lerr := aec.lookup(lc.Table, lc.Name)
-			ri, rerr := bec.lookup(rc.Table, rc.Name)
-			if lerr != nil || rerr != nil {
-				// Maybe the sides are swapped.
-				li, lerr = aec.lookup(rc.Table, rc.Name)
-				ri, rerr = bec.lookup(lc.Table, lc.Name)
-			}
-			if lerr == nil && rerr == nil {
-				ht := make(map[string][]int, len(b.rows))
-				for pos, rb := range b.rows {
-					k := indexKey(rb[ri])
-					ht[k] = append(ht[k], pos)
-				}
-				for _, ra := range a.rows {
-					matches := ht[indexKey(ra[li])]
-					if ra[li].IsNull() {
-						matches = nil // NULL never equi-joins
-					}
-					if len(matches) == 0 && left {
-						row := make(Row, 0, len(out.schema))
-						row = append(row, ra...)
-						for _, c := range b.schema {
-							row = append(row, value.Null(c.Type))
-						}
-						out.rows = append(out.rows, row)
-						continue
-					}
-					for _, pos := range matches {
-						row := make(Row, 0, len(out.schema))
-						row = append(row, ra...)
-						row = append(row, b.rows[pos]...)
-						out.rows = append(out.rows, row)
-					}
-				}
-				return out, nil
-			}
+// hashJoinCols resolves an ON condition to one column offset on each
+// side of a join. ok is false when the condition is not an equality of
+// two plain column references, or when the two references do not land
+// one on each side — e.g. ON a.x = a.y names the left side twice — in
+// which case the caller must use the nested-loop path.
+func hashJoinCols(on sqlExpr, a, b Schema) (li, ri int, ok bool) {
+	be, isBin := on.(*binExpr)
+	if !isBin || be.Op != "=" {
+		return 0, 0, false
+	}
+	lc, lok := be.L.(*colExpr)
+	rc, rok := be.R.(*colExpr)
+	if !lok || !rok {
+		return 0, 0, false
+	}
+	aec := newEvalCtx(a)
+	bec := newEvalCtx(b)
+	if l, err := aec.lookup(lc.Table, lc.Name); err == nil {
+		if r, rerr := bec.lookup(rc.Table, rc.Name); rerr == nil {
+			return l, r, true
 		}
 	}
+	// Swapped operand order: ON right.col = left.col.
+	if l, err := aec.lookup(rc.Table, rc.Name); err == nil {
+		if r, rerr := bec.lookup(lc.Table, lc.Name); rerr == nil {
+			return l, r, true
+		}
+	}
+	return 0, 0, false
+}
 
+// join applies an INNER or LEFT join with an ON condition. Equi-joins
+// with one column reference per side take a hash-join fast path;
+// anything else — including same-side conditions like ON a.x = a.y —
+// uses a nested loop with a compiled condition.
+func join(a, b *relation, on sqlExpr, left bool) (*relation, error) {
+	out := &relation{schema: append(a.schema.clone(), b.schema...)}
+
+	if li, ri, ok := hashJoinCols(on, a.schema, b.schema); ok {
+		ht := make(map[string][]int, len(b.rows))
+		for pos, rb := range b.rows {
+			k := indexKey(rb[ri])
+			ht[k] = append(ht[k], pos)
+		}
+		for _, ra := range a.rows {
+			matches := ht[indexKey(ra[li])]
+			if ra[li].IsNull() {
+				matches = nil // NULL never equi-joins
+			}
+			if len(matches) == 0 && left {
+				row := make(Row, 0, len(out.schema))
+				row = append(row, ra...)
+				for _, c := range b.schema {
+					row = append(row, value.Null(c.Type))
+				}
+				out.rows = append(out.rows, row)
+				continue
+			}
+			for _, pos := range matches {
+				row := make(Row, 0, len(out.schema))
+				row = append(row, ra...)
+				row = append(row, b.rows[pos]...)
+				out.rows = append(out.rows, row)
+			}
+		}
+		return out, nil
+	}
+
+	cond := compileExpr(on, newEvalCtx(out.schema))
+	ctx := &execCtx{}
 	for _, ra := range a.rows {
 		matched := false
 		for _, rb := range b.rows {
 			row := make(Row, 0, len(out.schema))
 			row = append(row, ra...)
 			row = append(row, rb...)
-			ec.row = row
-			v, err := on.eval(ec)
+			ctx.row = row
+			v, err := cond(ctx)
 			if err != nil {
 				return nil, err
 			}
@@ -197,96 +223,103 @@ func (db *DB) indexedScan(fi fromItem, where sqlExpr) (*relation, bool) {
 	return nil, false
 }
 
-// execSelect runs a SELECT and returns its result. The caller holds
-// the database lock.
+// execSelect runs a SELECT and returns its result, compiling a fresh
+// plan. The caller holds the database lock. Exec's cached path calls
+// runSelect directly with a reused plan.
 func (db *DB) execSelect(st *SelectStmt) (*Result, error) {
-	// FROM clause (or a single synthetic row for table-less SELECT).
-	var rel *relation
+	p, err := db.planSelect(st)
+	if err != nil {
+		return nil, err
+	}
+	return db.runSelect(st, p)
+}
+
+// sourceRelation builds the input rows of a SELECT: the FROM clause
+// (or a single synthetic row for table-less SELECT), cross joins, and
+// explicit JOINs, with an index probe for the single-table case.
+func (db *DB) sourceRelation(st *SelectStmt) (*relation, error) {
 	if len(st.From) == 0 {
-		rel = &relation{rows: []Row{{}}}
-	} else if len(st.From) == 1 && len(st.Joins) == 0 {
+		return &relation{rows: []Row{{}}}, nil
+	}
+	if len(st.From) == 1 && len(st.Joins) == 0 {
 		if r, ok := db.indexedScan(st.From[0], st.Where); ok {
-			rel = r
-		} else {
-			var err error
-			rel, err = db.scan(st.From[0])
-			if err != nil {
-				return nil, err
-			}
+			return r, nil
 		}
-	} else {
-		var err error
-		rel, err = db.scan(st.From[0])
+		return db.scan(st.From[0])
+	}
+	rel, err := db.scan(st.From[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, fi := range st.From[1:] {
+		r2, err := db.scan(fi)
 		if err != nil {
 			return nil, err
 		}
-		for _, fi := range st.From[1:] {
-			r2, err := db.scan(fi)
-			if err != nil {
-				return nil, err
-			}
-			rel = crossJoin(rel, r2)
+		rel = crossJoin(rel, r2)
+	}
+	for _, jc := range st.Joins {
+		r2, err := db.scan(jc.Right)
+		if err != nil {
+			return nil, err
 		}
-		for _, jc := range st.Joins {
-			r2, err := db.scan(jc.Right)
-			if err != nil {
-				return nil, err
-			}
-			rel, err = join(rel, r2, jc.On, jc.Left)
-			if err != nil {
-				return nil, err
-			}
+		rel, err = join(rel, r2, jc.On, jc.Left)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// runSelect executes a SELECT with an already-compiled plan. Scan,
+// filter and project/aggregate are fused into a single pass over the
+// source rows — no intermediate filtered relation is materialized.
+// The caller holds the database lock.
+func (db *DB) runSelect(st *SelectStmt, p *compiledSelect) (*Result, error) {
+	rel, err := db.sourceRelation(st)
+	if err != nil {
+		return nil, err
+	}
+
+	ctx := &execCtx{}
+	var outRows []Row
+	// For ORDER BY fallback resolution, the source row (and aggregate
+	// results) behind each output row. DISTINCT breaks the alignment,
+	// so ordering then uses output columns only (as before).
+	needReps := len(st.OrderBy) > 0 && !st.Distinct
+	var reps []Row
+	var aggVs []map[*aggExpr]value.Value
+
+	emit := func(row Row, rep Row, aggV map[*aggExpr]value.Value) {
+		outRows = append(outRows, row)
+		if needReps {
+			reps = append(reps, rep)
+			aggVs = append(aggVs, aggV)
 		}
 	}
 
-	// WHERE.
-	if st.Where != nil {
-		ec := newEvalCtx(rel.schema)
-		kept := rel.rows[:0:0]
-		for _, row := range rel.rows {
-			ec.row = row
-			v, err := st.Where.eval(ec)
-			if err != nil {
-				return nil, err
-			}
-			if boolTrue(v) {
-				kept = append(kept, row)
-			}
-		}
-		rel = &relation{schema: rel.schema, rows: kept}
-	}
-
-	// Detect aggregation.
-	var aggs []*aggExpr
-	for _, it := range st.Items {
-		if it.E != nil {
-			collectAggs(it.E, &aggs)
-		}
-	}
-	if st.Having != nil {
-		collectAggs(st.Having, &aggs)
-	}
-	grouped := len(st.GroupBy) > 0 || len(aggs) > 0
-
-	type groupRow struct {
-		rep  Row // representative source row
-		aggV map[*aggExpr]value.Value
-	}
-	var groups []groupRow
-
-	if grouped {
-		ec := newEvalCtx(rel.schema)
+	if p.grouped {
 		type bucket struct {
 			rep    Row
 			states []*aggState
 		}
 		index := map[string]*bucket{}
 		var order []string
+		var kb strings.Builder
 		for _, row := range rel.rows {
-			ec.row = row
-			var kb strings.Builder
-			for _, g := range st.GroupBy {
-				kv, err := g.eval(ec)
+			ctx.row = row
+			if p.where != nil {
+				v, err := p.where(ctx)
+				if err != nil {
+					return nil, err
+				}
+				if !boolTrue(v) {
+					continue
+				}
+			}
+			kb.Reset()
+			for _, g := range p.groupBy {
+				kv, err := g(ctx)
 				if err != nil {
 					return nil, err
 				}
@@ -296,18 +329,17 @@ func (db *DB) execSelect(st *SelectStmt) (*Result, error) {
 			k := kb.String()
 			b, ok := index[k]
 			if !ok {
-				b = &bucket{rep: row, states: make([]*aggState, len(aggs))}
-				for i, a := range aggs {
+				b = &bucket{rep: row, states: make([]*aggState, len(p.aggs))}
+				for i, a := range p.aggs {
 					b.states[i] = newAggState(a)
 				}
 				index[k] = b
 				order = append(order, k)
 			}
-			for i, a := range aggs {
+			for i, arg := range p.aggArgs {
 				var av value.Value
-				if !a.Star {
-					var err error
-					av, err = a.Arg.eval(ec)
+				if arg != nil {
+					av, err = arg(ctx)
 					if err != nil {
 						return nil, err
 					}
@@ -320,75 +352,57 @@ func (db *DB) execSelect(st *SelectStmt) (*Result, error) {
 		// An aggregate query with no GROUP BY always yields one group,
 		// even over an empty input.
 		if len(order) == 0 && len(st.GroupBy) == 0 {
-			b := &bucket{rep: make(Row, len(rel.schema)), states: make([]*aggState, len(aggs))}
+			b := &bucket{rep: make(Row, len(rel.schema)), states: make([]*aggState, len(p.aggs))}
 			for i := range b.rep {
 				b.rep[i] = value.Null(rel.schema[i].Type)
 			}
-			for i, a := range aggs {
+			for i, a := range p.aggs {
 				b.states[i] = newAggState(a)
 			}
 			index[""] = b
 			order = append(order, "")
 		}
+		// HAVING-filter and project each group in one pass.
 		for _, k := range order {
 			b := index[k]
-			g := groupRow{rep: b.rep, aggV: make(map[*aggExpr]value.Value, len(aggs))}
-			for i, a := range aggs {
-				g.aggV[a] = b.states[i].result()
+			aggV := make(map[*aggExpr]value.Value, len(p.aggs))
+			for i, a := range p.aggs {
+				aggV[a] = b.states[i].result()
 			}
-			groups = append(groups, g)
-		}
-		// HAVING.
-		if st.Having != nil {
-			kept := groups[:0:0]
-			hec := newEvalCtx(rel.schema)
-			for _, g := range groups {
-				hec.row = g.rep
-				hec.aggs = g.aggV
-				v, err := st.Having.eval(hec)
+			ctx.row, ctx.aggs = b.rep, aggV
+			if p.having != nil {
+				v, err := p.having(ctx)
 				if err != nil {
 					return nil, err
 				}
-				if boolTrue(v) {
-					kept = append(kept, g)
+				if !boolTrue(v) {
+					continue
 				}
 			}
-			groups = kept
-		}
-	} else {
-		groups = make([]groupRow, len(rel.rows))
-		for i, row := range rel.rows {
-			groups[i] = groupRow{rep: row}
-		}
-	}
-
-	// Projection schema.
-	outSchema, starCols, err := db.projectionSchema(st, rel.schema)
-	if err != nil {
-		return nil, err
-	}
-
-	// Project each group.
-	pec := newEvalCtx(rel.schema)
-	outRows := make([]Row, 0, len(groups))
-	for _, g := range groups {
-		pec.row = g.rep
-		pec.aggs = g.aggV
-		row := make(Row, 0, len(outSchema))
-		for i, it := range st.Items {
-			if it.Star {
-				for _, ci := range starCols[i] {
-					row = append(row, g.rep[ci])
-				}
-				continue
-			}
-			v, err := it.E.eval(pec)
+			row, err := p.projectRow(ctx, b.rep)
 			if err != nil {
 				return nil, err
 			}
-			row = append(row, v)
+			emit(row, b.rep, aggV)
 		}
-		outRows = append(outRows, row)
+	} else {
+		for _, row := range rel.rows {
+			ctx.row = row
+			if p.where != nil {
+				v, err := p.where(ctx)
+				if err != nil {
+					return nil, err
+				}
+				if !boolTrue(v) {
+					continue
+				}
+			}
+			out, err := p.projectRow(ctx, row)
+			if err != nil {
+				return nil, err
+			}
+			emit(out, row, nil)
+		}
 	}
 
 	// DISTINCT.
@@ -405,31 +419,21 @@ func (db *DB) execSelect(st *SelectStmt) (*Result, error) {
 		outRows = kept
 	}
 
-	// ORDER BY: keys may reference output aliases or source columns.
+	// ORDER BY: keys may reference output aliases or source columns;
+	// the plan carries both compiled forms.
 	if len(st.OrderBy) > 0 {
-		reps := make([]Row, len(groups))
-		aggVs := make([]map[*aggExpr]value.Value, len(groups))
-		for i, g := range groups {
-			reps[i] = g.rep
-			aggVs[i] = g.aggV
-		}
-		if st.Distinct {
-			// After DISTINCT the source rows no longer align; order on
-			// output columns only.
-			reps = nil
-		}
 		keys := make([][]value.Value, len(outRows))
-		outEC := newEvalCtx(outSchema)
-		srcEC := newEvalCtx(rel.schema)
+		octx := &execCtx{}
+		sctx := &execCtx{}
 		for ri, row := range outRows {
 			keys[ri] = make([]value.Value, len(st.OrderBy))
-			for oi, ob := range st.OrderBy {
-				outEC.row = row
-				v, err := ob.E.eval(outEC)
+			for oi := range st.OrderBy {
+				octx.row = row
+				v, err := p.orderOut[oi](octx)
 				if err != nil && reps != nil {
-					srcEC.row = reps[ri]
-					srcEC.aggs = aggVs[ri]
-					v, err = ob.E.eval(srcEC)
+					sctx.row = reps[ri]
+					sctx.aggs = aggVs[ri]
+					v, err = p.orderSrc[oi](sctx)
 				}
 				if err != nil {
 					return nil, err
@@ -473,7 +477,7 @@ func (db *DB) execSelect(st *SelectStmt) (*Result, error) {
 		outRows = outRows[:st.Limit]
 	}
 
-	return &Result{Columns: outSchema, Rows: outRows}, nil
+	return &Result{Columns: p.outSchema, Rows: outRows}, nil
 }
 
 // projectionSchema derives the output schema of a SELECT and, for star

@@ -38,31 +38,64 @@ func (db *DB) execExplain(st *ExplainStmt) (*Result, error) {
 		} else {
 			add("scan %s (full, %d rows)", fi.Table, len(t.rows))
 		}
+		add("fused single pass: scan, filter, project/aggregate")
 	default:
+		// Track the accumulated left-side schema so the hash-join
+		// report matches what join() will actually do: a condition
+		// whose columns both land on one side (ON a.x = a.y) runs as
+		// a nested loop, and EXPLAIN must say so.
+		var acc Schema
 		for _, fi := range q.From {
 			t, ok := db.tables[lower(fi.Table)]
 			if !ok {
 				return nil, errorf("no such table %q", fi.Table)
 			}
 			add("scan %s (full, %d rows)", fi.Table, len(t.rows))
+			s, err := db.scanSchema(fi)
+			if err != nil {
+				return nil, err
+			}
+			acc = append(acc, s...)
 		}
 		if len(q.From) > 1 {
 			add("cross join of %d tables", len(q.From))
 		}
 		for _, jc := range q.Joins {
+			rs, err := db.scanSchema(jc.Right)
+			if err != nil {
+				return nil, err
+			}
 			kind := "inner"
 			if jc.Left {
 				kind = "left outer"
 			}
-			if isHashJoinable(jc.On) {
+			if _, _, ok := hashJoinCols(jc.On, acc, rs); ok {
 				add("%s hash join with %s", kind, jc.Right.Table)
 			} else {
 				add("%s nested-loop join with %s", kind, jc.Right.Table)
 			}
+			acc = append(acc, rs...)
 		}
 	}
+	// Expression-mode labels: "compiled" when every reference resolves
+	// against the source schema at plan time, "interpreted" when
+	// resolution is deferred to evaluation (unknown or ambiguous
+	// columns fall back to per-row errors).
+	src, err := db.selectSourceSchema(q)
+	if err != nil {
+		return nil, err
+	}
+	ec := newEvalCtx(src)
+	mode := func(exprs ...sqlExpr) string {
+		for _, e := range exprs {
+			if e != nil && !resolvable(e, ec) {
+				return "interpreted"
+			}
+		}
+		return "compiled"
+	}
 	if q.Where != nil {
-		add("filter rows (WHERE)")
+		add("filter rows (WHERE) [%s]", mode(q.Where))
 	}
 	var aggs []*aggExpr
 	for _, it := range q.Items {
@@ -77,8 +110,15 @@ func (db *DB) execExplain(st *ExplainStmt) (*Result, error) {
 		add("aggregate %d function(s) over %d group key(s)", len(aggs), len(q.GroupBy))
 	}
 	if q.Having != nil {
-		add("filter groups (HAVING)")
+		add("filter groups (HAVING) [%s]", mode(q.Having))
 	}
+	var items []sqlExpr
+	for _, it := range q.Items {
+		if !it.Star {
+			items = append(items, it.E)
+		}
+	}
+	add("project %d column(s) [%s]", len(q.Items), mode(items...))
 	if q.Distinct {
 		add("deduplicate rows (DISTINCT)")
 	}
@@ -115,14 +155,3 @@ func (db *DB) explainIndexProbe(fi fromItem, where sqlExpr) (string, bool) {
 	return "", false
 }
 
-// isHashJoinable mirrors join()'s fast-path predicate: an equality of
-// two plain column references.
-func isHashJoinable(on sqlExpr) bool {
-	be, ok := on.(*binExpr)
-	if !ok || be.Op != "=" {
-		return false
-	}
-	_, lok := be.L.(*colExpr)
-	_, rok := be.R.(*colExpr)
-	return lok && rok
-}

@@ -1,0 +1,48 @@
+package sqldb
+
+import "fmt"
+
+// PipelineRequest is one step of a statement pipeline. A step is
+// either a SQL statement or, when Bulk is set, a typed bulk insert
+// (mirroring BulkInserter). Pipelines let callers ship dependent
+// statements — e.g. CREATE TEMP TABLE followed by the insert that
+// fills it — in a single round trip over the wire transport.
+type PipelineRequest struct {
+	SQL string
+
+	Bulk  bool
+	Table string
+	Cols  []string
+	Rows  []Row
+}
+
+// Pipeliner executes a batch of requests in order with one
+// submission. Execution stops at the first failing request; the
+// results of the preceding requests are returned alongside the error.
+type Pipeliner interface {
+	ExecPipeline(reqs []PipelineRequest) ([]*Result, error)
+}
+
+// ExecPipeline executes the requests in order against the local
+// database. Locally there is no round trip to save, but implementing
+// Pipeliner here keeps callers transport-agnostic.
+func (db *DB) ExecPipeline(reqs []PipelineRequest) ([]*Result, error) {
+	out := make([]*Result, 0, len(reqs))
+	for i := range reqs {
+		r := &reqs[i]
+		var res *Result
+		var err error
+		if r.Bulk {
+			var n int
+			n, err = db.InsertRows(r.Table, r.Cols, r.Rows)
+			res = &Result{Affected: n}
+		} else {
+			res, err = db.Exec(r.SQL)
+		}
+		if err != nil {
+			return out, fmt.Errorf("sqldb: pipeline request %d: %w", i, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,239 @@
+package sqldb
+
+import (
+	"container/list"
+	"sync"
+)
+
+// The plan cache maps raw SQL text to its parsed statement and, for
+// SELECTs, the compiled plan, so repeated statements (per-run queries
+// from internal/input and internal/query, parquery element queries)
+// skip the lexer, parser and compile pass.
+//
+// Correctness model: a parsed AST depends only on the SQL text and
+// never goes stale. A compiled plan additionally depends on the
+// schemas of the referenced tables, so each table carries a version
+// counter that every DDL (CREATE/ALTER/DROP, including rollback and
+// temp-table cleanup) bumps under the write lock; a cached plan
+// records the versions it was compiled against and is recompiled when
+// they no longer match. DDL also evicts entries referencing the table
+// so the cache does not accumulate plans for dropped tables.
+
+const (
+	// planCacheSize bounds the number of cached statements. Textual
+	// '?'-binding makes every distinct argument set a distinct SQL
+	// string, so the LRU must tolerate churn from bound statements.
+	planCacheSize = 256
+	// planCacheMaxSQL keeps megabyte-sized bulk INSERT texts from
+	// occupying the cache: statements longer than this run uncached.
+	planCacheMaxSQL = 4096
+)
+
+// cachedPlan is one plan-cache entry.
+type cachedPlan struct {
+	st     Statement
+	tables []string // lower-cased tables the statement references
+
+	mu   sync.Mutex
+	sel  *compiledSelect  // compiled plan; nil until first execution
+	vers map[string]int64 // table versions sel was compiled against
+}
+
+type cacheItem struct {
+	sql  string
+	plan *cachedPlan
+}
+
+// planCache is an LRU keyed on raw SQL text. The zero value is ready
+// to use.
+type planCache struct {
+	mu sync.Mutex
+	ll *list.List // front = most recently used; holds *cacheItem
+	m  map[string]*list.Element
+}
+
+func (c *planCache) get(sql string) *cachedPlan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[sql]
+	if !ok {
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).plan
+}
+
+func (c *planCache) put(sql string, cp *cachedPlan) {
+	if len(sql) > planCacheMaxSQL {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[string]*list.Element)
+		c.ll = list.New()
+	}
+	if el, ok := c.m[sql]; ok {
+		el.Value.(*cacheItem).plan = cp
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[sql] = c.ll.PushFront(&cacheItem{sql: sql, plan: cp})
+	for c.ll.Len() > planCacheSize {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheItem).sql)
+	}
+}
+
+// invalidate evicts every entry that references one of the given
+// lower-cased table names.
+func (c *planCache) invalidate(tables map[string]bool) {
+	if len(tables) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ll == nil {
+		return
+	}
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		it := el.Value.(*cacheItem)
+		for _, t := range it.plan.tables {
+			if tables[t] {
+				c.ll.Remove(el)
+				delete(c.m, it.sql)
+				break
+			}
+		}
+	}
+}
+
+// len reports the number of cached entries (used by tests).
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ll == nil {
+		return 0
+	}
+	return c.ll.Len()
+}
+
+// referencedTables lists the lower-cased table names a statement
+// touches, for version snapshots and DDL invalidation.
+func referencedTables(st Statement) []string {
+	seen := map[string]bool{}
+	collectTables(st, seen)
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	return out
+}
+
+func collectTables(st Statement, seen map[string]bool) {
+	switch s := st.(type) {
+	case *SelectStmt:
+		for _, fi := range s.From {
+			seen[lower(fi.Table)] = true
+		}
+		for _, jc := range s.Joins {
+			seen[lower(jc.Right.Table)] = true
+		}
+	case *InsertStmt:
+		seen[lower(s.Table)] = true
+		if s.From != nil {
+			collectTables(s.From, seen)
+		}
+	case *UpdateStmt:
+		seen[lower(s.Table)] = true
+	case *DeleteStmt:
+		seen[lower(s.Table)] = true
+	case *CreateTableStmt:
+		seen[lower(s.Name)] = true
+		if s.As != nil {
+			collectTables(s.As, seen)
+		}
+	case *DropTableStmt:
+		seen[lower(s.Name)] = true
+	case *CreateIndexStmt:
+		seen[lower(s.Table)] = true
+	case *AlterTableStmt:
+		seen[lower(s.Table)] = true
+		if s.Rename != "" {
+			seen[lower(s.Rename)] = true
+		}
+	case *ExplainStmt:
+		collectTables(s.Query, seen)
+	}
+}
+
+// bumpVersion records a schema-affecting change to the named
+// (lower-cased) table. Caller holds the write lock.
+func (db *DB) bumpVersion(key string) {
+	if db.tableVers == nil {
+		db.tableVers = make(map[string]int64)
+	}
+	db.tableVers[key]++
+}
+
+// versionsMatch reports whether every version in the snapshot still
+// matches the live counters. Caller holds the database lock.
+func (db *DB) versionsMatch(snap map[string]int64) bool {
+	for t, v := range snap {
+		if db.tableVers[t] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// snapshotVers captures the current versions of the given tables.
+// Caller holds the database lock.
+func (db *DB) snapshotVers(tables []string) map[string]int64 {
+	snap := make(map[string]int64, len(tables))
+	for _, t := range tables {
+		snap[t] = db.tableVers[t]
+	}
+	return snap
+}
+
+// selectPlanFor returns cp's compiled plan, rebuilding it when the
+// table-version snapshot no longer matches the live counters. The
+// caller holds db.mu (read suffices: DDL takes the write lock, so
+// versions cannot move underneath us). Plan builds for the same entry
+// serialize on cp.mu; concurrent executions then share the plan.
+func (db *DB) selectPlanFor(cp *cachedPlan, sel *SelectStmt) (*compiledSelect, error) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if cp.sel != nil && db.versionsMatch(cp.vers) {
+		return cp.sel, nil
+	}
+	p, err := db.planSelect(sel)
+	if err != nil {
+		cp.sel = nil
+		return nil, err
+	}
+	cp.sel = p
+	cp.vers = db.snapshotVers(cp.tables)
+	return p, nil
+}
+
+// execCached executes a statement from a cache entry. SELECTs reuse
+// the entry's compiled plan; everything else goes through the normal
+// parsed-statement path (the parse was still saved).
+func (db *DB) execCached(cp *cachedPlan, raw string) (*Result, error) {
+	sel, ok := cp.st.(*SelectStmt)
+	if !ok {
+		return db.ExecParsed(cp.st, raw)
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	p, err := db.selectPlanFor(cp, sel)
+	if err != nil {
+		return nil, err
+	}
+	return db.runSelect(sel, p)
+}

@@ -1,0 +1,108 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+
+	"perfbase/internal/sqldb"
+	"perfbase/internal/value"
+)
+
+func TestExecPipelineRoundTrip(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	rows := []sqldb.Row{
+		{value.NewInt(1), value.NewString("a")},
+		{value.NewInt(2), value.NewString("b")},
+		{value.NewInt(3), value.NewString("c")},
+	}
+	results, err := c.ExecPipeline([]sqldb.PipelineRequest{
+		{SQL: "CREATE TABLE t (n integer, s string)"},
+		{Bulk: true, Table: "t", Cols: []string{"n", "s"}, Rows: rows},
+		{SQL: "SELECT COUNT(*), MAX(n) FROM t"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	if results[1].Affected != 3 {
+		t.Errorf("bulk insert affected = %d, want 3", results[1].Affected)
+	}
+	if got := results[2].Rows[0][0].Int(); got != 3 {
+		t.Errorf("count = %d, want 3", got)
+	}
+	if got := results[2].Rows[0][1].Int(); got != 3 {
+		t.Errorf("max = %d, want 3", got)
+	}
+}
+
+func TestExecPipelineAbortsOnError(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	results, err := c.ExecPipeline([]sqldb.PipelineRequest{
+		{SQL: "CREATE TABLE t (n integer)"},
+		{SQL: "SELECT * FROM missing"},
+		{SQL: "INSERT INTO t VALUES (1)"},
+	})
+	if err == nil {
+		t.Fatal("pipeline with failing middle request succeeded")
+	}
+	if !strings.Contains(err.Error(), "pipeline request 1") {
+		t.Errorf("error does not locate the failing request: %v", err)
+	}
+	if len(results) != 1 {
+		t.Errorf("got %d results before the failure, want 1", len(results))
+	}
+	// The statement after the failure must not have run.
+	res, err := c.Exec("SELECT COUNT(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 0 {
+		t.Errorf("statement after pipeline failure ran: count = %v", res.Rows[0][0])
+	}
+	// The connection stays usable for subsequent requests.
+	if _, err := c.Exec("INSERT INTO t VALUES (7)"); err != nil {
+		t.Errorf("connection unusable after pipeline error: %v", err)
+	}
+}
+
+func TestExecPipelineEmpty(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	results, err := c.ExecPipeline(nil)
+	if err != nil || results != nil {
+		t.Errorf("empty pipeline = %v, %v", results, err)
+	}
+}
+
+func TestLocalExecPipeline(t *testing.T) {
+	db := sqldb.NewMemory()
+	results, err := db.ExecPipeline([]sqldb.PipelineRequest{
+		{SQL: "CREATE TABLE t (n integer)"},
+		{Bulk: true, Table: "t", Cols: []string{"n"}, Rows: []sqldb.Row{{value.NewInt(5)}}},
+		{SQL: "SELECT n FROM t"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 || results[2].Rows[0][0].Int() != 5 {
+		t.Errorf("local pipeline results = %v, %v", results, err)
+	}
+}

@@ -25,6 +25,10 @@ import (
 
 // request is one statement sent from client to server. When Bulk is
 // set, the request is a typed bulk insert instead of a SQL statement.
+// When Batch is non-empty, the request is a pipeline: the server runs
+// the sub-requests in order and answers with one response whose Batch
+// holds their individual results — a single encode/flush on each side
+// instead of one round trip per statement.
 type request struct {
 	SQL string
 
@@ -32,6 +36,8 @@ type request struct {
 	Table string
 	Cols  []string
 	Rows  []sqldb.Row
+
+	Batch []request
 }
 
 // response carries the result (or error text) of one statement.
@@ -40,6 +46,8 @@ type response struct {
 	Rows     []sqldb.Row
 	Affected int
 	Err      string
+
+	Batch []response
 }
 
 // Server serves a database to remote clients.
@@ -116,30 +124,45 @@ func (s *Server) serveConn(conn net.Conn) {
 			return // client gone or protocol error
 		}
 		var resp response
-		if req.Bulk {
-			n, err := s.db.InsertRows(req.Table, req.Cols, req.Rows)
-			if err != nil {
-				resp.Err = err.Error()
-			} else {
-				resp.Affected = n
+		if len(req.Batch) > 0 {
+			resp.Batch = make([]response, 0, len(req.Batch))
+			for i := range req.Batch {
+				sr := s.execOne(&req.Batch[i])
+				resp.Batch = append(resp.Batch, sr)
+				if sr.Err != "" {
+					break // pipeline aborts at the first failure
+				}
 			}
-			if err := enc.Encode(&resp); err != nil {
-				return
-			}
-			continue
-		}
-		res, err := s.db.Exec(req.SQL)
-		if err != nil {
-			resp.Err = err.Error()
 		} else {
-			resp.Columns = res.Columns
-			resp.Rows = res.Rows
-			resp.Affected = res.Affected
+			resp = s.execOne(&req)
 		}
 		if err := enc.Encode(&resp); err != nil {
 			return
 		}
 	}
+}
+
+// execOne runs a single (non-batch) request against the database.
+func (s *Server) execOne(req *request) response {
+	var resp response
+	if req.Bulk {
+		n, err := s.db.InsertRows(req.Table, req.Cols, req.Rows)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Affected = n
+		}
+		return resp
+	}
+	res, err := s.db.Exec(req.SQL)
+	if err != nil {
+		resp.Err = err.Error()
+	} else {
+		resp.Columns = res.Columns
+		resp.Rows = res.Rows
+		resp.Affected = res.Affected
+	}
+	return resp
 }
 
 // Close stops the listener and terminates all connections.
@@ -227,6 +250,45 @@ func (c *Client) InsertRows(table string, cols []string, rows []sqldb.Row) (int,
 	return resp.Affected, nil
 }
 
+// ExecPipeline implements sqldb.Pipeliner over the wire: the whole
+// batch travels in one gob message and the server answers with one
+// message carrying every result, so a dependent statement sequence
+// (temp table creation plus the insert filling it) costs a single
+// round trip instead of one per statement.
+func (c *Client) ExecPipeline(reqs []sqldb.PipelineRequest) ([]*sqldb.Result, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil, errors.New("wire: client is closed")
+	}
+	batch := make([]request, len(reqs))
+	for i, r := range reqs {
+		batch[i] = request{SQL: r.SQL, Bulk: r.Bulk, Table: r.Table, Cols: r.Cols, Rows: r.Rows}
+	}
+	if err := c.enc.Encode(&request{Batch: batch}); err != nil {
+		return nil, fmt.Errorf("wire: send: %w", err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("wire: receive: %w", err)
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	out := make([]*sqldb.Result, 0, len(resp.Batch))
+	for i := range resp.Batch {
+		sr := &resp.Batch[i]
+		if sr.Err != "" {
+			return out, fmt.Errorf("wire: pipeline request %d: %s", i, sr.Err)
+		}
+		out = append(out, &sqldb.Result{Columns: sr.Columns, Rows: sr.Rows, Affected: sr.Affected})
+	}
+	return out, nil
+}
+
 // Close terminates the connection.
 func (c *Client) Close() error {
 	c.mu.Lock()
@@ -246,4 +308,6 @@ var (
 	_ sqldb.Querier      = (*sqldb.DB)(nil)
 	_ sqldb.BulkInserter = (*Client)(nil)
 	_ sqldb.BulkInserter = (*sqldb.DB)(nil)
+	_ sqldb.Pipeliner    = (*Client)(nil)
+	_ sqldb.Pipeliner    = (*sqldb.DB)(nil)
 )

@@ -21,19 +21,19 @@ func (v Value) MarshalBinary() ([]byte, error) {
 	}
 	switch v.typ {
 	case Integer:
-		buf = binary.BigEndian.AppendUint64(buf, uint64(v.i))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(v.Int()))
 	case Float:
-		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v.f))
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v.Float()))
 	case String, Version:
 		buf = append(buf, v.s...)
 	case Timestamp:
-		tb, err := v.t.MarshalBinary()
+		tb, err := v.Time().MarshalBinary()
 		if err != nil {
 			return nil, err
 		}
 		buf = append(buf, tb...)
 	case Boolean:
-		if v.b {
+		if v.Bool() {
 			buf = append(buf, 1)
 		} else {
 			buf = append(buf, 0)
@@ -64,12 +64,12 @@ func (v *Value) UnmarshalBinary(data []byte) error {
 		if len(payload) != 8 {
 			return fmt.Errorf("value: bad integer payload length %d", len(payload))
 		}
-		v.i = int64(binary.BigEndian.Uint64(payload))
+		v.num = binary.BigEndian.Uint64(payload)
 	case Float:
 		if len(payload) != 8 {
 			return fmt.Errorf("value: bad float payload length %d", len(payload))
 		}
-		v.f = math.Float64frombits(binary.BigEndian.Uint64(payload))
+		v.num = binary.BigEndian.Uint64(payload)
 	case String, Version:
 		v.s = string(payload)
 	case Timestamp:
@@ -77,12 +77,14 @@ func (v *Value) UnmarshalBinary(data []byte) error {
 		if err := t.UnmarshalBinary(payload); err != nil {
 			return err
 		}
-		v.t = t
+		v.t = &t
 	case Boolean:
 		if len(payload) != 1 {
 			return fmt.Errorf("value: bad boolean payload length %d", len(payload))
 		}
-		v.b = payload[0] == 1
+		if payload[0] == 1 {
+			v.num = 1
+		}
 	}
 	return nil
 }

@@ -11,7 +11,11 @@ import (
 // zero when equal, positive when a > b. NULL sorts before every
 // non-NULL value; two NULLs compare equal. Numeric types compare by
 // magnitude across Integer and Float; Version compares component-wise.
-func Compare(a, b Value) int {
+func Compare(a, b Value) int { return ComparePtr(&a, &b) }
+
+// ComparePtr is Compare without copying its operands; the SQL
+// executor's compiled row filters compare values in place.
+func ComparePtr(a, b *Value) int {
 	switch {
 	case a.null && b.null:
 		return 0
@@ -23,9 +27,9 @@ func Compare(a, b Value) int {
 	if a.typ.Numeric() && b.typ.Numeric() {
 		if a.typ == Integer && b.typ == Integer {
 			switch {
-			case a.i < b.i:
+			case a.Int() < b.Int():
 				return -1
-			case a.i > b.i:
+			case a.Int() > b.Int():
 				return 1
 			}
 			return 0
@@ -47,9 +51,9 @@ func Compare(a, b Value) int {
 	case Timestamp:
 		if b.typ == Timestamp {
 			switch {
-			case a.t.Before(b.t):
+			case a.Time().Before(b.Time()):
 				return -1
-			case a.t.After(b.t):
+			case a.Time().After(b.Time()):
 				return 1
 			}
 			return 0
@@ -57,9 +61,9 @@ func Compare(a, b Value) int {
 	case Boolean:
 		if b.typ == Boolean {
 			switch {
-			case !a.b && b.b:
+			case !a.Bool() && b.Bool():
 				return -1
-			case a.b && !b.b:
+			case a.Bool() && !b.Bool():
 				return 1
 			}
 			return 0
@@ -69,7 +73,7 @@ func Compare(a, b Value) int {
 	return strings.Compare(a.String(), b.String())
 }
 
-func bAsString(b Value) string {
+func bAsString(b *Value) string {
 	if b.typ == String || b.typ == Version {
 		return b.s
 	}
@@ -150,7 +154,7 @@ func Add(a, b Value) (Value, error) {
 		return Null(t), nil
 	}
 	if t == Integer {
-		return NewInt(a.i + b.i), nil
+		return NewInt(a.Int() + b.Int()), nil
 	}
 	return NewFloat(a.Float() + b.Float()), nil
 }
@@ -165,7 +169,7 @@ func Sub(a, b Value) (Value, error) {
 		return Null(t), nil
 	}
 	if t == Integer {
-		return NewInt(a.i - b.i), nil
+		return NewInt(a.Int() - b.Int()), nil
 	}
 	return NewFloat(a.Float() - b.Float()), nil
 }
@@ -180,7 +184,7 @@ func Mul(a, b Value) (Value, error) {
 		return Null(t), nil
 	}
 	if t == Integer {
-		return NewInt(a.i * b.i), nil
+		return NewInt(a.Int() * b.Int()), nil
 	}
 	return NewFloat(a.Float() * b.Float()), nil
 }
@@ -196,10 +200,10 @@ func Div(a, b Value) (Value, error) {
 		return Null(t), nil
 	}
 	if t == Integer {
-		if b.i == 0 {
+		if b.Int() == 0 {
 			return Value{}, fmt.Errorf("value: integer division by zero")
 		}
-		return NewInt(a.i / b.i), nil
+		return NewInt(a.Int() / b.Int()), nil
 	}
 	if b.Float() == 0 {
 		return Value{}, fmt.Errorf("value: division by zero")
@@ -217,10 +221,10 @@ func Mod(a, b Value) (Value, error) {
 		return Null(t), nil
 	}
 	if t == Integer {
-		if b.i == 0 {
+		if b.Int() == 0 {
 			return Value{}, fmt.Errorf("value: integer modulo by zero")
 		}
-		return NewInt(a.i % b.i), nil
+		return NewInt(a.Int() % b.Int()), nil
 	}
 	return NewFloat(math.Mod(a.Float(), b.Float())), nil
 }
@@ -234,9 +238,9 @@ func Neg(a Value) (Value, error) {
 		return a, nil
 	}
 	if a.typ == Integer {
-		return NewInt(-a.i), nil
+		return NewInt(-a.Int()), nil
 	}
-	return NewFloat(-a.f), nil
+	return NewFloat(-a.Float()), nil
 }
 
 // Pow returns a raised to the power b as a Float.

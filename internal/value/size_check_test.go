@@ -1,0 +1,15 @@
+package value
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// The Value struct is copied in every scan/filter/projection hot loop;
+// this test pins the compact layout so a field addition that balloons
+// the struct is a conscious decision, not an accident.
+func TestValueSize(t *testing.T) {
+	if s := unsafe.Sizeof(Value{}); s > 40 {
+		t.Errorf("sizeof(Value) = %d, want <= 40", s)
+	}
+}

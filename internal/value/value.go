@@ -9,13 +9,14 @@ package value
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"time"
 )
 
 // Type enumerates the perfbase data types.
-type Type int
+type Type uint8
 
 const (
 	// Integer is a signed 64-bit integer.
@@ -78,34 +79,44 @@ func (t Type) Numeric() bool { return t == Integer || t == Float }
 
 // Value is one datum of a perfbase data type, or NULL. The zero Value
 // is a NULL integer.
+//
+// The layout is deliberately compact (40 bytes on 64-bit platforms):
+// integers, floats and booleans share one 64-bit word, and timestamps
+// live behind a pointer. Values are copied by the million in scan and
+// expression hot loops, so struct size translates directly into
+// runtime.duffcopy cost there.
 type Value struct {
 	typ  Type
 	null bool
 
-	i int64     // Integer
-	f float64   // Float
-	s string    // String, Version
-	t time.Time // Timestamp
-	b bool      // Boolean
+	num uint64     // Integer (two's complement), Float (IEEE bits), Boolean (0/1)
+	s   string     // String, Version
+	t   *time.Time // Timestamp (nil only for NULL or zero values)
 }
 
 // Null returns the NULL value of the given type.
 func Null(t Type) Value { return Value{typ: t, null: true} }
 
 // NewInt returns an Integer value.
-func NewInt(i int64) Value { return Value{typ: Integer, i: i} }
+func NewInt(i int64) Value { return Value{typ: Integer, num: uint64(i)} }
 
 // NewFloat returns a Float value.
-func NewFloat(f float64) Value { return Value{typ: Float, f: f} }
+func NewFloat(f float64) Value { return Value{typ: Float, num: math.Float64bits(f)} }
 
 // NewString returns a String value.
 func NewString(s string) Value { return Value{typ: String, s: s} }
 
 // NewTimestamp returns a Timestamp value.
-func NewTimestamp(t time.Time) Value { return Value{typ: Timestamp, t: t} }
+func NewTimestamp(t time.Time) Value { return Value{typ: Timestamp, t: &t} }
 
 // NewBool returns a Boolean value.
-func NewBool(b bool) Value { return Value{typ: Boolean, b: b} }
+func NewBool(b bool) Value {
+	v := Value{typ: Boolean}
+	if b {
+		v.num = 1
+	}
+	return v
+}
 
 // NewVersion returns a Version value. The string is not validated;
 // non-numeric components compare lexicographically.
@@ -114,29 +125,56 @@ func NewVersion(s string) Value { return Value{typ: Version, s: s} }
 // Type returns the data type of the value.
 func (v Value) Type() Type { return v.typ }
 
+// SetInt overwrites v in place with an Integer datum. The in-place
+// setters exist for hot evaluation loops (expression VMs, SQL row
+// filters) where assigning a freshly constructed Value would copy the
+// whole struct; fields of other types keep their previous contents,
+// which is harmless since accessors are only meaningful for the
+// current type.
+func (v *Value) SetInt(i int64) { v.typ, v.null, v.num = Integer, false, uint64(i) }
+
+// SetFloat overwrites v in place with a Float datum.
+func (v *Value) SetFloat(f float64) { v.typ, v.null, v.num = Float, false, math.Float64bits(f) }
+
+// SetBool overwrites v in place with a Boolean datum.
+func (v *Value) SetBool(b bool) {
+	v.typ, v.null, v.num = Boolean, false, 0
+	if b {
+		v.num = 1
+	}
+}
+
+// SetNull overwrites v in place with the NULL of type t.
+func (v *Value) SetNull(t Type) { v.typ, v.null = t, true }
+
 // IsNull reports whether the value is NULL.
 func (v Value) IsNull() bool { return v.null }
 
 // Int returns the integer datum. It is only meaningful for Integer values.
-func (v Value) Int() int64 { return v.i }
+func (v Value) Int() int64 { return int64(v.num) }
 
 // Float returns the float datum. For Integer values the converted
 // integer is returned so numeric code can treat both uniformly.
 func (v Value) Float() float64 {
 	if v.typ == Integer {
-		return float64(v.i)
+		return float64(int64(v.num))
 	}
-	return v.f
+	return math.Float64frombits(v.num)
 }
 
 // Str returns the string datum of a String or Version value.
 func (v Value) Str() string { return v.s }
 
 // Time returns the timestamp datum.
-func (v Value) Time() time.Time { return v.t }
+func (v Value) Time() time.Time {
+	if v.t == nil {
+		return time.Time{}
+	}
+	return *v.t
+}
 
 // Bool returns the boolean datum.
-func (v Value) Bool() bool { return v.b }
+func (v Value) Bool() bool { return v.num != 0 }
 
 // String formats the value for display. NULL renders as "NULL";
 // timestamps render in RFC 3339 form.
@@ -146,15 +184,15 @@ func (v Value) String() string {
 	}
 	switch v.typ {
 	case Integer:
-		return strconv.FormatInt(v.i, 10)
+		return strconv.FormatInt(v.Int(), 10)
 	case Float:
-		return strconv.FormatFloat(v.f, 'g', -1, 64)
+		return strconv.FormatFloat(v.Float(), 'g', -1, 64)
 	case String, Version:
 		return v.s
 	case Timestamp:
-		return v.t.Format(time.RFC3339)
+		return v.Time().Format(time.RFC3339)
 	case Boolean:
-		return strconv.FormatBool(v.b)
+		return strconv.FormatBool(v.Bool())
 	}
 	return "?"
 }
@@ -167,15 +205,15 @@ func (v Value) SQL() string {
 	}
 	switch v.typ {
 	case Integer:
-		return strconv.FormatInt(v.i, 10)
+		return strconv.FormatInt(v.Int(), 10)
 	case Float:
-		return strconv.FormatFloat(v.f, 'g', -1, 64)
+		return strconv.FormatFloat(v.Float(), 'g', -1, 64)
 	case String, Version:
 		return QuoteSQL(v.s)
 	case Timestamp:
-		return QuoteSQL(v.t.Format(time.RFC3339Nano))
+		return QuoteSQL(v.Time().Format(time.RFC3339Nano))
 	case Boolean:
-		if v.b {
+		if v.Bool() {
 			return "TRUE"
 		}
 		return "FALSE"
@@ -203,25 +241,25 @@ func (v Value) Convert(t Type) (Value, error) {
 	case Integer:
 		switch v.typ {
 		case Float:
-			return NewInt(int64(v.f)), nil
+			return NewInt(int64(v.Float())), nil
 		case Boolean:
-			if v.b {
+			if v.Bool() {
 				return NewInt(1), nil
 			}
 			return NewInt(0), nil
 		case String:
 			return Parse(Integer, v.s)
 		case Timestamp:
-			return NewInt(v.t.Unix()), nil
+			return NewInt(v.Time().Unix()), nil
 		}
 	case Float:
 		switch v.typ {
 		case Integer:
-			return NewFloat(float64(v.i)), nil
+			return NewFloat(float64(v.Int())), nil
 		case String:
 			return Parse(Float, v.s)
 		case Timestamp:
-			return NewFloat(float64(v.t.UnixNano()) / 1e9), nil
+			return NewFloat(float64(v.Time().UnixNano()) / 1e9), nil
 		}
 	case String:
 		return NewString(v.String()), nil
@@ -235,12 +273,12 @@ func (v Value) Convert(t Type) (Value, error) {
 			return Parse(Timestamp, v.s)
 		}
 		if v.typ == Integer {
-			return NewTimestamp(time.Unix(v.i, 0).UTC()), nil
+			return NewTimestamp(time.Unix(v.Int(), 0).UTC()), nil
 		}
 	case Boolean:
 		switch v.typ {
 		case Integer:
-			return NewBool(v.i != 0), nil
+			return NewBool(v.Int() != 0), nil
 		case String:
 			return Parse(Boolean, v.s)
 		}
