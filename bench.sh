@@ -1,37 +1,60 @@
 #!/bin/sh
 # bench.sh — run the headline benchmarks and record the numbers as
-# JSON in BENCH_PR1.json (one object per benchmark line, in go test
-# -bench output order). Re-run after executor changes and compare the
-# committed numbers in CHANGES.md.
+# JSON (one object per benchmark line, in go test -bench output
+# order). BENCH_PR1.json holds the executor/plan-cache numbers;
+# BENCH_PR2.json repeats them alongside the MVCC concurrency numbers
+# (concurrent readers during a bulk import, rollback cost on a large
+# table). Re-run after engine changes and compare the committed
+# numbers in CHANGES.md.
 set -eu
 cd "$(dirname "$0")"
 
-OUT=BENCH_PR1.json
-TMP=$(mktemp)
-trap 'rm -f "$TMP"' EXIT
+TMP1=$(mktemp)
+TMP2=$(mktemp)
+trap 'rm -f "$TMP1" "$TMP2"' EXIT
 
 go test -run '^$' -bench \
   'BenchmarkExprDerived$|BenchmarkFig3_ParallelSpeedupTCP$' \
-  -benchmem -count=1 . | tee -a "$TMP"
+  -benchmem -count=1 . | tee -a "$TMP1"
 go test -run '^$' -bench \
   'BenchmarkAblation_FilterScan$|BenchmarkAblation_FilterIndexed$' \
-  -benchmem -count=1 ./internal/sqldb | tee -a "$TMP"
+  -benchmem -count=1 ./internal/sqldb | tee -a "$TMP1"
 
-awk '
-BEGIN { print "[" ; first = 1 }
-/^Benchmark/ {
-    name = $1; iters = $2; ns = $3
-    bytes = "null"; allocs = "null"
-    for (i = 4; i <= NF; i++) {
-        if ($i == "B/op") bytes = $(i-1)
-        if ($i == "allocs/op") allocs = $(i-1)
+cat "$TMP1" >> "$TMP2"
+go test -run '^$' -bench \
+  'BenchmarkConcurrentReadDuringBulkImport$|BenchmarkReadOnlyGroupBy$|BenchmarkRollbackLargeTable$' \
+  -benchmem -count=1 ./internal/sqldb | tee -a "$TMP2"
+
+# Pre-MVCC engine numbers (global RWMutex readers, whole-table
+# deep-copy undo log) for the two concurrency benchmarks, measured on
+# the seed revision with identical benchmark code on the same
+# single-CPU machine. Kept as static entries so BENCH_PR2.json records
+# the before/after comparison, not just the after.
+cat >> "$TMP2" <<'EOF'
+BenchmarkConcurrentReadDuringBulkImport_rwmutex_baseline 	     100	  10186999 ns/op	  626877 B/op	   50925 allocs/op
+BenchmarkRollbackLargeTable_rwmutex_baseline 	     100	  10681335 ns/op	 10183465 B/op	  100033 allocs/op
+EOF
+
+to_json() {
+    awk '
+    BEGIN { print "[" ; first = 1 }
+    /^Benchmark/ {
+        name = $1; iters = $2; ns = $3
+        bytes = "null"; allocs = "null"
+        for (i = 4; i <= NF; i++) {
+            if ($i == "B/op") bytes = $(i-1)
+            if ($i == "allocs/op") allocs = $(i-1)
+        }
+        if (!first) print ","
+        first = 0
+        printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+            name, iters, ns, bytes, allocs
     }
-    if (!first) print ","
-    first = 0
-    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
-        name, iters, ns, bytes, allocs
+    END { print "\n]" }
+    ' "$1" > "$2"
 }
-END { print "\n]" }
-' "$TMP" > "$OUT"
 
-echo "wrote $OUT"
+to_json "$TMP1" BENCH_PR1.json
+to_json "$TMP2" BENCH_PR2.json
+
+echo "wrote BENCH_PR1.json and BENCH_PR2.json"

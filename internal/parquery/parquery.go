@@ -133,8 +133,15 @@ func (ex *Executor) Run(spec *pbxml.Query) (*query.Results, error) {
 	return ex.RunPlan(plan)
 }
 
-// RunPlan executes a prebuilt plan.
+// RunPlan executes a prebuilt plan. When the primary is a local
+// database, all source reads of this run are pinned to one MVCC
+// snapshot taken here: concurrently committing imports neither block
+// the workers nor become partially visible to them.
 func (ex *Executor) RunPlan(plan *query.Plan) (*query.Results, error) {
+	src := ex.engine.Primary()
+	if pdb, ok := src.(*sqldb.DB); ok {
+		src = pdb.Snapshot()
+	}
 	vectors := map[string]*query.Vector{}
 	defer func() {
 		// Temp tables of intermediate vectors are session state on
@@ -208,7 +215,7 @@ func (ex *Executor) RunPlan(plan *query.Plan) (*query.Results, error) {
 					mu.Unlock()
 					return
 				}
-				out, err := ex.engine.ExecElement(el, ins, placement)
+				out, err := ex.engine.ExecElementSrc(el, ins, placement, src)
 				mu.Lock()
 				if err != nil && firstErr == nil {
 					firstErr = err

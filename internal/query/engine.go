@@ -144,14 +144,24 @@ func (en *Engine) RunPlan(plan *Plan, placer Placer) (*Results, error) {
 
 // ExecElement executes one element with already-materialized inputs on
 // the given database and records its execution time. Output elements
-// return nil (their inputs are the result).
+// return nil (their inputs are the result). Source reads go to the
+// live primary database.
 func (en *Engine) ExecElement(el *Element, inputs []*Vector, placement sqldb.Querier) (*Vector, error) {
+	return en.ExecElementSrc(el, inputs, placement, en.primary)
+}
+
+// ExecElementSrc is ExecElement with an explicit handle for reading
+// the experiment's own tables (the once table and the per-run data
+// tables). internal/parquery passes a pinned *sqldb.Snapshot here so
+// that every fan-out worker of one query run observes the same
+// committed state, even while imports commit concurrently.
+func (en *Engine) ExecElementSrc(el *Element, inputs []*Vector, placement, src sqldb.Querier) (*Vector, error) {
 	t0 := time.Now()
 	var out *Vector
 	var err error
 	switch el.Kind {
 	case KindSource:
-		out, err = en.execSource(el.Source, placement)
+		out, err = en.execSource(el.Source, placement, src)
 	case KindOperator:
 		out, err = en.execOperator(el.Operator, inputs, placement)
 	case KindCombiner:

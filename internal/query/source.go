@@ -53,7 +53,7 @@ func (vs valSel) sqlSel() string {
 // every tuple with the included parameters (paper §3.3.1: "each data
 // tuple consists of the input parameters by which the database access
 // was filtered and the result values that were specified").
-func (en *Engine) execSource(spec *pbxml.SourceElem, placement sqldb.Querier) (*Vector, error) {
+func (en *Engine) execSource(spec *pbxml.SourceElem, placement, src sqldb.Querier) (*Vector, error) {
 	exp := en.exp
 
 	// Resolve parameter filters.
@@ -165,19 +165,27 @@ func (en *Engine) execSource(spec *pbxml.SourceElem, placement sqldb.Querier) (*
 	}
 
 	// Fetch all once rows in one scan instead of one query per run.
-	onceByRun, err := en.fetchOnceRows()
+	onceByRun, err := en.fetchOnceRows(src)
 	if err != nil {
 		return nil, err
 	}
 
 	// The INSERT ... SELECT push-down (below) only works when the
-	// vector lives on the database that also holds the run tables.
-	pushDown := placement == en.primary
+	// vector lives on the database that also holds the run tables AND
+	// reads are not pinned to a snapshot: INSERT is a mutation and
+	// would execute against the live state, not the pinned one.
+	pinned := src != en.primary
+	pushDown := placement == en.primary && !pinned
 
 	// Per run: check once constraints, then transfer matching tuples.
 	for _, run := range runs {
 		runOnce, ok := onceByRun[run.ID]
 		if !ok {
+			if pinned {
+				// The run was registered after the snapshot was taken;
+				// a consistent view simply excludes it.
+				continue
+			}
 			return nil, fmt.Errorf("query: source %s: run %d has no once row", spec.ID, run.ID)
 		}
 		match := true
@@ -233,6 +241,11 @@ func (en *Engine) execSource(spec *pbxml.SourceElem, placement sqldb.Querier) (*
 			}
 			continue
 		}
+		if hc, ok := src.(interface{ HasTable(string) bool }); ok && !hc.HasTable(exp.DataTable(run.ID)) {
+			// Run committed between the once row and the snapshot only
+			// in part: its data table is not in the pinned state yet.
+			continue
+		}
 		where := ""
 		if len(conds) > 0 {
 			where = " WHERE " + strings.Join(conds, " AND ")
@@ -253,7 +266,7 @@ func (en *Engine) execSource(spec *pbxml.SourceElem, placement sqldb.Querier) (*
 			continue
 		}
 		stmt := "SELECT " + strings.Join(selCols, ", ") + " FROM " + exp.DataTable(run.ID) + where
-		res, err := en.primary.Exec(stmt)
+		res, err := src.Exec(stmt)
 		if err != nil {
 			return nil, fmt.Errorf("query: source %s run %d: %w", spec.ID, run.ID, err)
 		}
@@ -276,8 +289,8 @@ func (en *Engine) execSource(spec *pbxml.SourceElem, placement sqldb.Querier) (*
 
 // fetchOnceRows reads the whole once table of the experiment in one
 // query and returns the per-run variable maps.
-func (en *Engine) fetchOnceRows() (map[int64]core.DataSet, error) {
-	res, err := en.primary.Exec("SELECT * FROM " + en.exp.Name() + "_once")
+func (en *Engine) fetchOnceRows(src sqldb.Querier) (map[int64]core.DataSet, error) {
+	res, err := src.Exec("SELECT * FROM " + en.exp.Name() + "_once")
 	if err != nil {
 		return nil, fmt.Errorf("query: once table: %w", err)
 	}

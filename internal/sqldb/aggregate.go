@@ -7,9 +7,43 @@ import (
 	"perfbase/internal/value"
 )
 
+// aggOp identifies an aggregate function. Resolving the name to an op
+// once per group (instead of string-switching per row) keeps the
+// accumulator loop cheap, and lets add() maintain only the running
+// sums the specific aggregate needs — AVG over a million rows should
+// not pay for GEOMEAN's logarithm.
+type aggOp uint8
+
+const (
+	opCount aggOp = iota
+	opSum
+	opAvg
+	opMin
+	opMax
+	opProd
+	opMedian
+	opGeomean
+	opVariance
+	opStddev
+)
+
+var aggOps = map[string]aggOp{
+	"count":    opCount,
+	"sum":      opSum,
+	"avg":      opAvg,
+	"min":      opMin,
+	"max":      opMax,
+	"prod":     opProd,
+	"median":   opMedian,
+	"geomean":  opGeomean,
+	"variance": opVariance,
+	"stddev":   opStddev,
+}
+
 // aggState accumulates one aggregate over the rows of one group.
 type aggState struct {
 	spec *aggExpr
+	op   aggOp
 
 	n      int64 // non-NULL inputs seen (rows for COUNT(*))
 	sum    float64
@@ -27,42 +61,42 @@ type aggState struct {
 }
 
 func newAggState(spec *aggExpr) *aggState {
-	st := &aggState{spec: spec, prod: 1, allInt: true, allPos: true}
+	st := &aggState{spec: spec, op: aggOps[spec.Name], prod: 1, allInt: true, allPos: true}
 	if spec.Distinct {
 		st.seen = make(map[string]bool)
 	}
 	return st
 }
 
-// add feeds one row's argument value into the accumulator.
-func (st *aggState) add(v value.Value) error {
-	if st.spec.Star {
-		st.n++
-		return nil
-	}
+// add feeds one row's argument value into the accumulator. v is a
+// pointer into the source row (or a stack temporary) purely to avoid
+// copying the Value struct per row; add never mutates through it.
+// COUNT(*) states are not fed through add — the scan loop counts rows
+// per group once and backfills them (see runSelect).
+func (st *aggState) add(v *value.Value) error {
 	if v.IsNull() {
 		return nil
 	}
 	if st.seen != nil {
-		k := indexKey(v)
+		k := indexKey(*v)
 		if st.seen[k] {
 			return nil
 		}
 		st.seen[k] = true
 	}
 	st.n++
-	switch st.spec.Name {
-	case "count":
+	switch st.op {
+	case opCount:
 		return nil
-	case "min":
-		if !st.first || value.Compare(v, st.min) < 0 {
-			st.min = v
+	case opMin:
+		if !st.first || value.Compare(*v, st.min) < 0 {
+			st.min = *v
 		}
 		st.first = true
 		return nil
-	case "max":
-		if !st.first || value.Compare(v, st.max) > 0 {
-			st.max = v
+	case opMax:
+		if !st.first || value.Compare(*v, st.max) > 0 {
+			st.max = *v
 		}
 		st.first = true
 		return nil
@@ -70,22 +104,30 @@ func (st *aggState) add(v value.Value) error {
 	if !v.Type().Numeric() {
 		return errorf("%s requires numeric input, got %s", st.spec.Name, v.Type())
 	}
-	if v.Type() != value.Integer {
-		st.allInt = false
-	} else {
-		st.intSum += v.Int()
-	}
 	f := v.Float()
-	st.sum += f
-	st.sumsq += f * f
-	st.prod *= f
-	if f > 0 {
-		st.logSum += math.Log(f)
-	} else {
-		st.allPos = false
-	}
-	if st.spec.Name == "median" {
+	switch st.op {
+	case opSum:
+		if v.Type() == value.Integer {
+			st.intSum += v.Int()
+		} else {
+			st.allInt = false
+		}
+		st.sum += f
+	case opAvg:
+		st.sum += f
+	case opProd:
+		st.prod *= f
+	case opMedian:
 		st.vals = append(st.vals, f)
+	case opGeomean:
+		if f > 0 {
+			st.logSum += math.Log(f)
+		} else {
+			st.allPos = false
+		}
+	case opVariance, opStddev:
+		st.sum += f
+		st.sumsq += f * f
 	}
 	st.first = true
 	return nil
@@ -94,10 +136,10 @@ func (st *aggState) add(v value.Value) error {
 // result finalizes the aggregate. Empty groups yield NULL except for
 // COUNT, which yields 0.
 func (st *aggState) result() value.Value {
-	switch st.spec.Name {
-	case "count":
+	switch st.op {
+	case opCount:
 		return value.NewInt(st.n)
-	case "sum":
+	case opSum:
 		if st.n == 0 {
 			return value.Null(value.Float)
 		}
@@ -105,27 +147,27 @@ func (st *aggState) result() value.Value {
 			return value.NewInt(st.intSum)
 		}
 		return value.NewFloat(st.sum)
-	case "avg":
+	case opAvg:
 		if st.n == 0 {
 			return value.Null(value.Float)
 		}
 		return value.NewFloat(st.sum / float64(st.n))
-	case "min":
+	case opMin:
 		if !st.first {
 			return value.Null(value.Float)
 		}
 		return st.min
-	case "max":
+	case opMax:
 		if !st.first {
 			return value.Null(value.Float)
 		}
 		return st.max
-	case "prod":
+	case opProd:
 		if st.n == 0 {
 			return value.Null(value.Float)
 		}
 		return value.NewFloat(st.prod)
-	case "median":
+	case opMedian:
 		if len(st.vals) == 0 {
 			return value.Null(value.Float)
 		}
@@ -135,7 +177,7 @@ func (st *aggState) result() value.Value {
 			return value.NewFloat(st.vals[mid])
 		}
 		return value.NewFloat((st.vals[mid-1] + st.vals[mid]) / 2)
-	case "geomean":
+	case opGeomean:
 		if st.n == 0 {
 			return value.Null(value.Float)
 		}
@@ -143,7 +185,7 @@ func (st *aggState) result() value.Value {
 			return value.Null(value.Float)
 		}
 		return value.NewFloat(math.Exp(st.logSum / float64(st.n)))
-	case "variance", "stddev":
+	case opVariance, opStddev:
 		// Sample variance, like PostgreSQL's VARIANCE/STDDEV.
 		if st.n == 0 {
 			return value.Null(value.Float)
@@ -157,7 +199,7 @@ func (st *aggState) result() value.Value {
 		if variance < 0 {
 			variance = 0 // guard against rounding
 		}
-		if st.spec.Name == "variance" {
+		if st.op == opVariance {
 			return value.NewFloat(variance)
 		}
 		return value.NewFloat(math.Sqrt(variance))

@@ -64,44 +64,61 @@ func (p *sqlParser) parseAlter() (Statement, error) {
 	return st, nil
 }
 
-func (db *DB) execAlter(s *AlterTableStmt) (*Result, error) {
+// execAlter rewrites the table into a fresh version: published rows
+// are immutable, so ADD/DROP COLUMN rebuild every row rather than
+// widening shared slices in place.
+func (db *DB) execAlter(ws *writeState, s *AlterTableStmt) (*Result, error) {
 	key := lower(s.Table)
-	t, ok := db.tables[key]
+	t, ok := ws.tab(key)
 	if !ok {
 		return nil, errorf("no such table %q", s.Table)
 	}
-	db.saveUndo(key)
 	switch {
 	case s.Add != nil:
 		if t.schema.Index(s.Add.Name) >= 0 {
 			return nil, errorf("column %q already exists in %q", s.Add.Name, s.Table)
 		}
-		t.schema = append(t.schema, *s.Add)
-		for i := range t.rows {
-			t.rows[i] = append(t.rows[i], value.Null(s.Add.Type))
+		nt, _ := ws.modify(key)
+		nt.schema = append(nt.schema.clone(), *s.Add)
+		null := value.Null(s.Add.Type)
+		rows := make([]Row, 0, nt.nrows)
+		for _, ch := range t.chunks {
+			for _, row := range ch {
+				nr := make(Row, 0, len(row)+1)
+				nr = append(nr, row...)
+				rows = append(rows, append(nr, null))
+			}
 		}
-		return &Result{Affected: len(t.rows)}, nil
+		nt.replaceRows(rows)
+		return &Result{Affected: nt.nrows}, nil
 	case s.Drop != "":
 		ci := t.schema.Index(s.Drop)
 		if ci < 0 {
 			return nil, errorf("no column %q in table %q", s.Drop, s.Table)
 		}
-		delete(t.indexes, lower(s.Drop))
-		t.schema = append(t.schema[:ci:ci], t.schema[ci+1:]...)
-		for i, row := range t.rows {
-			t.rows[i] = append(row[:ci:ci], row[ci+1:]...)
+		nt, _ := ws.modify(key)
+		delete(nt.indexes, lower(s.Drop))
+		sc := nt.schema.clone()
+		nt.schema = append(sc[:ci:ci], sc[ci+1:]...)
+		rows := make([]Row, 0, nt.nrows)
+		for _, ch := range t.chunks {
+			for _, row := range ch {
+				nr := make(Row, 0, len(row)-1)
+				nr = append(nr, row[:ci]...)
+				rows = append(rows, append(nr, row[ci+1:]...))
+			}
 		}
-		t.rebuildIndexes()
-		return &Result{Affected: len(t.rows)}, nil
+		nt.replaceRows(rows)
+		return &Result{Affected: nt.nrows}, nil
 	case s.Rename != "":
 		nkey := lower(s.Rename)
-		if _, exists := db.tables[nkey]; exists {
+		if _, exists := ws.tab(nkey); exists {
 			return nil, errorf("table %q already exists", s.Rename)
 		}
-		db.saveUndo(nkey)
-		delete(db.tables, key)
-		t.name = s.Rename
-		db.tables[nkey] = t
+		nt, _ := ws.modify(key)
+		nt.name = s.Rename
+		ws.drop(key)
+		ws.put(nkey, nt)
 		return &Result{}, nil
 	}
 	return nil, errorf("empty ALTER TABLE")

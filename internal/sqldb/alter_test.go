@@ -94,10 +94,7 @@ func TestAlterDurable(t *testing.T) {
 	mustExec(t, db, "ALTER TABLE t ADD COLUMN b string")
 	mustExec(t, db, "UPDATE t SET b = 'x'")
 	// Crash-style reopen (WAL replay path).
-	db.mu.Lock()
-	db.durable.close()
-	db.durable = nil
-	db.mu.Unlock()
+	db.crashWAL()
 	db2, err := Open(dir)
 	if err != nil {
 		t.Fatal(err)

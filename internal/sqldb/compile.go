@@ -332,31 +332,155 @@ func compileCmp(e *binExpr, ec *evalCtx, l, r compiledExpr, ok func(int) bool) c
 	}
 }
 
+// Shared result values for the comparison hot path: returning a
+// prebuilt Value skips per-row construction work.
+var (
+	boolTrueV  = value.NewBool(true)
+	boolFalseV = value.NewBool(false)
+	nullBoolV  = value.Null(value.Boolean)
+)
+
 // cmpColLit compares row column i against a literal. swapped means the
 // literal was the left operand (`5 < col`), so the comparison result
-// is negated relative to Compare(col, lit).
+// is negated relative to Compare(col, lit). The comparison outcome
+// table (ok at -1/0/1) is precomputed and numeric literals are
+// unpacked once, so the per-row closure runs without further calls in
+// the numeric case.
 func cmpColLit(i int, lit value.Value, ok func(int) bool, swapped bool) compiledExpr {
 	if lit.IsNull() {
-		return func(*execCtx) (value.Value, error) { return value.Null(value.Boolean), nil }
+		return func(*execCtx) (value.Value, error) { return nullBoolV, nil }
 	}
+	var okLUT [3]bool // indexed by cv+1
+	for cv := -1; cv <= 1; cv++ {
+		r := cv
+		if swapped {
+			r = -r
+		}
+		okLUT[cv+1] = ok(r)
+	}
+	litNumeric := lit.Type().Numeric()
+	litIsInt := lit.Type() == value.Integer
+	litI, litF := lit.Int(), lit.Float()
 	return func(ctx *execCtx) (value.Value, error) {
 		c := &ctx.row[i]
 		if c.IsNull() {
-			return value.Null(value.Boolean), nil
+			return nullBoolV, nil
 		}
-		cv := value.ComparePtr(c, &lit)
+		var cv int
+		t := c.Type()
+		if litIsInt && t == value.Integer {
+			if ci := c.Int(); ci < litI {
+				cv = -1
+			} else if ci > litI {
+				cv = 1
+			}
+		} else if litNumeric && t.Numeric() {
+			if cf := c.Float(); cf < litF {
+				cv = -1
+			} else if cf > litF {
+				cv = 1
+			}
+		} else {
+			cv = value.ComparePtr(c, &lit)
+		}
+		if okLUT[cv+1] {
+			return boolTrueV, nil
+		}
+		return boolFalseV, nil
+	}
+}
+
+// compileWherePred builds the unboxed filter for compiledSelect's
+// wherePred — see that field's comment. Returns nil when the clause
+// is not a plain `column <op> literal` comparison.
+func compileWherePred(e sqlExpr, ec *evalCtx) func(Row) (bool, error) {
+	be, isBin := e.(*binExpr)
+	if !isBin {
+		return nil
+	}
+	var ok func(int) bool
+	switch be.Op {
+	case "=":
+		ok = func(c int) bool { return c == 0 }
+	case "<>":
+		ok = func(c int) bool { return c != 0 }
+	case "<":
+		ok = func(c int) bool { return c < 0 }
+	case "<=":
+		ok = func(c int) bool { return c <= 0 }
+	case ">":
+		ok = func(c int) bool { return c > 0 }
+	case ">=":
+		ok = func(c int) bool { return c >= 0 }
+	default:
+		return nil
+	}
+	if ce, isCol := be.L.(*colExpr); isCol {
+		if le, isLit := be.R.(*litExpr); isLit {
+			if i, err := ec.lookup(ce.Table, ce.Name); err == nil {
+				return cmpColLitPred(i, le.v, ok, false)
+			}
+		}
+	}
+	if ce, isCol := be.R.(*colExpr); isCol {
+		if le, isLit := be.L.(*litExpr); isLit {
+			if i, err := ec.lookup(ce.Table, ce.Name); err == nil {
+				return cmpColLitPred(i, le.v, ok, true)
+			}
+		}
+	}
+	return nil
+}
+
+// cmpColLitPred is cmpColLit without the Value boxing: NULL on either
+// side yields false (not-true), which is exactly the top-level WHERE
+// semantics.
+func cmpColLitPred(i int, lit value.Value, ok func(int) bool, swapped bool) func(Row) (bool, error) {
+	if lit.IsNull() {
+		return func(Row) (bool, error) { return false, nil }
+	}
+	var okLUT [3]bool // indexed by cv+1
+	for cv := -1; cv <= 1; cv++ {
+		r := cv
 		if swapped {
-			cv = -cv
+			r = -r
 		}
-		return value.NewBool(ok(cv)), nil
+		okLUT[cv+1] = ok(r)
+	}
+	litNumeric := lit.Type().Numeric()
+	litIsInt := lit.Type() == value.Integer
+	litI, litF := lit.Int(), lit.Float()
+	return func(row Row) (bool, error) {
+		c := &row[i]
+		if c.IsNull() {
+			return false, nil
+		}
+		var cv int
+		t := c.Type()
+		if litIsInt && t == value.Integer {
+			if ci := c.Int(); ci < litI {
+				cv = -1
+			} else if ci > litI {
+				cv = 1
+			}
+		} else if litNumeric && t.Numeric() {
+			if cf := c.Float(); cf < litF {
+				cv = -1
+			} else if cf > litF {
+				cv = 1
+			}
+		} else {
+			cv = value.ComparePtr(c, &lit)
+		}
+		return okLUT[cv+1], nil
 	}
 }
 
 // likePattern translates a SQL LIKE pattern to a compiled regexp,
 // sharing the interpreter's cache.
 func likePattern(p string) (*regexp.Regexp, error) {
-	if cached, ok := likeCache.Load(p); ok {
-		return cached.(*regexp.Regexp), nil
+	if re := likeCache.get(p); re != nil {
+		return re, nil
 	}
 	var sb strings.Builder
 	sb.WriteString("(?is)^")
@@ -375,7 +499,7 @@ func likePattern(p string) (*regexp.Regexp, error) {
 	if err != nil {
 		return nil, errorf("bad LIKE pattern %q: %v", p, err)
 	}
-	likeCache.Store(p, re)
+	likeCache.put(p, re)
 	return re, nil
 }
 
@@ -415,12 +539,28 @@ func compileFunc(e *funcExpr, ec *evalCtx) compiledExpr {
 type compiledSelect struct {
 	srcSchema Schema
 	where     compiledExpr // nil when no WHERE clause
+	// wherePred is an unboxed form of the WHERE filter, compiled when
+	// the clause has the ubiquitous `column <op> literal` shape. At the
+	// top level of a WHERE, SQL's three-valued logic degenerates to
+	// "NULL is not true", so the scan loop can use a plain boolean
+	// closure and skip Value boxing per row. nil when unavailable;
+	// where remains valid either way.
+	wherePred func(Row) (bool, error)
 
 	grouped bool
 	aggs    []*aggExpr
 	aggArgs []compiledExpr // aligned with aggs; nil for COUNT(*)
+	aggCols []int          // aligned with aggs; source column index when the argument is a plain column, else -1
 	groupBy []compiledExpr
 	having  compiledExpr // nil when no HAVING clause
+	// fastKeyCol is the source-column index of the grouping key when
+	// the GROUP BY is a single plain column of any type but Timestamp
+	// (whose datum is a pointer, so value identity is not group
+	// identity); -1 otherwise. Grouping then buckets on the column
+	// value directly — on its numeric bits (fastKeyNum) or its string
+	// datum — instead of formatting a composite string key per row.
+	fastKeyCol int
+	fastKeyNum bool
 
 	outSchema Schema
 	starCols  map[int][]int  // select-item index -> source columns
@@ -430,10 +570,10 @@ type compiledSelect struct {
 	orderSrc []compiledExpr // ORDER BY keys against the source schema
 }
 
-// planSelect compiles st against the current catalog. The caller must
-// hold the database lock (read suffices).
-func (db *DB) planSelect(st *SelectStmt) (*compiledSelect, error) {
-	src, err := db.selectSourceSchema(st)
+// planSelect compiles st against the snapshot's catalog. Snapshots
+// are immutable, so no locking is involved.
+func (sn *snapshot) planSelect(st *SelectStmt) (*compiledSelect, error) {
+	src, err := sn.selectSourceSchema(st)
 	if err != nil {
 		return nil, err
 	}
@@ -441,6 +581,7 @@ func (db *DB) planSelect(st *SelectStmt) (*compiledSelect, error) {
 	ec := newEvalCtx(src)
 	if st.Where != nil {
 		p.where = compileExpr(st.Where, ec)
+		p.wherePred = compileWherePred(st.Where, ec)
 	}
 	for _, it := range st.Items {
 		if it.E != nil {
@@ -454,16 +595,32 @@ func (db *DB) planSelect(st *SelectStmt) (*compiledSelect, error) {
 	for _, g := range st.GroupBy {
 		p.groupBy = append(p.groupBy, compileExpr(g, ec))
 	}
+	p.fastKeyCol = -1
+	if len(st.GroupBy) == 1 {
+		if ce, isCol := st.GroupBy[0].(*colExpr); isCol {
+			if i, err := ec.lookup(ce.Table, ce.Name); err == nil && src[i].Type != value.Timestamp {
+				p.fastKeyCol = i
+				p.fastKeyNum = src[i].Type != value.String && src[i].Type != value.Version
+			}
+		}
+	}
 	p.aggArgs = make([]compiledExpr, len(p.aggs))
+	p.aggCols = make([]int, len(p.aggs))
 	for i, a := range p.aggs {
+		p.aggCols[i] = -1
 		if !a.Star {
 			p.aggArgs[i] = compileExpr(a.Arg, ec)
+			if ce, isCol := a.Arg.(*colExpr); isCol {
+				if ci, err := ec.lookup(ce.Table, ce.Name); err == nil {
+					p.aggCols[i] = ci
+				}
+			}
 		}
 	}
 	if st.Having != nil {
 		p.having = compileExpr(st.Having, ec)
 	}
-	p.outSchema, p.starCols, err = db.projectionSchema(st, src)
+	p.outSchema, p.starCols, err = projectionSchema(st, src)
 	if err != nil {
 		return nil, err
 	}
@@ -486,20 +643,20 @@ func (db *DB) planSelect(st *SelectStmt) (*compiledSelect, error) {
 // selectSourceSchema derives the schema a SELECT's expressions resolve
 // against — the concatenation of all FROM and JOIN table schemas with
 // alias qualification — without touching any rows.
-func (db *DB) selectSourceSchema(st *SelectStmt) (Schema, error) {
+func (sn *snapshot) selectSourceSchema(st *SelectStmt) (Schema, error) {
 	if len(st.From) == 0 {
 		return nil, nil
 	}
 	var src Schema
 	for _, fi := range st.From {
-		s, err := db.scanSchema(fi)
+		s, err := sn.scanSchema(fi)
 		if err != nil {
 			return nil, err
 		}
 		src = append(src, s...)
 	}
 	for _, jc := range st.Joins {
-		s, err := db.scanSchema(jc.Right)
+		s, err := sn.scanSchema(jc.Right)
 		if err != nil {
 			return nil, err
 		}

@@ -1,9 +1,11 @@
 package sqldb
 
 import (
+	"errors"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"perfbase/internal/value"
 )
@@ -17,31 +19,43 @@ type Querier interface {
 }
 
 // DB is an embedded SQL database. All methods are safe for concurrent
-// use; statements execute under a database-wide lock (readers share).
+// use. Reads (SELECT/EXPLAIN) execute lock-free against an immutable
+// snapshot acquired with one atomic load; mutations serialize on a
+// writer lock and publish a new snapshot when they succeed, so a bulk
+// import never stalls concurrent readers.
 type DB struct {
-	mu     sync.RWMutex
-	tables map[string]*table
+	// state is the current committed snapshot; see snapshot.go.
+	state atomic.Pointer[snapshot]
+	// wmu serializes writers (and transaction state below).
+	wmu sync.Mutex
 
-	// tableVers counts schema-affecting changes per (lower-cased)
-	// table name; cached plans record the versions they were compiled
-	// against and recompile on mismatch. Guarded by mu.
-	tableVers map[string]int64
 	// plans caches parsed statements and compiled SELECT plans by raw
 	// SQL text. It has its own lock; see plancache.go.
 	plans planCache
 
-	// Transaction state: undo holds pre-transaction table snapshots
-	// (nil pointer = table did not exist before the transaction).
-	inTxn   bool
-	undo    map[string]*table
-	txnLog  []string
-	durable *walWriter // nil for a memory-only database
-	dir     string
+	// Transaction state, guarded by wmu. txnBase is the snapshot at
+	// BEGIN: its table pointers are the undo log, so ROLLBACK is a
+	// pointer swap. txnTouched records every table the transaction
+	// mutated, for the monotonic version bumps on abort.
+	inTxn      bool
+	txnBase    *snapshot
+	txnTouched map[string]bool
+	txnLog     []string
+
+	wal *groupWAL // nil for a memory-only database
+	dir string
 }
+
+// ErrTxnBusy is returned by BEGIN while another transaction is open.
+// The database has one transaction slot; concurrent transactional
+// writers treat this like SQLITE_BUSY and retry.
+var ErrTxnBusy = errors.New("sqldb: transaction already open")
 
 // NewMemory creates an empty in-memory database.
 func NewMemory() *DB {
-	return &DB{tables: make(map[string]*table)}
+	db := &DB{}
+	db.state.Store(&snapshot{tables: map[string]*table{}, vers: map[string]int64{}})
+	return db
 }
 
 // Exec parses and executes one SQL statement. Statements are cached
@@ -104,35 +118,43 @@ func BindArgs(sql string, args ...value.Value) (string, error) {
 // used for durability logging; pass "" to skip logging (used during
 // WAL replay).
 func (db *DB) ExecParsed(st Statement, raw string) (*Result, error) {
-	// Pure reads take the shared lock.
+	// Pure reads run lock-free against the current snapshot.
 	if sel, ok := st.(*SelectStmt); ok {
-		db.mu.RLock()
-		defer db.mu.RUnlock()
-		return db.execSelect(sel)
+		return db.state.Load().execSelect(sel)
 	}
 	if ex, ok := st.(*ExplainStmt); ok {
-		db.mu.RLock()
-		defer db.mu.RUnlock()
-		return db.execExplain(ex)
+		return db.execExplain(db.state.Load(), ex)
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	res, err := db.execMutation(st)
+	db.wmu.Lock()
+	ws := db.beginWrite()
+	res, err := db.execMutation(ws, st)
 	if err != nil {
+		db.wmu.Unlock()
 		return nil, err
 	}
-	db.logMutation(st, raw)
+	ws.publish()
+	seq := db.logMutation(st, raw)
+	db.wmu.Unlock()
+	// Durability waits happen outside the writer lock so that
+	// concurrent committers share one group fsync instead of
+	// serializing on the disk.
+	db.waitDurable(seq)
 	return res, nil
 }
 
-func (db *DB) execMutation(st Statement) (*Result, error) {
+func (db *DB) execMutation(ws *writeState, st Statement) (*Result, error) {
 	switch s := st.(type) {
 	case *BeginStmt:
 		if db.inTxn {
-			return nil, errorf("transaction already open")
+			// The database has a single transaction slot (there is no
+			// session concept to scope nested transactions to). Like
+			// SQLITE_BUSY, this is retryable: the caller backs off until
+			// the open transaction commits or rolls back.
+			return nil, ErrTxnBusy
 		}
 		db.inTxn = true
-		db.undo = make(map[string]*table)
+		db.txnBase = ws.base
+		db.txnTouched = make(map[string]bool)
 		db.txnLog = nil
 		return &Result{}, nil
 	case *CommitStmt:
@@ -140,48 +162,46 @@ func (db *DB) execMutation(st Statement) (*Result, error) {
 			return nil, errorf("no open transaction")
 		}
 		db.inTxn = false
-		db.undo = nil
+		db.txnBase = nil
+		db.txnTouched = nil
 		return &Result{}, nil
 	case *RollbackStmt:
 		if !db.inTxn {
 			return nil, errorf("no open transaction")
 		}
-		undone := make([]string, 0, len(db.undo))
-		for name, t := range db.undo {
-			if t == nil {
-				delete(db.tables, name)
-			} else {
-				db.tables[name] = t
-			}
-			undone = append(undone, name)
-		}
+		// Overlay rollback: republish the pre-transaction table
+		// pointers (no row copies), bumping the version of every table
+		// the transaction touched. The bump is monotonic — versions
+		// are never restored to their pre-transaction values — so a
+		// plan compiled against a table that existed only inside the
+		// aborted transaction can never be mistaken for current.
+		ws.restore(db.txnBase, db.txnTouched)
+		ws.schemaChanged(sortedKeys(db.txnTouched)...)
 		db.inTxn = false
-		db.undo = nil
+		db.txnBase = nil
+		db.txnTouched = nil
 		db.txnLog = nil
-		// Restored pre-images may differ in schema from the aborted
-		// state; treat every touched table as schema-changed.
-		db.schemaChanged(undone...)
 		return &Result{}, nil
 	case *CreateTableStmt:
-		res, err := db.execCreateTable(s)
+		res, err := db.execCreateTable(ws, s)
 		if err == nil {
-			db.schemaChanged(lower(s.Name))
+			ws.schemaChanged(lower(s.Name))
 		}
 		return res, err
 	case *DropTableStmt:
 		key := lower(s.Name)
-		if _, ok := db.tables[key]; !ok {
+		if _, ok := ws.tab(key); !ok {
 			if s.IfExists {
 				return &Result{}, nil
 			}
 			return nil, errorf("no such table %q", s.Name)
 		}
-		db.saveUndo(key)
-		delete(db.tables, key)
-		db.schemaChanged(key)
+		ws.drop(key)
+		ws.schemaChanged(key)
 		return &Result{}, nil
 	case *CreateIndexStmt:
-		t, ok := db.tables[lower(s.Table)]
+		key := lower(s.Table)
+		t, ok := ws.tab(key)
 		if !ok {
 			return nil, errorf("no such table %q", s.Table)
 		}
@@ -189,68 +209,52 @@ func (db *DB) execMutation(st Statement) (*Result, error) {
 		if ci < 0 {
 			return nil, errorf("no column %q in table %q", s.Column, s.Table)
 		}
+		nt, _ := ws.modify(key)
 		idx := &hashIndex{}
-		idx.rebuild(t.rows, ci)
-		t.indexes[lower(s.Column)] = idx
+		idx.rebuildFrom(nt, ci)
+		nt.indexes[lower(s.Column)] = idx
 		// Index choice is made per execution, but bump anyway so
 		// EXPLAIN-sensitive consumers never see a stale plan.
-		db.schemaChanged(lower(s.Table))
+		ws.schemaChanged(key)
 		return &Result{}, nil
 	case *AlterTableStmt:
-		res, err := db.execAlter(s)
+		res, err := db.execAlter(ws, s)
 		if err == nil {
 			if s.Rename != "" {
-				db.schemaChanged(lower(s.Table), lower(s.Rename))
+				ws.schemaChanged(lower(s.Table), lower(s.Rename))
 			} else {
-				db.schemaChanged(lower(s.Table))
+				ws.schemaChanged(lower(s.Table))
 			}
 		}
 		return res, err
 	case *InsertStmt:
-		return db.execInsert(s)
+		return db.execInsert(ws, s)
 	case *UpdateStmt:
-		return db.execUpdate(s)
+		return db.execUpdate(ws, s)
 	case *DeleteStmt:
-		return db.execDelete(s)
+		return db.execDelete(ws, s)
 	}
 	return nil, errorf("unsupported statement %T", st)
 }
 
-// saveUndo records the pre-image of a table before its first mutation
-// in the open transaction.
-func (db *DB) saveUndo(key string) {
-	if !db.inTxn {
-		return
-	}
-	if _, done := db.undo[key]; done {
-		return
-	}
-	if t, ok := db.tables[key]; ok {
-		db.undo[key] = t.clone()
-	} else {
-		db.undo[key] = nil
-	}
-}
-
-func (db *DB) execCreateTable(s *CreateTableStmt) (*Result, error) {
+func (db *DB) execCreateTable(ws *writeState, s *CreateTableStmt) (*Result, error) {
 	key := lower(s.Name)
-	if _, exists := db.tables[key]; exists {
+	if _, exists := ws.tab(key); exists {
 		if s.IfNotExists {
 			return &Result{}, nil
 		}
 		return nil, errorf("table %q already exists", s.Name)
 	}
 	if s.As != nil {
-		res, err := db.execSelect(s.As)
+		res, err := ws.base.execSelect(s.As)
 		if err != nil {
 			return nil, err
 		}
-		db.saveUndo(key)
 		t := newTable(s.Name, res.Columns, s.Temp)
 		for _, row := range res.Rows {
 			t.insert(row)
 		}
-		db.tables[key] = t
+		ws.put(key, t)
 		return &Result{Affected: len(res.Rows)}, nil
 	}
 	if len(s.Cols) == 0 {
@@ -263,13 +267,13 @@ func (db *DB) execCreateTable(s *CreateTableStmt) (*Result, error) {
 		}
 		seen[lower(c.Name)] = true
 	}
-	db.saveUndo(key)
-	db.tables[key] = newTable(s.Name, s.Cols, s.Temp)
+	ws.put(key, newTable(s.Name, s.Cols, s.Temp))
 	return &Result{}, nil
 }
 
-func (db *DB) execInsert(s *InsertStmt) (*Result, error) {
-	t, ok := db.tables[lower(s.Table)]
+func (db *DB) execInsert(ws *writeState, s *InsertStmt) (*Result, error) {
+	key := lower(s.Table)
+	t, ok := ws.tab(key)
 	if !ok {
 		return nil, errorf("no such table %q", s.Table)
 	}
@@ -293,7 +297,7 @@ func (db *DB) execInsert(s *InsertStmt) (*Result, error) {
 
 	var inRows []Row
 	if s.From != nil {
-		res, err := db.execSelect(s.From)
+		res, err := ws.base.execSelect(s.From)
 		if err != nil {
 			return nil, err
 		}
@@ -313,25 +317,25 @@ func (db *DB) execInsert(s *InsertStmt) (*Result, error) {
 		}
 	}
 
-	db.saveUndo(lower(s.Table))
+	nt, _ := ws.modify(key)
 	inserted := 0
 	for _, in := range inRows {
 		if len(in) != len(colPos) {
 			return nil, errorf("INSERT into %s: %d values for %d columns", s.Table, len(in), len(colPos))
 		}
-		row := make(Row, len(t.schema))
-		for i, c := range t.schema {
+		row := make(Row, len(nt.schema))
+		for i, c := range nt.schema {
 			row[i] = value.Null(c.Type)
 		}
 		for i, v := range in {
 			ci := colPos[i]
-			cv, err := v.Convert(t.schema[ci].Type)
+			cv, err := v.Convert(nt.schema[ci].Type)
 			if err != nil {
-				return nil, errorf("column %q: %v", t.schema[ci].Name, err)
+				return nil, errorf("column %q: %v", nt.schema[ci].Name, err)
 			}
 			row[ci] = cv
 		}
-		t.insert(row)
+		nt.insert(row)
 		inserted++
 	}
 	return &Result{Affected: inserted}, nil
@@ -348,8 +352,9 @@ func tableECSchema(t *table) Schema {
 	return s
 }
 
-func (db *DB) execUpdate(s *UpdateStmt) (*Result, error) {
-	t, ok := db.tables[lower(s.Table)]
+func (db *DB) execUpdate(ws *writeState, s *UpdateStmt) (*Result, error) {
+	key := lower(s.Table)
+	t, ok := ws.tab(key)
 	if !ok {
 		return nil, errorf("no such table %q", s.Table)
 	}
@@ -371,72 +376,80 @@ func (db *DB) execUpdate(s *UpdateStmt) (*Result, error) {
 	if s.Where != nil {
 		where = compileExpr(s.Where, ec)
 	}
-	db.saveUndo(lower(s.Table))
+	// Build the replacement row set copy-on-write: untouched rows keep
+	// their (immutable, shared) Row slices; updated rows are fresh.
 	ctx := &execCtx{}
+	newRows := make([]Row, 0, t.nrows)
 	affected := 0
-	for ri, row := range t.rows {
-		ctx.row = row
-		if where != nil {
-			v, err := where(ctx)
-			if err != nil {
-				return nil, err
+	for _, chunk := range t.chunks {
+		for _, row := range chunk {
+			ctx.row = row
+			if where != nil {
+				v, err := where(ctx)
+				if err != nil {
+					return nil, err
+				}
+				if !boolTrue(v) {
+					newRows = append(newRows, row)
+					continue
+				}
 			}
-			if !boolTrue(v) {
-				continue
+			updated := make(Row, len(row))
+			copy(updated, row)
+			for _, op := range sets {
+				v, err := op.e(ctx)
+				if err != nil {
+					return nil, err
+				}
+				cv, err := v.Convert(t.schema[op.ci].Type)
+				if err != nil {
+					return nil, errorf("column %q: %v", t.schema[op.ci].Name, err)
+				}
+				updated[op.ci] = cv
 			}
+			newRows = append(newRows, updated)
+			affected++
 		}
-		updated := make(Row, len(row))
-		copy(updated, row)
-		for _, op := range sets {
-			v, err := op.e(ctx)
-			if err != nil {
-				return nil, err
-			}
-			cv, err := v.Convert(t.schema[op.ci].Type)
-			if err != nil {
-				return nil, errorf("column %q: %v", t.schema[op.ci].Name, err)
-			}
-			updated[op.ci] = cv
-		}
-		t.rows[ri] = updated
-		affected++
 	}
 	if affected > 0 {
-		t.rebuildIndexes()
+		nt, _ := ws.modify(key)
+		nt.replaceRows(newRows)
 	}
 	return &Result{Affected: affected}, nil
 }
 
-func (db *DB) execDelete(s *DeleteStmt) (*Result, error) {
-	t, ok := db.tables[lower(s.Table)]
+func (db *DB) execDelete(ws *writeState, s *DeleteStmt) (*Result, error) {
+	key := lower(s.Table)
+	t, ok := ws.tab(key)
 	if !ok {
 		return nil, errorf("no such table %q", s.Table)
 	}
-	db.saveUndo(lower(s.Table))
 	var where compiledExpr
 	if s.Where != nil {
 		where = compileExpr(s.Where, newEvalCtx(tableECSchema(t)))
 	}
 	ctx := &execCtx{}
-	kept := t.rows[:0:0]
+	var kept []Row
 	deleted := 0
-	for _, row := range t.rows {
-		if where != nil {
-			ctx.row = row
-			v, err := where(ctx)
-			if err != nil {
-				return nil, err
+	for _, chunk := range t.chunks {
+		for _, row := range chunk {
+			if where != nil {
+				ctx.row = row
+				v, err := where(ctx)
+				if err != nil {
+					return nil, err
+				}
+				if !boolTrue(v) {
+					kept = append(kept, row)
+					continue
+				}
 			}
-			if !boolTrue(v) {
-				kept = append(kept, row)
-				continue
-			}
+			deleted++
 		}
-		deleted++
 	}
-	t.rows = kept
 	if deleted > 0 {
-		t.rebuildIndexes()
+		nt, _ := ws.modify(key)
+		nt.replaceRows(kept)
 	}
 	return &Result{Affected: deleted}, nil
 }
@@ -460,43 +473,57 @@ func (db *DB) InsertRows(tableName string, cols []string, rows []Row) (int, erro
 	if len(rows) == 0 {
 		return 0, nil
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	t, ok := db.tables[lower(tableName)]
+	db.wmu.Lock()
+	ws := db.beginWrite()
+	key := lower(tableName)
+	t, ok := ws.tab(key)
 	if !ok {
+		db.wmu.Unlock()
 		return 0, errorf("no such table %q", tableName)
 	}
 	colPos := make([]int, len(cols))
 	for i, c := range cols {
 		ci := t.schema.Index(c)
 		if ci < 0 {
+			db.wmu.Unlock()
 			return 0, errorf("no column %q in table %q", c, tableName)
 		}
 		colPos[i] = ci
 	}
-	db.saveUndo(lower(tableName))
-	for _, in := range rows {
+	nt, _ := ws.modify(key)
+	// One backing array for the whole batch: a bulk import of R rows
+	// costs O(1) slice allocations instead of R, and the rows end up
+	// contiguous in memory for the scans that follow.
+	ncols := len(nt.schema)
+	backing := make([]value.Value, len(rows)*ncols)
+	chunk := make([]Row, len(rows))
+	for ri, in := range rows {
 		if len(in) != len(cols) {
+			db.wmu.Unlock()
 			return 0, errorf("InsertRows into %s: %d values for %d columns", tableName, len(in), len(cols))
 		}
-		row := make(Row, len(t.schema))
-		for i, c := range t.schema {
+		row := Row(backing[ri*ncols : (ri+1)*ncols : (ri+1)*ncols])
+		for i, c := range nt.schema {
 			row[i] = value.Null(c.Type)
 		}
 		for i, v := range in {
 			ci := colPos[i]
-			cv, err := v.Convert(t.schema[ci].Type)
+			cv, err := v.Convert(nt.schema[ci].Type)
 			if err != nil {
-				return 0, errorf("column %q: %v", t.schema[ci].Name, err)
+				db.wmu.Unlock()
+				return 0, errorf("column %q: %v", nt.schema[ci].Name, err)
 			}
 			row[ci] = cv
 		}
-		t.insert(row)
+		chunk[ri] = row
 	}
-	if db.durable != nil && !t.temp {
+	nt.appendChunk(chunk)
+	ws.publish()
+	var seq uint64
+	if db.wal != nil && !nt.temp {
 		// Keep durability by logging an equivalent statement.
 		var sb strings.Builder
-		sb.WriteString("INSERT INTO " + t.name + " (" + strings.Join(cols, ", ") + ") VALUES ")
+		sb.WriteString("INSERT INTO " + nt.name + " (" + strings.Join(cols, ", ") + ") VALUES ")
 		for ri, in := range rows {
 			if ri > 0 {
 				sb.WriteString(", ")
@@ -513,18 +540,19 @@ func (db *DB) InsertRows(tableName string, cols []string, rows []Row) (int, erro
 		if db.inTxn {
 			db.txnLog = append(db.txnLog, sb.String())
 		} else {
-			db.durable.append(sb.String()) //nolint:errcheck
+			seq = db.wal.enqueue(sb.String())
 		}
 	}
+	db.wmu.Unlock()
+	db.waitDurable(seq)
 	return len(rows), nil
 }
 
 // Tables returns the names of all tables, sorted.
 func (db *DB) Tables() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	names := make([]string, 0, len(db.tables))
-	for _, t := range db.tables {
+	sn := db.state.Load()
+	names := make([]string, 0, len(sn.tables))
+	for _, t := range sn.tables {
 		names = append(names, t.name)
 	}
 	sort.Strings(names)
@@ -533,9 +561,7 @@ func (db *DB) Tables() []string {
 
 // TableSchema returns the schema of the named table.
 func (db *DB) TableSchema(name string) (Schema, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, ok := db.tables[lower(name)]
+	t, ok := db.state.Load().table(name)
 	if !ok {
 		return nil, false
 	}
@@ -544,40 +570,26 @@ func (db *DB) TableSchema(name string) (Schema, bool) {
 
 // RowCount returns the number of rows in the named table.
 func (db *DB) RowCount(name string) (int, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, ok := db.tables[lower(name)]
+	t, ok := db.state.Load().table(name)
 	if !ok {
 		return 0, false
 	}
-	return len(t.rows), true
+	return t.nrows, true
 }
 
 // DropTemp removes all temporary tables, as happens when a perfbase
 // query session ends.
 func (db *DB) DropTemp() {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	ws := db.beginWrite()
 	var dropped []string
-	for k, t := range db.tables {
+	for k, t := range ws.base.tables {
 		if t.temp {
-			delete(db.tables, k)
+			ws.drop(k)
 			dropped = append(dropped, k)
 		}
 	}
-	db.schemaChanged(dropped...)
-}
-
-// schemaChanged bumps the version of each (lower-cased) table and
-// evicts cached plans referencing them. Caller holds the write lock.
-func (db *DB) schemaChanged(keys ...string) {
-	if len(keys) == 0 {
-		return
-	}
-	set := make(map[string]bool, len(keys))
-	for _, k := range keys {
-		db.bumpVersion(k)
-		set[k] = true
-	}
-	db.plans.invalidate(set)
+	ws.schemaChanged(dropped...)
+	ws.publish()
 }

@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"container/list"
 	"math"
 	"regexp"
 	"strings"
@@ -161,8 +162,65 @@ func (e *betweenExpr) eval(ec *evalCtx) (value.Value, error) {
 }
 
 // likeCache memoizes compiled LIKE patterns; benchmark queries apply
-// the same pattern to every row.
-var likeCache sync.Map // string -> *regexp.Regexp
+// the same pattern to every row. It is a small LRU (like the plan
+// cache) so a stream of distinct — possibly adversarial — patterns
+// cannot grow memory without bound.
+var likeCache likeLRU
+
+// likeCacheSize bounds the number of cached compiled patterns.
+const likeCacheSize = 128
+
+type likeLRU struct {
+	mu sync.Mutex
+	ll *list.List // front = most recently used; holds *likeItem
+	m  map[string]*list.Element
+}
+
+type likeItem struct {
+	pat string
+	re  *regexp.Regexp
+}
+
+func (c *likeLRU) get(pat string) *regexp.Regexp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[pat]
+	if !ok {
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*likeItem).re
+}
+
+func (c *likeLRU) put(pat string, re *regexp.Regexp) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[string]*list.Element)
+		c.ll = list.New()
+	}
+	if el, ok := c.m[pat]; ok {
+		el.Value.(*likeItem).re = re
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[pat] = c.ll.PushFront(&likeItem{pat: pat, re: re})
+	for c.ll.Len() > likeCacheSize {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*likeItem).pat)
+	}
+}
+
+// len reports the number of cached patterns (used by tests).
+func (c *likeLRU) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ll == nil {
+		return 0
+	}
+	return c.ll.Len()
+}
 
 func evalLike(v, pat value.Value) (value.Value, error) {
 	if v.IsNull() || pat.IsNull() {
@@ -172,29 +230,9 @@ func evalLike(v, pat value.Value) (value.Value, error) {
 	if err != nil {
 		return value.Value{}, err
 	}
-	p := pat.Str()
-	var re *regexp.Regexp
-	if cached, ok := likeCache.Load(p); ok {
-		re = cached.(*regexp.Regexp)
-	} else {
-		var sb strings.Builder
-		sb.WriteString("(?is)^")
-		for _, r := range p {
-			switch r {
-			case '%':
-				sb.WriteString(".*")
-			case '_':
-				sb.WriteString(".")
-			default:
-				sb.WriteString(regexp.QuoteMeta(string(r)))
-			}
-		}
-		sb.WriteString("$")
-		re, err = regexp.Compile(sb.String())
-		if err != nil {
-			return value.Value{}, errorf("bad LIKE pattern %q: %v", p, err)
-		}
-		likeCache.Store(p, re)
+	re, err := likePattern(pat.Str())
+	if err != nil {
+		return value.Value{}, err
 	}
 	return value.NewBool(re.MatchString(s.Str())), nil
 }

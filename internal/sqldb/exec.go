@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"math"
 	"sort"
 	"strings"
 
@@ -9,16 +10,37 @@ import (
 
 // relation is an intermediate result during SELECT execution. Its
 // schema carries qualified column names ("alias.col") so references
-// resolve unambiguously across joins.
+// resolve unambiguously across joins. Rows are held in chunks so that
+// a base-table scan can walk the table's version chunks directly
+// without materializing a flat copy; derived relations (joins, index
+// probes) hold a single chunk.
 type relation struct {
 	schema Schema
-	rows   []Row
+	chunks [][]Row
+	nrows  int
+}
+
+func singleChunk(schema Schema, rows []Row) *relation {
+	return &relation{schema: schema, chunks: [][]Row{rows}, nrows: len(rows)}
+}
+
+// flat returns all rows as one slice, copying only when the relation
+// has more than one chunk.
+func (r *relation) flat() []Row {
+	if len(r.chunks) == 1 {
+		return r.chunks[0]
+	}
+	out := make([]Row, 0, r.nrows)
+	for _, ch := range r.chunks {
+		out = append(out, ch...)
+	}
+	return out
 }
 
 // scanSchema derives the schema a table contributes to a SELECT,
 // qualifying columns with the alias (or table name).
-func (db *DB) scanSchema(fi fromItem) (Schema, error) {
-	t, ok := db.tables[lower(fi.Table)]
+func (sn *snapshot) scanSchema(fi fromItem) (Schema, error) {
+	t, ok := sn.table(fi.Table)
 	if !ok {
 		return nil, errorf("no such table %q", fi.Table)
 	}
@@ -33,28 +55,33 @@ func (db *DB) scanSchema(fi fromItem) (Schema, error) {
 	return schema, nil
 }
 
-// scan produces a relation from a stored table.
-func (db *DB) scan(fi fromItem) (*relation, error) {
-	schema, err := db.scanSchema(fi)
+// scan produces a relation from a stored table. The relation shares
+// the table version's (immutable) chunks — no row copying.
+func (sn *snapshot) scan(fi fromItem) (*relation, error) {
+	schema, err := sn.scanSchema(fi)
 	if err != nil {
 		return nil, err
 	}
-	return &relation{schema: schema, rows: db.tables[lower(fi.Table)].rows}, nil
+	t, _ := sn.table(fi.Table)
+	return &relation{schema: schema, chunks: t.chunks, nrows: t.nrows}, nil
 }
 
 // crossJoin combines two relations with no condition.
 func crossJoin(a, b *relation) *relation {
-	out := &relation{schema: append(a.schema.clone(), b.schema...)}
-	out.rows = make([]Row, 0, len(a.rows)*len(b.rows))
-	for _, ra := range a.rows {
-		for _, rb := range b.rows {
-			row := make(Row, 0, len(ra)+len(rb))
-			row = append(row, ra...)
-			row = append(row, rb...)
-			out.rows = append(out.rows, row)
+	rows := make([]Row, 0, a.nrows*b.nrows)
+	for _, ca := range a.chunks {
+		for _, ra := range ca {
+			for _, cb := range b.chunks {
+				for _, rb := range cb {
+					row := make(Row, 0, len(ra)+len(rb))
+					row = append(row, ra...)
+					row = append(row, rb...)
+					rows = append(rows, row)
+				}
+			}
 		}
 	}
-	return out
+	return singleChunk(append(a.schema.clone(), b.schema...), rows)
 }
 
 // hashJoinCols resolves an ON condition to one column offset on each
@@ -93,66 +120,74 @@ func hashJoinCols(on sqlExpr, a, b Schema) (li, ri int, ok bool) {
 // anything else — including same-side conditions like ON a.x = a.y —
 // uses a nested loop with a compiled condition.
 func join(a, b *relation, on sqlExpr, left bool) (*relation, error) {
-	out := &relation{schema: append(a.schema.clone(), b.schema...)}
+	schema := append(a.schema.clone(), b.schema...)
+	var rows []Row
 
 	if li, ri, ok := hashJoinCols(on, a.schema, b.schema); ok {
-		ht := make(map[string][]int, len(b.rows))
-		for pos, rb := range b.rows {
-			k := indexKey(rb[ri])
-			ht[k] = append(ht[k], pos)
-		}
-		for _, ra := range a.rows {
-			matches := ht[indexKey(ra[li])]
-			if ra[li].IsNull() {
-				matches = nil // NULL never equi-joins
+		ht := make(map[string][]Row, b.nrows)
+		for _, cb := range b.chunks {
+			for _, rb := range cb {
+				k := indexKey(rb[ri])
+				ht[k] = append(ht[k], rb)
 			}
-			if len(matches) == 0 && left {
-				row := make(Row, 0, len(out.schema))
+		}
+		for _, ca := range a.chunks {
+			for _, ra := range ca {
+				matches := ht[indexKey(ra[li])]
+				if ra[li].IsNull() {
+					matches = nil // NULL never equi-joins
+				}
+				if len(matches) == 0 && left {
+					row := make(Row, 0, len(schema))
+					row = append(row, ra...)
+					for _, c := range b.schema {
+						row = append(row, value.Null(c.Type))
+					}
+					rows = append(rows, row)
+					continue
+				}
+				for _, rb := range matches {
+					row := make(Row, 0, len(schema))
+					row = append(row, ra...)
+					row = append(row, rb...)
+					rows = append(rows, row)
+				}
+			}
+		}
+		return singleChunk(schema, rows), nil
+	}
+
+	cond := compileExpr(on, newEvalCtx(schema))
+	ctx := &execCtx{}
+	brows := b.flat()
+	for _, ca := range a.chunks {
+		for _, ra := range ca {
+			matched := false
+			for _, rb := range brows {
+				row := make(Row, 0, len(schema))
+				row = append(row, ra...)
+				row = append(row, rb...)
+				ctx.row = row
+				v, err := cond(ctx)
+				if err != nil {
+					return nil, err
+				}
+				if boolTrue(v) {
+					rows = append(rows, row)
+					matched = true
+				}
+			}
+			if left && !matched {
+				row := make(Row, 0, len(schema))
 				row = append(row, ra...)
 				for _, c := range b.schema {
 					row = append(row, value.Null(c.Type))
 				}
-				out.rows = append(out.rows, row)
-				continue
+				rows = append(rows, row)
 			}
-			for _, pos := range matches {
-				row := make(Row, 0, len(out.schema))
-				row = append(row, ra...)
-				row = append(row, b.rows[pos]...)
-				out.rows = append(out.rows, row)
-			}
-		}
-		return out, nil
-	}
-
-	cond := compileExpr(on, newEvalCtx(out.schema))
-	ctx := &execCtx{}
-	for _, ra := range a.rows {
-		matched := false
-		for _, rb := range b.rows {
-			row := make(Row, 0, len(out.schema))
-			row = append(row, ra...)
-			row = append(row, rb...)
-			ctx.row = row
-			v, err := cond(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if boolTrue(v) {
-				out.rows = append(out.rows, row)
-				matched = true
-			}
-		}
-		if left && !matched {
-			row := make(Row, 0, len(out.schema))
-			row = append(row, ra...)
-			for _, c := range b.schema {
-				row = append(row, value.Null(c.Type))
-			}
-			out.rows = append(out.rows, row)
 		}
 	}
-	return out, nil
+	return singleChunk(schema, rows), nil
 }
 
 // equalityCandidates extracts top-level `col = literal` predicates
@@ -185,8 +220,8 @@ func equalityCandidates(e sqlExpr, out map[string]value.Value) {
 // indexedScan serves a single-table FROM through a hash index when the
 // WHERE clause pins an indexed column to a literal. The full WHERE
 // still runs afterwards, so this is purely a row pre-filter.
-func (db *DB) indexedScan(fi fromItem, where sqlExpr) (*relation, bool) {
-	t, ok := db.tables[lower(fi.Table)]
+func (sn *snapshot) indexedScan(fi fromItem, where sqlExpr) (*relation, bool) {
+	t, ok := sn.table(fi.Table)
 	if !ok || where == nil || len(t.indexes) == 0 {
 		return nil, false
 	}
@@ -216,50 +251,50 @@ func (db *DB) indexedScan(fi fromItem, where sqlExpr) (*relation, bool) {
 		positions := idx.lookup(cv)
 		rows := make([]Row, len(positions))
 		for i, pos := range positions {
-			rows[i] = t.rows[pos]
+			rows[i] = t.rowAt(pos)
 		}
-		return &relation{schema: schema, rows: rows}, true
+		return singleChunk(schema, rows), true
 	}
 	return nil, false
 }
 
-// execSelect runs a SELECT and returns its result, compiling a fresh
-// plan. The caller holds the database lock. Exec's cached path calls
-// runSelect directly with a reused plan.
-func (db *DB) execSelect(st *SelectStmt) (*Result, error) {
-	p, err := db.planSelect(st)
+// execSelect runs a SELECT against this snapshot, compiling a fresh
+// plan. Exec's cached path calls runSelect directly with a reused
+// plan. No locks are held or needed: the snapshot is immutable.
+func (sn *snapshot) execSelect(st *SelectStmt) (*Result, error) {
+	p, err := sn.planSelect(st)
 	if err != nil {
 		return nil, err
 	}
-	return db.runSelect(st, p)
+	return sn.runSelect(st, p)
 }
 
 // sourceRelation builds the input rows of a SELECT: the FROM clause
 // (or a single synthetic row for table-less SELECT), cross joins, and
 // explicit JOINs, with an index probe for the single-table case.
-func (db *DB) sourceRelation(st *SelectStmt) (*relation, error) {
+func (sn *snapshot) sourceRelation(st *SelectStmt) (*relation, error) {
 	if len(st.From) == 0 {
-		return &relation{rows: []Row{{}}}, nil
+		return singleChunk(nil, []Row{{}}), nil
 	}
 	if len(st.From) == 1 && len(st.Joins) == 0 {
-		if r, ok := db.indexedScan(st.From[0], st.Where); ok {
+		if r, ok := sn.indexedScan(st.From[0], st.Where); ok {
 			return r, nil
 		}
-		return db.scan(st.From[0])
+		return sn.scan(st.From[0])
 	}
-	rel, err := db.scan(st.From[0])
+	rel, err := sn.scan(st.From[0])
 	if err != nil {
 		return nil, err
 	}
 	for _, fi := range st.From[1:] {
-		r2, err := db.scan(fi)
+		r2, err := sn.scan(fi)
 		if err != nil {
 			return nil, err
 		}
 		rel = crossJoin(rel, r2)
 	}
 	for _, jc := range st.Joins {
-		r2, err := db.scan(jc.Right)
+		r2, err := sn.scan(jc.Right)
 		if err != nil {
 			return nil, err
 		}
@@ -271,12 +306,33 @@ func (db *DB) sourceRelation(st *SelectStmt) (*relation, error) {
 	return rel, nil
 }
 
+// bucket holds one group's accumulator state during a grouped SELECT:
+// a representative source row (for projecting the grouping columns),
+// the group's row count (backfilled into COUNT(*) states after the
+// scan, so the hot loop never calls add for them), and one aggregate
+// state per aggregate expression.
+type bucket struct {
+	rep    Row
+	n      int64
+	states []*aggState
+}
+
+// numGroupKey maps a non-NULL numeric (or boolean) grouping value to
+// its exact uint64 bucket key: the float bit pattern or the integer
+// datum. Used when the plan's fastKeyCol names a numeric column —
+// bucket lookup then hashes 8 bytes instead of a formatted string.
+func numGroupKey(v value.Value) uint64 {
+	if v.Type() == value.Float {
+		return math.Float64bits(v.Float())
+	}
+	return uint64(v.Int())
+}
+
 // runSelect executes a SELECT with an already-compiled plan. Scan,
 // filter and project/aggregate are fused into a single pass over the
 // source rows — no intermediate filtered relation is materialized.
-// The caller holds the database lock.
-func (db *DB) runSelect(st *SelectStmt, p *compiledSelect) (*Result, error) {
-	rel, err := db.sourceRelation(st)
+func (sn *snapshot) runSelect(st *SelectStmt, p *compiledSelect) (*Result, error) {
+	rel, err := sn.sourceRelation(st)
 	if err != nil {
 		return nil, err
 	}
@@ -299,74 +355,136 @@ func (db *DB) runSelect(st *SelectStmt, p *compiledSelect) (*Result, error) {
 	}
 
 	if p.grouped {
-		type bucket struct {
-			rep    Row
-			states []*aggState
+		newBucket := func(rep Row) *bucket {
+			b := &bucket{rep: rep, states: make([]*aggState, len(p.aggs))}
+			for i, a := range p.aggs {
+				b.states[i] = newAggState(a)
+			}
+			return b
 		}
-		index := map[string]*bucket{}
-		var order []string
-		var kb strings.Builder
-		for _, row := range rel.rows {
-			ctx.row = row
-			if p.where != nil {
-				v, err := p.where(ctx)
-				if err != nil {
-					return nil, err
-				}
-				if !boolTrue(v) {
-					continue
-				}
-			}
-			kb.Reset()
-			for _, g := range p.groupBy {
-				kv, err := g(ctx)
-				if err != nil {
-					return nil, err
-				}
-				kb.WriteString(indexKey(kv))
-				kb.WriteByte('\x1f')
-			}
-			k := kb.String()
-			b, ok := index[k]
-			if !ok {
-				b = &bucket{rep: row, states: make([]*aggState, len(p.aggs))}
-				for i, a := range p.aggs {
-					b.states[i] = newAggState(a)
-				}
-				index[k] = b
-				order = append(order, k)
-			}
-			for i, arg := range p.aggArgs {
-				var av value.Value
-				if arg != nil {
-					av, err = arg(ctx)
+		var buckets []*bucket // first-seen group order
+		// One of three bucket indexes is used, picked at plan time: the
+		// numeric fast path keys on the column value's bits, the string
+		// fast path on its string datum (both with a side slot for the
+		// NULL group), and the general path appends a composite key into
+		// a reused byte buffer, where the probe on string(kbuf) does not
+		// allocate (the compiler recognizes the conversion-for-lookup
+		// pattern) — a string is only materialized per distinct group.
+		var numIndex map[uint64]*bucket
+		var strIndex map[string]*bucket
+		var index map[string]*bucket
+		var nullBucket *bucket
+		switch {
+		case p.fastKeyCol >= 0 && p.fastKeyNum:
+			numIndex = map[uint64]*bucket{}
+		case p.fastKeyCol >= 0:
+			strIndex = map[string]*bucket{}
+		default:
+			index = map[string]*bucket{}
+		}
+		var kbuf []byte
+		for _, chunk := range rel.chunks {
+			for _, row := range chunk {
+				ctx.row = row
+				if p.wherePred != nil {
+					keep, err := p.wherePred(row)
 					if err != nil {
 						return nil, err
 					}
+					if !keep {
+						continue
+					}
+				} else if p.where != nil {
+					v, err := p.where(ctx)
+					if err != nil {
+						return nil, err
+					}
+					if !boolTrue(v) {
+						continue
+					}
 				}
-				if err := b.states[i].add(av); err != nil {
-					return nil, err
+				var b *bucket
+				if p.fastKeyCol >= 0 {
+					kv := row[p.fastKeyCol]
+					switch {
+					case kv.IsNull():
+						if nullBucket == nil {
+							nullBucket = newBucket(row)
+							buckets = append(buckets, nullBucket)
+						}
+						b = nullBucket
+					case p.fastKeyNum:
+						k := numGroupKey(kv)
+						var ok bool
+						b, ok = numIndex[k]
+						if !ok {
+							b = newBucket(row)
+							numIndex[k] = b
+							buckets = append(buckets, b)
+						}
+					default:
+						var ok bool
+						b, ok = strIndex[kv.Str()]
+						if !ok {
+							b = newBucket(row)
+							strIndex[kv.Str()] = b
+							buckets = append(buckets, b)
+						}
+					}
+				} else {
+					kbuf = kbuf[:0]
+					for _, g := range p.groupBy {
+						kv, err := g(ctx)
+						if err != nil {
+							return nil, err
+						}
+						kbuf = appendValueKey(kbuf, kv)
+						kbuf = append(kbuf, '\x1f')
+					}
+					var ok bool
+					b, ok = index[string(kbuf)]
+					if !ok {
+						b = newBucket(row)
+						index[string(kbuf)] = b
+						buckets = append(buckets, b)
+					}
+				}
+				b.n++
+				for i, arg := range p.aggArgs {
+					var av *value.Value
+					if ci := p.aggCols[i]; ci >= 0 {
+						av = &row[ci]
+					} else if arg != nil {
+						v, err := arg(ctx)
+						if err != nil {
+							return nil, err
+						}
+						av = &v
+					} else {
+						continue // COUNT(*): counted via b.n
+					}
+					if err := b.states[i].add(av); err != nil {
+						return nil, err
+					}
 				}
 			}
 		}
 		// An aggregate query with no GROUP BY always yields one group,
 		// even over an empty input.
-		if len(order) == 0 && len(st.GroupBy) == 0 {
-			b := &bucket{rep: make(Row, len(rel.schema)), states: make([]*aggState, len(p.aggs))}
+		if len(buckets) == 0 && len(st.GroupBy) == 0 {
+			b := newBucket(make(Row, len(rel.schema)))
 			for i := range b.rep {
 				b.rep[i] = value.Null(rel.schema[i].Type)
 			}
-			for i, a := range p.aggs {
-				b.states[i] = newAggState(a)
-			}
-			index[""] = b
-			order = append(order, "")
+			buckets = append(buckets, b)
 		}
 		// HAVING-filter and project each group in one pass.
-		for _, k := range order {
-			b := index[k]
+		for _, b := range buckets {
 			aggV := make(map[*aggExpr]value.Value, len(p.aggs))
 			for i, a := range p.aggs {
+				if a.Star {
+					b.states[i].n = b.n
+				}
 				aggV[a] = b.states[i].result()
 			}
 			ctx.row, ctx.aggs = b.rep, aggV
@@ -386,22 +504,32 @@ func (db *DB) runSelect(st *SelectStmt, p *compiledSelect) (*Result, error) {
 			emit(row, b.rep, aggV)
 		}
 	} else {
-		for _, row := range rel.rows {
-			ctx.row = row
-			if p.where != nil {
-				v, err := p.where(ctx)
+		for _, chunk := range rel.chunks {
+			for _, row := range chunk {
+				ctx.row = row
+				if p.wherePred != nil {
+					keep, err := p.wherePred(row)
+					if err != nil {
+						return nil, err
+					}
+					if !keep {
+						continue
+					}
+				} else if p.where != nil {
+					v, err := p.where(ctx)
+					if err != nil {
+						return nil, err
+					}
+					if !boolTrue(v) {
+						continue
+					}
+				}
+				out, err := p.projectRow(ctx, row)
 				if err != nil {
 					return nil, err
 				}
-				if !boolTrue(v) {
-					continue
-				}
+				emit(out, row, nil)
 			}
-			out, err := p.projectRow(ctx, row)
-			if err != nil {
-				return nil, err
-			}
-			emit(out, row, nil)
 		}
 	}
 
@@ -482,7 +610,7 @@ func (db *DB) runSelect(st *SelectStmt, p *compiledSelect) (*Result, error) {
 
 // projectionSchema derives the output schema of a SELECT and, for star
 // items, the source column indexes they expand to.
-func (db *DB) projectionSchema(st *SelectStmt, src Schema) (Schema, map[int][]int, error) {
+func projectionSchema(st *SelectStmt, src Schema) (Schema, map[int][]int, error) {
 	var out Schema
 	starCols := map[int][]int{}
 	for i, it := range st.Items {

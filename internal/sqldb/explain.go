@@ -2,6 +2,8 @@ package sqldb
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"perfbase/internal/value"
 )
@@ -16,8 +18,11 @@ type ExplainStmt struct {
 
 func (*ExplainStmt) stmt() {}
 
-// execExplain renders one plan line per step.
-func (db *DB) execExplain(st *ExplainStmt) (*Result, error) {
+// execExplain renders one plan line per step, followed by a
+// concurrency trailer: the snapshot id the query would execute
+// against, the versions of the referenced tables in that snapshot, and
+// the WAL sync policy — so MVCC behaviour is observable from SQL.
+func (db *DB) execExplain(sn *snapshot, st *ExplainStmt) (*Result, error) {
 	q := st.Query
 	var lines []string
 	add := func(format string, args ...any) {
@@ -29,14 +34,14 @@ func (db *DB) execExplain(st *ExplainStmt) (*Result, error) {
 		add("no table: single synthetic row")
 	case len(q.From) == 1 && len(q.Joins) == 0:
 		fi := q.From[0]
-		t, ok := db.tables[lower(fi.Table)]
+		t, ok := sn.table(fi.Table)
 		if !ok {
 			return nil, errorf("no such table %q", fi.Table)
 		}
-		if col, ok := db.explainIndexProbe(fi, q.Where); ok {
+		if col, ok := sn.explainIndexProbe(fi, q.Where); ok {
 			add("scan %s via hash index on %s", fi.Table, col)
 		} else {
-			add("scan %s (full, %d rows)", fi.Table, len(t.rows))
+			add("scan %s (full, %d rows)", fi.Table, t.nrows)
 		}
 		add("fused single pass: scan, filter, project/aggregate")
 	default:
@@ -46,12 +51,12 @@ func (db *DB) execExplain(st *ExplainStmt) (*Result, error) {
 		// a nested loop, and EXPLAIN must say so.
 		var acc Schema
 		for _, fi := range q.From {
-			t, ok := db.tables[lower(fi.Table)]
+			t, ok := sn.table(fi.Table)
 			if !ok {
 				return nil, errorf("no such table %q", fi.Table)
 			}
-			add("scan %s (full, %d rows)", fi.Table, len(t.rows))
-			s, err := db.scanSchema(fi)
+			add("scan %s (full, %d rows)", fi.Table, t.nrows)
+			s, err := sn.scanSchema(fi)
 			if err != nil {
 				return nil, err
 			}
@@ -61,7 +66,7 @@ func (db *DB) execExplain(st *ExplainStmt) (*Result, error) {
 			add("cross join of %d tables", len(q.From))
 		}
 		for _, jc := range q.Joins {
-			rs, err := db.scanSchema(jc.Right)
+			rs, err := sn.scanSchema(jc.Right)
 			if err != nil {
 				return nil, err
 			}
@@ -81,7 +86,7 @@ func (db *DB) execExplain(st *ExplainStmt) (*Result, error) {
 	// against the source schema at plan time, "interpreted" when
 	// resolution is deferred to evaluation (unknown or ambiguous
 	// columns fall back to per-row errors).
-	src, err := db.selectSourceSchema(q)
+	src, err := sn.selectSourceSchema(q)
 	if err != nil {
 		return nil, err
 	}
@@ -129,6 +134,22 @@ func (db *DB) execExplain(st *ExplainStmt) (*Result, error) {
 		add("limit/offset")
 	}
 
+	// Concurrency trailer.
+	refs := referencedTables(q)
+	sort.Strings(refs)
+	var vb strings.Builder
+	for i, t := range refs {
+		if i > 0 {
+			vb.WriteString(", ")
+		}
+		fmt.Fprintf(&vb, "%s@v%d", t, sn.vers[t])
+	}
+	policy := "none (memory database)"
+	if db.wal != nil {
+		policy = db.wal.policy.String()
+	}
+	add("snapshot %d [%s] wal sync=%s", sn.id, vb.String(), policy)
+
 	res := &Result{Columns: Schema{{Name: "plan", Type: value.String}}}
 	for _, l := range lines {
 		res.Rows = append(res.Rows, Row{value.NewString(l)})
@@ -138,8 +159,8 @@ func (db *DB) execExplain(st *ExplainStmt) (*Result, error) {
 
 // explainIndexProbe mirrors indexedScan's decision without touching
 // rows, returning the probed column.
-func (db *DB) explainIndexProbe(fi fromItem, where sqlExpr) (string, bool) {
-	t, ok := db.tables[lower(fi.Table)]
+func (sn *snapshot) explainIndexProbe(fi fromItem, where sqlExpr) (string, bool) {
+	t, ok := sn.table(fi.Table)
 	if !ok || where == nil || len(t.indexes) == 0 {
 		return "", false
 	}
@@ -154,4 +175,3 @@ func (db *DB) explainIndexProbe(fi fromItem, where sqlExpr) (string, bool) {
 	}
 	return "", false
 }
-

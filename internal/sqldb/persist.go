@@ -10,6 +10,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
+	"time"
 
 	"perfbase/internal/value"
 )
@@ -22,61 +24,180 @@ import (
 // Open loads the snapshot and replays the WAL. Checkpoint folds the
 // WAL into a fresh snapshot. Mutating statements append to the WAL on
 // commit (transactions buffer their statements until COMMIT).
+//
+// The WAL uses group commit: statements are framed into an in-memory
+// buffer under the writer lock and a background flusher writes and
+// fsyncs batches, so N concurrent committers pay for one fsync, not N.
+// SyncPolicy picks the durability/latency trade-off.
 
 const (
 	snapshotFile = "snapshot.gob"
 	walFile      = "wal.log"
 )
 
-type tableSnap struct {
-	Name    string
-	Temp    bool
-	Cols    []colSnap
-	Rows    [][]value.Value
-	Indexes []string
+// SyncPolicy controls when the WAL is fsynced.
+type SyncPolicy int
+
+const (
+	// SyncInterval (the default) fsyncs in the background every
+	// syncInterval; commits do not wait. A crash can lose the last
+	// interval of commits, like PostgreSQL synchronous_commit=off.
+	SyncInterval SyncPolicy = iota
+	// SyncAlways makes every commit wait until its record is fsynced.
+	// Waiters arriving while a flush is in flight are batched into the
+	// next fsync (group commit).
+	SyncAlways
+	// SyncOff never fsyncs; records still reach the OS page cache via
+	// the background flusher.
+	SyncOff
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncOff:
+		return "off"
+	}
+	return "interval"
 }
 
-type colSnap struct {
-	Name string
-	Type int
+// syncInterval is the background fsync cadence under SyncInterval.
+const syncInterval = 50 * time.Millisecond
+
+// groupWAL appends framed statements to the log file with batched
+// writes and group fsync.
+type groupWAL struct {
+	policy SyncPolicy
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	f      *os.File
+	buf    []byte // frames enqueued but not yet written
+	seq    uint64 // last enqueued frame
+	bufTop uint64 // seq of the last frame in buf
+	synced uint64 // last fsynced frame
+	err    error  // first write/sync error, surfaced to waiters
+
+	flushReq chan struct{}
+	quit     chan struct{}
+	done     chan struct{}
 }
 
-type snapshotData struct {
-	Tables []tableSnap
-}
-
-// walWriter appends framed statements to the log file.
-type walWriter struct {
-	f *os.File
-	w *bufio.Writer
-}
-
-func openWAL(path string) (*walWriter, error) {
+func openWAL(path string, policy SyncPolicy) (*groupWAL, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	return &walWriter{f: f, w: bufio.NewWriter(f)}, nil
+	w := &groupWAL{
+		policy:   policy,
+		f:        f,
+		flushReq: make(chan struct{}, 1),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	go w.run()
+	return w, nil
 }
 
-func (w *walWriter) append(stmt string) error {
+// enqueue frames stmt into the buffer and returns its sequence number
+// for waitDurable. It never touches the disk.
+func (w *groupWAL) enqueue(stmt string) uint64 {
+	w.mu.Lock()
 	var lenBuf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(lenBuf[:], uint64(len(stmt)))
-	if _, err := w.w.Write(lenBuf[:n]); err != nil {
-		return err
+	w.buf = append(w.buf, lenBuf[:n]...)
+	w.buf = append(w.buf, stmt...)
+	w.seq++
+	w.bufTop = w.seq
+	s := w.seq
+	w.mu.Unlock()
+	select {
+	case w.flushReq <- struct{}{}:
+	default: // a flush is already pending; it will pick this frame up
 	}
-	if _, err := w.w.WriteString(stmt); err != nil {
-		return err
-	}
-	return w.w.Flush()
+	return s
 }
 
-func (w *walWriter) close() error {
-	if err := w.w.Flush(); err != nil {
-		w.f.Close()
+// waitDurable blocks until the record with the given sequence number
+// is fsynced. Under SyncInterval and SyncOff commits do not wait and
+// it returns immediately.
+func (w *groupWAL) waitDurable(seq uint64) error {
+	if w.policy != SyncAlways || seq == 0 {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.synced < seq && w.err == nil {
+		w.cond.Wait()
+	}
+	return w.err
+}
+
+// run is the background flusher: it writes pending frames whenever
+// signalled, and under SyncInterval also on a timer.
+func (w *groupWAL) run() {
+	defer close(w.done)
+	var tickC <-chan time.Time
+	if w.policy == SyncInterval {
+		tick := time.NewTicker(syncInterval)
+		defer tick.Stop()
+		tickC = tick.C
+	}
+	for {
+		select {
+		case <-w.flushReq:
+			w.flush(w.policy == SyncAlways)
+		case <-tickC:
+			w.flush(true)
+		case <-w.quit:
+			w.flush(w.policy != SyncOff)
+			return
+		}
+	}
+}
+
+// flush writes all buffered frames to the file and optionally fsyncs.
+// Only the flusher goroutine calls it, so file writes never interleave.
+func (w *groupWAL) flush(sync bool) {
+	w.mu.Lock()
+	buf := w.buf
+	top := w.bufTop
+	w.buf = nil
+	w.mu.Unlock()
+
+	var err error
+	if len(buf) > 0 {
+		_, err = w.f.Write(buf)
+	}
+	if err == nil && sync {
+		err = w.f.Sync()
+	}
+
+	w.mu.Lock()
+	if err != nil && w.err == nil {
+		w.err = err
+	}
+	if err == nil && sync && top > w.synced {
+		w.synced = top
+	}
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// close stops the flusher (final flush included) and closes the file.
+func (w *groupWAL) close() error {
+	close(w.quit)
+	<-w.done
+	w.mu.Lock()
+	err := w.err
+	w.mu.Unlock()
+	cerr := w.f.Close()
+	if err != nil {
 		return err
 	}
-	return w.f.Close()
+	return cerr
 }
 
 // readWAL returns all statements in the log, tolerating a truncated
@@ -108,8 +229,15 @@ func readWAL(path string) ([]string, error) {
 	}
 }
 
-// Open opens (creating if necessary) a durable database in dir.
+// Open opens (creating if necessary) a durable database in dir with
+// the default SyncInterval policy.
 func Open(dir string) (*DB, error) {
+	return OpenWithPolicy(dir, SyncInterval)
+}
+
+// OpenWithPolicy opens a durable database with an explicit WAL sync
+// policy.
+func OpenWithPolicy(dir string, policy SyncPolicy) (*DB, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("sqldb: open %s: %w", dir, err)
 	}
@@ -125,25 +253,26 @@ func Open(dir string) (*DB, error) {
 		if derr != nil {
 			return nil, fmt.Errorf("sqldb: corrupt snapshot %s: %w", snapPath, derr)
 		}
+		tables := make(map[string]*table, len(snap.Tables))
 		for _, ts := range snap.Tables {
 			schema := make(Schema, len(ts.Cols))
 			for i, c := range ts.Cols {
 				schema[i] = Column{Name: c.Name, Type: value.Type(c.Type)}
 			}
 			t := newTable(ts.Name, schema, ts.Temp)
-			for _, row := range ts.Rows {
-				t.insert(row)
-			}
+			t.replaceRows(ts.Rows)
 			for _, col := range ts.Indexes {
 				ci := schema.Index(col)
 				if ci >= 0 {
 					idx := &hashIndex{}
-					idx.rebuild(t.rows, ci)
+					idx.rebuildFrom(t, ci)
 					t.indexes[lower(col)] = idx
 				}
 			}
-			db.tables[lower(ts.Name)] = t
+			t.seal()
+			tables[lower(ts.Name)] = t
 		}
+		db.state.Store(&snapshot{tables: tables, vers: map[string]int64{}})
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, err
 	}
@@ -163,53 +292,56 @@ func Open(dir string) (*DB, error) {
 		}
 	}
 
-	w, err := openWAL(filepath.Join(dir, walFile))
+	w, err := openWAL(filepath.Join(dir, walFile), policy)
 	if err != nil {
 		return nil, err
 	}
-	db.durable = w
+	db.wal = w
 	return db, nil
 }
 
-// logMutation records a committed mutation in the WAL. Statements that
-// only touch temporary tables are not durable and are skipped.
-func (db *DB) logMutation(st Statement, raw string) {
-	if db.durable == nil || raw == "" {
-		return
+// logMutation records a committed mutation in the WAL and returns the
+// sequence number to wait on for durability (0 when nothing needs
+// waiting). Statements that only touch temporary tables are not
+// durable and are skipped. The caller holds db.wmu.
+func (db *DB) logMutation(st Statement, raw string) uint64 {
+	if db.wal == nil || raw == "" {
+		return 0
 	}
 	switch s := st.(type) {
 	case *SelectStmt:
-		return
+		return 0
 	case *BeginStmt:
-		return
+		return 0
 	case *RollbackStmt:
 		db.txnLog = nil
-		return
+		return 0
 	case *CommitStmt:
+		var seq uint64
 		for _, stmt := range db.txnLog {
-			db.durable.append(stmt) //nolint:errcheck // best effort, surfaced at Checkpoint
+			seq = db.wal.enqueue(stmt)
 		}
 		db.txnLog = nil
-		return
+		return seq
 	case *CreateTableStmt:
 		if s.Temp {
-			return
+			return 0
 		}
 	case *InsertStmt:
 		if db.isTemp(s.Table) {
-			return
+			return 0
 		}
 	case *UpdateStmt:
 		if db.isTemp(s.Table) {
-			return
+			return 0
 		}
 	case *DeleteStmt:
 		if db.isTemp(s.Table) {
-			return
+			return 0
 		}
 	case *AlterTableStmt:
 		if db.isTemp(s.Table) || s.Rename != "" && db.isTemp(s.Rename) {
-			return
+			return 0
 		}
 	case *DropTableStmt:
 		// The table is already gone; a dropped temp table was never
@@ -218,36 +350,68 @@ func (db *DB) logMutation(st Statement, raw string) {
 	}
 	if db.inTxn {
 		db.txnLog = append(db.txnLog, raw)
+		return 0
+	}
+	return db.wal.enqueue(raw)
+}
+
+// waitDurable blocks until the WAL record with the given sequence
+// number is durable per the sync policy. Called without db.wmu so
+// concurrent committers batch into one fsync.
+func (db *DB) waitDurable(seq uint64) {
+	if seq == 0 {
 		return
 	}
-	db.durable.append(raw) //nolint:errcheck // best effort, surfaced at Checkpoint
+	w := db.wal
+	if w == nil {
+		return
+	}
+	w.waitDurable(seq) //nolint:errcheck // best effort, surfaced at Checkpoint
 }
 
 func (db *DB) isTemp(name string) bool {
-	t, ok := db.tables[lower(name)]
+	t, ok := db.state.Load().table(name)
 	return ok && t.temp
+}
+
+type tableSnap struct {
+	Name    string
+	Temp    bool
+	Cols    []colSnap
+	Rows    [][]value.Value
+	Indexes []string
+}
+
+type colSnap struct {
+	Name string
+	Type int
+}
+
+type snapshotData struct {
+	Tables []tableSnap
 }
 
 // Checkpoint writes a fresh snapshot and truncates the WAL. It is a
 // no-op for memory-only databases.
 func (db *DB) Checkpoint() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
 	if db.dir == "" {
 		return nil
 	}
+	sn := db.state.Load()
 	var snap snapshotData
-	names := make([]string, 0, len(db.tables))
-	for k := range db.tables {
+	names := make([]string, 0, len(sn.tables))
+	for k := range sn.tables {
 		names = append(names, k)
 	}
 	sort.Strings(names)
 	for _, k := range names {
-		t := db.tables[k]
+		t := sn.tables[k]
 		if t.temp {
 			continue
 		}
-		ts := tableSnap{Name: t.name, Temp: t.temp, Rows: t.rows}
+		ts := tableSnap{Name: t.name, Temp: t.temp, Rows: t.flat()}
 		for _, c := range t.schema {
 			ts.Cols = append(ts.Cols, colSnap{Name: c.Name, Type: int(c.Type)})
 		}
@@ -280,20 +444,23 @@ func (db *DB) Checkpoint() error {
 	if err := os.Rename(tmp, filepath.Join(db.dir, snapshotFile)); err != nil {
 		return err
 	}
-	// Truncate the WAL: reopen fresh.
-	if db.durable != nil {
-		if err := db.durable.close(); err != nil {
+	// Truncate the WAL: stop the old writer, reopen fresh.
+	var policy SyncPolicy
+	if db.wal != nil {
+		policy = db.wal.policy
+		if err := db.wal.close(); err != nil {
 			return err
 		}
+		db.wal = nil
 	}
 	if err := os.Truncate(filepath.Join(db.dir, walFile), 0); err != nil && !errors.Is(err, os.ErrNotExist) {
 		return err
 	}
-	w, err := openWAL(filepath.Join(db.dir, walFile))
+	w, err := openWAL(filepath.Join(db.dir, walFile), policy)
 	if err != nil {
 		return err
 	}
-	db.durable = w
+	db.wal = w
 	return nil
 }
 
@@ -304,12 +471,24 @@ func (db *DB) Close() error {
 			return err
 		}
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.durable != nil {
-		err := db.durable.close()
-		db.durable = nil
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	if db.wal != nil {
+		err := db.wal.close()
+		db.wal = nil
 		return err
 	}
 	return nil
+}
+
+// crashWAL abandons the WAL without checkpointing: buffered frames are
+// flushed to the file, the flusher stops, and the database keeps
+// running undurably — simulating a crash for reopen tests.
+func (db *DB) crashWAL() {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	if db.wal != nil {
+		db.wal.close() //nolint:errcheck // crash simulation, errors irrelevant
+		db.wal = nil
+	}
 }

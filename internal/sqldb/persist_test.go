@@ -46,10 +46,7 @@ func TestWALReplayWithoutCheckpoint(t *testing.T) {
 	mustExec(t, db, "UPDATE t SET a = 20 WHERE a = 2")
 	mustExec(t, db, "DELETE FROM t WHERE a = 1")
 	// Simulate a crash: do NOT Close/Checkpoint; just reopen.
-	db.mu.Lock()
-	db.durable.close()
-	db.durable = nil
-	db.mu.Unlock()
+	db.crashWAL()
 
 	db2, err := Open(dir)
 	if err != nil {
@@ -70,10 +67,7 @@ func TestWALTruncatedTailTolerated(t *testing.T) {
 	}
 	mustExec(t, db, "CREATE TABLE t (a integer)")
 	mustExec(t, db, "INSERT INTO t VALUES (1)")
-	db.mu.Lock()
-	db.durable.close()
-	db.durable = nil
-	db.mu.Unlock()
+	db.crashWAL()
 
 	// Append garbage (a partial record) to the WAL.
 	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_WRONLY|os.O_APPEND, 0o644)
@@ -110,10 +104,7 @@ func TestTransactionDurability(t *testing.T) {
 	mustExec(t, db, "INSERT INTO t VALUES (2)")
 	mustExec(t, db, "COMMIT")
 	// Crash-style reopen.
-	db.mu.Lock()
-	db.durable.close()
-	db.durable = nil
-	db.mu.Unlock()
+	db.crashWAL()
 
 	db2, err := Open(dir)
 	if err != nil {
@@ -220,10 +211,7 @@ func TestQuickWALDurability(t *testing.T) {
 			sum += int64(x)
 		}
 		// Crash-style: close WAL handle without checkpoint.
-		db.mu.Lock()
-		db.durable.close()
-		db.durable = nil
-		db.mu.Unlock()
+		db.crashWAL()
 		db2, err := Open(dir)
 		if err != nil {
 			return false

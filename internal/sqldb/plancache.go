@@ -12,12 +12,13 @@ import (
 //
 // Correctness model: a parsed AST depends only on the SQL text and
 // never goes stale. A compiled plan additionally depends on the
-// schemas of the referenced tables, so each table carries a version
-// counter that every DDL (CREATE/ALTER/DROP, including rollback and
-// temp-table cleanup) bumps under the write lock; a cached plan
-// records the versions it was compiled against and is recompiled when
-// they no longer match. DDL also evicts entries referencing the table
-// so the cache does not accumulate plans for dropped tables.
+// schemas of the referenced tables, so each snapshot carries a version
+// counter per table that every DDL (CREATE/ALTER/DROP, including
+// rollback and temp-table cleanup) bumps when publishing the next
+// snapshot; a cached plan records the versions it was compiled against
+// and is recompiled when the executing snapshot's versions no longer
+// match. DDL also evicts entries referencing the table so the cache
+// does not accumulate plans for dropped tables.
 
 const (
 	// planCacheSize bounds the number of cached statements. Textual
@@ -170,70 +171,42 @@ func collectTables(st Statement, seen map[string]bool) {
 	}
 }
 
-// bumpVersion records a schema-affecting change to the named
-// (lower-cased) table. Caller holds the write lock.
-func (db *DB) bumpVersion(key string) {
-	if db.tableVers == nil {
-		db.tableVers = make(map[string]int64)
-	}
-	db.tableVers[key]++
-}
-
-// versionsMatch reports whether every version in the snapshot still
-// matches the live counters. Caller holds the database lock.
-func (db *DB) versionsMatch(snap map[string]int64) bool {
-	for t, v := range snap {
-		if db.tableVers[t] != v {
-			return false
-		}
-	}
-	return true
-}
-
-// snapshotVers captures the current versions of the given tables.
-// Caller holds the database lock.
-func (db *DB) snapshotVers(tables []string) map[string]int64 {
-	snap := make(map[string]int64, len(tables))
-	for _, t := range tables {
-		snap[t] = db.tableVers[t]
-	}
-	return snap
-}
-
 // selectPlanFor returns cp's compiled plan, rebuilding it when the
-// table-version snapshot no longer matches the live counters. The
-// caller holds db.mu (read suffices: DDL takes the write lock, so
-// versions cannot move underneath us). Plan builds for the same entry
-// serialize on cp.mu; concurrent executions then share the plan.
-func (db *DB) selectPlanFor(cp *cachedPlan, sel *SelectStmt) (*compiledSelect, error) {
+// table-version snapshot recorded at compile time no longer matches
+// the versions in sn. Plan builds for the same entry serialize on
+// cp.mu; concurrent executions then share the plan. Two readers
+// pinning different snapshots may thrash one entry between versions —
+// that is correct (each returns the plan it compiled and runs it
+// against its own snapshot) and transient.
+func (db *DB) selectPlanFor(sn *snapshot, cp *cachedPlan, sel *SelectStmt) (*compiledSelect, error) {
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
-	if cp.sel != nil && db.versionsMatch(cp.vers) {
+	if cp.sel != nil && sn.versionsMatch(cp.vers) {
 		return cp.sel, nil
 	}
-	p, err := db.planSelect(sel)
+	p, err := sn.planSelect(sel)
 	if err != nil {
 		cp.sel = nil
 		return nil, err
 	}
 	cp.sel = p
-	cp.vers = db.snapshotVers(cp.tables)
+	cp.vers = sn.snapshotVers(cp.tables)
 	return p, nil
 }
 
 // execCached executes a statement from a cache entry. SELECTs reuse
-// the entry's compiled plan; everything else goes through the normal
-// parsed-statement path (the parse was still saved).
+// the entry's compiled plan and run lock-free against the current
+// snapshot; everything else goes through the normal parsed-statement
+// path (the parse was still saved).
 func (db *DB) execCached(cp *cachedPlan, raw string) (*Result, error) {
 	sel, ok := cp.st.(*SelectStmt)
 	if !ok {
 		return db.ExecParsed(cp.st, raw)
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	p, err := db.selectPlanFor(cp, sel)
+	sn := db.state.Load()
+	p, err := db.selectPlanFor(sn, cp, sel)
 	if err != nil {
 		return nil, err
 	}
-	return db.runSelect(sel, p)
+	return sn.runSelect(sel, p)
 }

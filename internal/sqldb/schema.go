@@ -8,13 +8,18 @@
 // UPDATE, DELETE, and SELECT with joins, WHERE, GROUP BY with
 // statistics aggregates, HAVING, ORDER BY, DISTINCT and LIMIT),
 // optional write-ahead-log + snapshot persistence, and hash indexes.
-// The sibling package sqldb/wire exposes a database over TCP so that
-// query elements can run against remote servers (paper §4.3).
+// Storage is multi-versioned: readers execute against immutable
+// snapshots while writers publish new table versions (see snapshot.go
+// and DESIGN.md "Storage & concurrency model"). The sibling package
+// sqldb/wire exposes a database over TCP so that query elements can
+// run against remote servers (paper §4.3).
 package sqldb
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
+	"time"
 
 	"perfbase/internal/value"
 )
@@ -73,12 +78,29 @@ type Result struct {
 	Affected int
 }
 
-// table is the in-memory representation of one table.
+// table is one immutable version of a table. Versions are published by
+// swapping a snapshot pointer (see snapshot.go); once published, a
+// version is never mutated, so any number of readers can scan it with
+// no locking. Row storage is chunked: a derived version shares the
+// chunk prefix with its parent and appends its own chunks, so INSERT
+// does not copy existing rows. A version is mutable only between
+// derive()/newTable() and seal(), while its single writer builds it.
 type table struct {
-	name    string
-	schema  Schema
-	rows    []Row
-	temp    bool
+	name   string
+	schema Schema
+	temp   bool
+
+	// chunks holds the rows in order; offs[i] is the global ordinal of
+	// the first row of chunks[i]. chunks[:sealed] are shared with
+	// ancestor versions and must never be written through.
+	chunks [][]Row
+	offs   []int
+	nrows  int
+	sealed int
+	// mutable is true only while an unpublished writer owns the
+	// version; insert/replaceRows panic on a published version.
+	mutable bool
+
 	indexes map[string]*hashIndex // keyed by lower-case column name
 }
 
@@ -87,59 +109,239 @@ func newTable(name string, schema Schema, temp bool) *table {
 		name:    name,
 		schema:  schema.clone(),
 		temp:    temp,
+		mutable: true,
 		indexes: make(map[string]*hashIndex),
 	}
 }
 
-// insert appends a row (already coerced to the schema types) and
-// maintains indexes.
-func (t *table) insert(row Row) {
-	t.rows = append(t.rows, row)
-	for col, idx := range t.indexes {
-		ci := t.schema.Index(col)
-		idx.add(row[ci], len(t.rows)-1)
+// derive returns a new mutable version that shares this version's rows
+// (chunk prefix) and indexes (overlay children). O(#chunks + #indexes),
+// independent of the row count.
+func (t *table) derive() *table {
+	nt := &table{
+		name:    t.name,
+		schema:  t.schema,
+		temp:    t.temp,
+		chunks:  append([][]Row(nil), t.chunks...),
+		offs:    append([]int(nil), t.offs...),
+		nrows:   t.nrows,
+		sealed:  len(t.chunks),
+		mutable: true,
+		indexes: make(map[string]*hashIndex, len(t.indexes)),
+	}
+	for col, ix := range t.indexes {
+		nt.indexes[col] = ix.child()
+	}
+	return nt
+}
+
+// seal publishes the version: trailing chunks are merged into
+// geometrically growing runs (keeping scans O(log n) chunks) and the
+// version becomes immutable.
+func (t *table) seal() {
+	t.compact()
+	t.mutable = false
+}
+
+// maxCompactChunk caps the size of a chunk produced by merging.
+// Without a cap the binary-counter scheme copies every row O(log n)
+// times over a table's lifetime; with it, a chunk at least this large
+// is final — its rows are never recopied, so a steady bulk-import
+// workload (appendChunk batches are typically already final-sized)
+// generates no merge traffic or garbage at all. The scan cost is one
+// extra outer-loop iteration per maxCompactChunk rows.
+const maxCompactChunk = 512
+
+// compact merges trailing small chunks binary-counter style: whenever
+// the second-to-last chunk is no larger than the last and the merge
+// stays under maxCompactChunk, the two are merged. Small chunks end
+// up geometrically decreasing in size, so a table built by S
+// single-row statements still scans O(n/maxCompactChunk + log n)
+// chunks. Merging preserves global row ordinals, so indexes stay
+// valid.
+func (t *table) compact() {
+	for len(t.chunks) >= 2 {
+		k := len(t.chunks)
+		last, prev := t.chunks[k-1], t.chunks[k-2]
+		if len(prev) > len(last) {
+			break
+		}
+		if len(prev)+len(last) > maxCompactChunk {
+			break
+		}
+		merged := make([]Row, 0, len(prev)+len(last))
+		merged = append(merged, prev...)
+		merged = append(merged, last...)
+		t.chunks[k-2] = merged
+		t.chunks = t.chunks[:k-1]
+		t.offs = t.offs[:k-1]
+		if t.sealed > k-2 {
+			t.sealed = k - 2
+		}
 	}
 }
 
-// rebuildIndexes recreates all indexes after a bulk row mutation
-// (UPDATE/DELETE reslice the row set, invalidating positions).
+// insert appends a row (already coerced to the schema types) to the
+// version's owned tail chunk and maintains indexes. Only legal on a
+// mutable (unpublished) version.
+func (t *table) insert(row Row) {
+	if !t.mutable {
+		panic("sqldb: insert into published table version")
+	}
+	if len(t.chunks) == t.sealed {
+		t.chunks = append(t.chunks, nil)
+		t.offs = append(t.offs, t.nrows)
+	}
+	last := len(t.chunks) - 1
+	t.chunks[last] = append(t.chunks[last], row)
+	for col, idx := range t.indexes {
+		ci := t.schema.Index(col)
+		idx.add(row[ci], t.nrows)
+	}
+	t.nrows++
+}
+
+// appendChunk appends a pre-built, exactly-sized chunk of rows
+// (already coerced to the schema types) and maintains indexes. Bulk
+// inserts use it instead of per-row insert() so the tail chunk never
+// pays append-growth reallocation. Only legal on a mutable version.
+func (t *table) appendChunk(rows []Row) {
+	if !t.mutable {
+		panic("sqldb: appendChunk on published table version")
+	}
+	if len(rows) == 0 {
+		return
+	}
+	t.chunks = append(t.chunks, rows)
+	t.offs = append(t.offs, t.nrows)
+	for col, idx := range t.indexes {
+		ci := t.schema.Index(col)
+		for i, row := range rows {
+			idx.add(row[ci], t.nrows+i)
+		}
+	}
+	t.nrows += len(rows)
+}
+
+// replaceRows swaps in a wholly new row set (UPDATE/DELETE/ALTER
+// rebuild paths) and rebuilds all indexes. Only legal on a mutable
+// version.
+func (t *table) replaceRows(rows []Row) {
+	if !t.mutable {
+		panic("sqldb: replaceRows on published table version")
+	}
+	t.chunks = [][]Row{rows}
+	t.offs = []int{0}
+	t.nrows = len(rows)
+	t.sealed = 0
+	t.rebuildIndexes()
+}
+
+// rowAt returns the row at global ordinal pos (0 ≤ pos < nrows).
+func (t *table) rowAt(pos int) Row {
+	lo, hi := 0, len(t.offs)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if t.offs[mid] <= pos {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return t.chunks[lo][pos-t.offs[lo]]
+}
+
+// flat returns all rows as one slice. When the table has a single
+// chunk (the common case after compaction), no copy is made.
+func (t *table) flat() []Row {
+	if len(t.chunks) == 1 {
+		return t.chunks[0]
+	}
+	out := make([]Row, 0, t.nrows)
+	for _, ch := range t.chunks {
+		out = append(out, ch...)
+	}
+	return out
+}
+
+// rebuildIndexes recreates all indexes from scratch (row positions
+// changed wholesale).
 func (t *table) rebuildIndexes() {
 	for col, idx := range t.indexes {
 		ci := t.schema.Index(col)
-		idx.rebuild(t.rows, ci)
+		idx.rebuildFrom(t, ci)
 	}
-}
-
-// clone returns a deep copy of the table, used by the transaction undo
-// log. Rows share value storage (values are immutable).
-func (t *table) clone() *table {
-	ct := newTable(t.name, t.schema, t.temp)
-	ct.rows = make([]Row, len(t.rows))
-	for i, r := range t.rows {
-		nr := make(Row, len(r))
-		copy(nr, r)
-		ct.rows[i] = nr
-	}
-	for col := range t.indexes {
-		ci := ct.schema.Index(col)
-		idx := &hashIndex{}
-		idx.rebuild(ct.rows, ci)
-		ct.indexes[col] = idx
-	}
-	return ct
 }
 
 // hashIndex maps a column value (by its display string, which is
-// injective per type) to the row positions holding it.
+// injective per type) to the row positions holding it. Like table row
+// storage it is versioned: a derived table version gets an overlay
+// child that records only its own additions and chains to the parent
+// for older positions. Chains are flattened when they grow deep so
+// lookups stay O(1)-ish.
 type hashIndex struct {
+	parent  *hashIndex
+	depth   int
 	buckets map[string][]int
 }
+
+// maxIndexDepth bounds overlay chains; a derive beyond this depth
+// flattens the chain into a fresh root.
+const maxIndexDepth = 16
 
 func indexKey(v value.Value) string {
 	if v.IsNull() {
 		return "\x00NULL"
 	}
 	return v.String()
+}
+
+// appendValueKey appends v's indexKey form to dst. The grouping hot
+// loop builds composite keys in a reused buffer with this instead of
+// concatenating indexKey strings, so no per-row allocation happens.
+// The encoding must stay byte-identical to indexKey.
+func appendValueKey(dst []byte, v value.Value) []byte {
+	if v.IsNull() {
+		return append(dst, "\x00NULL"...)
+	}
+	switch v.Type() {
+	case value.Integer:
+		return strconv.AppendInt(dst, v.Int(), 10)
+	case value.Float:
+		return strconv.AppendFloat(dst, v.Float(), 'g', -1, 64)
+	case value.String, value.Version:
+		return append(dst, v.Str()...)
+	case value.Boolean:
+		return strconv.AppendBool(dst, v.Bool())
+	case value.Timestamp:
+		return v.Time().AppendFormat(dst, time.RFC3339)
+	}
+	return append(dst, v.String()...)
+}
+
+// child derives an overlay for the next table version. The parent is
+// shared and never written again through the child.
+func (ix *hashIndex) child() *hashIndex {
+	if ix.depth >= maxIndexDepth {
+		return ix.flatten()
+	}
+	return &hashIndex{parent: ix, depth: ix.depth + 1}
+}
+
+// flatten merges an overlay chain into a single fresh root.
+func (ix *hashIndex) flatten() *hashIndex {
+	var chain []*hashIndex
+	for p := ix; p != nil; p = p.parent {
+		chain = append(chain, p)
+	}
+	root := &hashIndex{buckets: make(map[string][]int)}
+	// Oldest layer first so positions stay in ascending order.
+	for i := len(chain) - 1; i >= 0; i-- {
+		for k, ps := range chain[i].buckets {
+			root.buckets[k] = append(root.buckets[k], ps...)
+		}
+	}
+	return root
 }
 
 func (ix *hashIndex) add(v value.Value, pos int) {
@@ -151,13 +353,36 @@ func (ix *hashIndex) add(v value.Value, pos int) {
 }
 
 func (ix *hashIndex) lookup(v value.Value) []int {
-	return ix.buckets[indexKey(v)]
+	return ix.lookupKey(indexKey(v))
 }
 
-func (ix *hashIndex) rebuild(rows []Row, ci int) {
+func (ix *hashIndex) lookupKey(k string) []int {
+	own := ix.buckets[k]
+	if ix.parent == nil {
+		return own
+	}
+	inherited := ix.parent.lookupKey(k)
+	if len(own) == 0 {
+		return inherited
+	}
+	if len(inherited) == 0 {
+		return own
+	}
+	out := make([]int, 0, len(inherited)+len(own))
+	return append(append(out, inherited...), own...)
+}
+
+// rebuildFrom recreates the index as a fresh root over t's rows.
+func (ix *hashIndex) rebuildFrom(t *table, ci int) {
+	ix.parent = nil
+	ix.depth = 0
 	ix.buckets = make(map[string][]int)
-	for pos, r := range rows {
-		ix.add(r[ci], pos)
+	pos := 0
+	for _, ch := range t.chunks {
+		for _, r := range ch {
+			ix.add(r[ci], pos)
+			pos++
+		}
 	}
 }
 

@@ -1,0 +1,275 @@
+package sqldb
+
+import "sort"
+
+// This file implements the MVCC core of the engine.
+//
+// The database's entire committed state lives in one immutable
+// *snapshot that the DB publishes through an atomic pointer. Readers
+// acquire a snapshot with a single atomic load and then execute with
+// no locks at all: the snapshot, its tables map, its table versions
+// and every table's row chunks are never mutated after publication.
+//
+// Writers serialize on DB.wmu. A mutation statement builds a
+// writeState: a fresh copy of the tables map (cheap — it holds only
+// pointers) in which modified tables are replaced by derived versions
+// (copy-on-write, sharing the untouched row prefix with the published
+// version). On success the writeState is published as the next
+// snapshot; on error it is simply discarded, which makes every
+// statement atomic.
+//
+// Transactions are overlays: BEGIN records the current snapshot as
+// txnBase, and the pre-transaction table pointers inside it ARE the
+// undo log. ROLLBACK publishes a snapshot that reuses txnBase's tables
+// map wholesale — a pointer swap, no row copying — while bumping the
+// schema version of every table the transaction touched so cached
+// plans compiled mid-transaction can never survive the abort.
+
+// snapshot is one immutable, published state of the database.
+type snapshot struct {
+	// id increases by one with every published state change; EXPLAIN
+	// reports it so concurrent behaviour is observable.
+	id     int64
+	tables map[string]*table
+	// vers counts schema-affecting changes per (lower-cased) table
+	// name; cached plans record the versions they were compiled
+	// against and recompile on mismatch.
+	vers map[string]int64
+}
+
+func (sn *snapshot) table(name string) (*table, bool) {
+	t, ok := sn.tables[lower(name)]
+	return t, ok
+}
+
+// versionsMatch reports whether every version recorded in a compiled
+// plan still matches this snapshot.
+func (sn *snapshot) versionsMatch(planVers map[string]int64) bool {
+	for t, v := range planVers {
+		if sn.vers[t] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// snapshotVers captures this snapshot's versions of the given tables.
+func (sn *snapshot) snapshotVers(tables []string) map[string]int64 {
+	out := make(map[string]int64, len(tables))
+	for _, t := range tables {
+		out[t] = sn.vers[t]
+	}
+	return out
+}
+
+// writeState is the working state of one mutation statement. It is
+// only ever touched by the single writer holding DB.wmu.
+type writeState struct {
+	db   *DB
+	base *snapshot
+
+	tables  map[string]*table
+	vers    map[string]int64  // nil until the first schema bump
+	derived map[string]*table // mutable versions created this statement
+	touched map[string]bool   // table keys mutated this statement
+	schema  map[string]bool   // keys needing plan invalidation
+	changed bool
+}
+
+// beginWrite snapshots the current state into a working copy. The
+// caller holds db.wmu.
+func (db *DB) beginWrite() *writeState {
+	base := db.state.Load()
+	ws := &writeState{
+		db:      db,
+		base:    base,
+		tables:  make(map[string]*table, len(base.tables)+1),
+		derived: make(map[string]*table),
+		touched: make(map[string]bool),
+	}
+	for k, t := range base.tables {
+		ws.tables[k] = t
+	}
+	return ws
+}
+
+// tab looks a table up in the working state.
+func (ws *writeState) tab(key string) (*table, bool) {
+	t, ok := ws.tables[key]
+	return t, ok
+}
+
+// modify returns a mutable derived version of the table, creating it
+// on first touch within the statement.
+func (ws *writeState) modify(key string) (*table, bool) {
+	if t, ok := ws.derived[key]; ok {
+		return t, true
+	}
+	t, ok := ws.tables[key]
+	if !ok {
+		return nil, false
+	}
+	nt := t.derive()
+	ws.tables[key] = nt
+	ws.derived[key] = nt
+	ws.touched[key] = true
+	ws.changed = true
+	return nt, true
+}
+
+// put installs a freshly created (mutable) table under key.
+func (ws *writeState) put(key string, t *table) {
+	ws.tables[key] = t
+	ws.derived[key] = t
+	ws.touched[key] = true
+	ws.changed = true
+}
+
+// drop removes a table from the working state.
+func (ws *writeState) drop(key string) {
+	delete(ws.tables, key)
+	delete(ws.derived, key)
+	ws.touched[key] = true
+	ws.changed = true
+}
+
+// schemaChanged bumps the version of each (lower-cased) table and
+// schedules cached-plan eviction for publish time.
+func (ws *writeState) schemaChanged(keys ...string) {
+	if len(keys) == 0 {
+		return
+	}
+	if ws.vers == nil {
+		ws.vers = make(map[string]int64, len(ws.base.vers)+len(keys))
+		for k, v := range ws.base.vers {
+			ws.vers[k] = v
+		}
+	}
+	if ws.schema == nil {
+		ws.schema = make(map[string]bool, len(keys))
+	}
+	for _, k := range keys {
+		ws.vers[k]++
+		ws.schema[k] = true
+		ws.touched[k] = true
+	}
+	ws.changed = true
+}
+
+// restore reverts every table the transaction touched to its version
+// in the BEGIN-time snapshot (transaction rollback). Only the touched
+// keys are reverted — tables mutated by non-transactional writers
+// while the transaction was open keep their current versions. Table
+// versions are shared pointers, not copied: published versions are
+// immutable, so this is safe — and it is what makes rollback a
+// pointer swap per table, independent of row counts.
+func (ws *writeState) restore(base *snapshot, touched map[string]bool) {
+	tables := make(map[string]*table, len(ws.tables))
+	for k, t := range ws.tables {
+		tables[k] = t
+	}
+	for k := range touched {
+		if t, ok := base.tables[k]; ok {
+			tables[k] = t
+		} else {
+			delete(tables, k)
+		}
+	}
+	ws.tables = tables
+	ws.derived = make(map[string]*table)
+	ws.changed = true
+}
+
+// publish seals every table version built this statement and installs
+// the working state as the next snapshot. No-op when nothing changed.
+// The caller holds db.wmu.
+func (ws *writeState) publish() {
+	if !ws.changed {
+		return
+	}
+	for _, t := range ws.derived {
+		t.seal()
+	}
+	vers := ws.vers
+	if vers == nil {
+		vers = ws.base.vers
+	}
+	ws.db.state.Store(&snapshot{id: ws.base.id + 1, tables: ws.tables, vers: vers})
+	if ws.db.inTxn {
+		for k := range ws.touched {
+			ws.db.txnTouched[k] = true
+		}
+	}
+	if len(ws.schema) > 0 {
+		ws.db.plans.invalidate(ws.schema)
+	}
+}
+
+// sortedKeys returns the keys of a string-keyed set, sorted (for
+// deterministic version bumps and tests).
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ------------------------------------------------------- exported API
+
+// Snapshot is a pinned, immutable, read-only view of the database at
+// one point in time. It implements Querier for SELECT and EXPLAIN;
+// mutation statements return an error. Any number of goroutines may
+// use the same Snapshot concurrently, and it stays valid (and
+// unchanging) no matter what later writes do to the database.
+//
+// internal/parquery pins one Snapshot per query run so that the fan-out
+// workers' source reads all observe a single committed state — a
+// parallel query can no longer see half of a concurrent bulk import.
+type Snapshot struct {
+	db *DB
+	sn *snapshot
+}
+
+// Snapshot pins the current committed state. It costs one atomic load
+// and never blocks writers (nor is blocked by them).
+func (db *DB) Snapshot() *Snapshot {
+	return &Snapshot{db: db, sn: db.state.Load()}
+}
+
+// ID returns the snapshot's publication id.
+func (s *Snapshot) ID() int64 { return s.sn.id }
+
+// HasTable reports whether the named table exists in the snapshot.
+func (s *Snapshot) HasTable(name string) bool {
+	_, ok := s.sn.table(name)
+	return ok
+}
+
+// Exec executes a read-only statement (SELECT or EXPLAIN) against the
+// pinned state. It shares the database's plan cache.
+func (s *Snapshot) Exec(sql string) (*Result, error) {
+	cp := s.db.plans.get(sql)
+	if cp == nil {
+		st, err := Parse(sql)
+		if err != nil {
+			return nil, err
+		}
+		cp = &cachedPlan{st: st, tables: referencedTables(st)}
+		s.db.plans.put(sql, cp)
+	}
+	switch st := cp.st.(type) {
+	case *SelectStmt:
+		p, err := s.db.selectPlanFor(s.sn, cp, st)
+		if err != nil {
+			return nil, err
+		}
+		return s.sn.runSelect(st, p)
+	case *ExplainStmt:
+		return s.db.execExplain(s.sn, st)
+	}
+	return nil, errorf("snapshot is read-only: cannot execute %q", sql)
+}
+
+var _ Querier = (*Snapshot)(nil)

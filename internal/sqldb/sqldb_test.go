@@ -837,10 +837,7 @@ func TestInsertRowsDurability(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Crash-style reopen: WAL replay must restore the durable row.
-	db.mu.Lock()
-	db.durable.close()
-	db.durable = nil
-	db.mu.Unlock()
+	db.crashWAL()
 	db2, err := Open(dir)
 	if err != nil {
 		t.Fatal(err)

@@ -11,6 +11,11 @@
 //
 // The protocol is a persistent gob stream per connection: the client
 // sends {SQL}, the server answers {Columns, Rows, Affected, Err}.
+//
+// Concurrency inherits the engine's MVCC storage: every SELECT a
+// connection serves executes lock-free against an immutable snapshot,
+// so one client's bulk import never stalls another client's reads —
+// the multi-user behaviour the original system got from PostgreSQL.
 package wire
 
 import (

@@ -270,3 +270,66 @@ func TestBulkInsertOverWire(t *testing.T) {
 		t.Error("bulk insert on closed client accepted")
 	}
 }
+
+// TestConcurrentReadDuringWriteOverWire exercises the MVCC behaviour
+// through the socket layer: one client continuously bulk-imports whole
+// batches while another reads; every read must see a whole number of
+// batches (snapshot reads never expose a partially applied insert).
+func TestConcurrentReadDuringWriteOverWire(t *testing.T) {
+	_, addr := startServer(t)
+	writer, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer writer.Close()
+	reader, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reader.Close()
+
+	if _, err := writer.Exec("CREATE TABLE t (a integer)"); err != nil {
+		t.Fatal(err)
+	}
+	const batch = 50
+	rows := make([]sqldb.Row, batch)
+	for i := range rows {
+		rows[i] = sqldb.Row{value.NewInt(int64(i))}
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		for k := 0; k < 40; k++ {
+			if _, err := writer.InsertRows("t", []string{"a"}, rows); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := reader.Exec("SELECT COUNT(*) FROM t")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n := res.Rows[0][0].Int(); n != 40*batch {
+				t.Fatalf("final count = %d, want %d", n, 40*batch)
+			}
+			return
+		default:
+		}
+		res, err := reader.Exec("SELECT COUNT(*) FROM t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := res.Rows[0][0].Int(); n%batch != 0 {
+			t.Fatalf("read a partial batch: count = %d", n)
+		}
+	}
+}
