@@ -19,6 +19,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"perfbase/internal/failpoint"
 	"perfbase/internal/sqldb"
 	"perfbase/internal/sqldb/wire"
 )
@@ -28,6 +29,13 @@ func main() {
 	dbDir := flag.String("db", "perfbase.db", "database directory")
 	mem := flag.Bool("mem", false, "serve an in-memory database (worker node mode)")
 	flag.Parse()
+
+	// Fault-injection sites (crash-recovery testing against the real
+	// binary): PERFBASE_FAILPOINTS="sqldb/wal/fsync=error(disk gone)".
+	if err := failpoint.SetFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, "pbserver:", err)
+		os.Exit(1)
+	}
 
 	var db *sqldb.DB
 	var err error

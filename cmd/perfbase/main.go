@@ -39,10 +39,17 @@ import (
 	"strings"
 
 	"perfbase"
+	"perfbase/internal/failpoint"
 	"perfbase/internal/input"
 )
 
 func main() {
+	// Fault-injection sites for crash-recovery testing against the
+	// real binary (PERFBASE_FAILPOINTS="site=spec;...").
+	if err := failpoint.SetFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, "perfbase:", err)
+		os.Exit(1)
+	}
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "perfbase:", err)
 		os.Exit(1)

@@ -1,0 +1,306 @@
+// Package failpoint is a deterministic fault-injection registry in the
+// style of etcd's gofail: code under test declares named sites at
+// package init, and tests (or a child process driven via the
+// environment) arm individual sites with actions — return an error,
+// panic, sleep, or crash the whole process, optionally after letting
+// only the first N bytes of a pending write reach the file.
+//
+// The design constraint is zero overhead in production: a disabled
+// site costs one atomic pointer load and a predictable branch —
+// Inject is small enough to inline, so an un-armed failpoint in a hot
+// path is invisible in profiles. All bookkeeping (hit counting, spec
+// parsing, the registry map) lives behind the armed check.
+//
+// Sites are declared as package variables:
+//
+//	var fpWALWrite = failpoint.Site("sqldb/wal/write")
+//
+// and evaluated inline:
+//
+//	if err := fpWALWrite.Inject(); err != nil { return err }
+//
+// Tests arm them with a gofail-style spec string:
+//
+//	failpoint.Enable("sqldb/wal/write", "crash(17)@3")
+//
+// meaning: on the 3rd hit, write only the first 17 bytes of the
+// pending write (for InjectWrite sites), fsync, and exit the process
+// with CrashExitCode. Child processes inherit arming through the
+// PERFBASE_FAILPOINTS environment variable (see SetFromEnv), which is
+// how the crash-recovery torture harness kills its workload child at
+// every registered site.
+package failpoint
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EnvVar names the environment variable SetFromEnv reads. Its value is
+// a semicolon-separated list of name=spec terms, e.g.
+// "sqldb/wal/write=crash(17)@3;sqldb/wal/fsync=error(disk gone)".
+const EnvVar = "PERFBASE_FAILPOINTS"
+
+// CrashExitCode is the process exit status of a crash action. Torture
+// drivers match on it to distinguish an injected crash from an
+// unrelated child failure.
+const CrashExitCode = 42
+
+// Kind enumerates the supported actions.
+type Kind int
+
+const (
+	// KindError makes Inject return an error.
+	KindError Kind = iota
+	// KindPanic makes Inject panic.
+	KindPanic
+	// KindSleep makes Inject sleep for the configured duration.
+	KindSleep
+	// KindCrash exits the process with CrashExitCode. For InjectWrite
+	// sites an optional byte budget lets a prefix of the pending write
+	// reach the file first — simulating a torn write.
+	KindCrash
+)
+
+// action is the armed behaviour of one site. Immutable once stored.
+type action struct {
+	kind  Kind
+	msg   string
+	sleep time.Duration
+	bytes int    // KindCrash: bytes of the pending write to let through (-1 = none)
+	after uint64 // trigger from the Nth hit on (1-based)
+}
+
+// F is one failpoint site. The zero value is not usable; obtain sites
+// through Site.
+type F struct {
+	name string
+	act  atomic.Pointer[action]
+	hits atomic.Uint64
+}
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]*F{}
+)
+
+// Site returns the site with the given name, registering it on first
+// use. Calling Site twice with one name yields the same *F, so tests
+// and production code share the site the package variable declared.
+func Site(name string) *F {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if f, ok := registry[name]; ok {
+		return f
+	}
+	f := &F{name: name}
+	registry[name] = f
+	return f
+}
+
+// List returns the names of all registered sites, sorted. The torture
+// harness iterates it to kill the workload at every site.
+func List() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Enable arms the named site with a spec (see parseSpec). The site
+// must already be registered — arming an unknown name is an error so
+// that typos in test matrices fail loudly.
+func Enable(name, spec string) error {
+	regMu.Lock()
+	f, ok := registry[name]
+	regMu.Unlock()
+	if !ok {
+		return fmt.Errorf("failpoint: unknown site %q", name)
+	}
+	a, err := parseSpec(spec)
+	if err != nil {
+		return fmt.Errorf("failpoint: %s: %w", name, err)
+	}
+	f.hits.Store(0)
+	f.act.Store(a)
+	return nil
+}
+
+// Disable disarms the named site. Unknown names are ignored.
+func Disable(name string) {
+	regMu.Lock()
+	f, ok := registry[name]
+	regMu.Unlock()
+	if ok {
+		f.act.Store(nil)
+		f.hits.Store(0)
+	}
+}
+
+// DisableAll disarms every site; tests call it in cleanup so an armed
+// failpoint never leaks into the next test.
+func DisableAll() {
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, f := range registry {
+		f.act.Store(nil)
+		f.hits.Store(0)
+	}
+}
+
+// SetFromEnv arms sites from the EnvVar value ("a=spec;b=spec"). An
+// empty or unset variable is a no-op. Child torture processes call it
+// before opening the database under test.
+func SetFromEnv() error {
+	v := os.Getenv(EnvVar)
+	if v == "" {
+		return nil
+	}
+	for _, term := range strings.Split(v, ";") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		name, spec, ok := strings.Cut(term, "=")
+		if !ok {
+			return fmt.Errorf("failpoint: malformed env term %q", term)
+		}
+		if err := Enable(strings.TrimSpace(name), strings.TrimSpace(spec)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Name returns the site's registered name.
+func (f *F) Name() string { return f.name }
+
+// Hits returns how many times the site has been evaluated while armed.
+func (f *F) Hits() uint64 { return f.hits.Load() }
+
+// Inject evaluates the site. Disabled (the overwhelmingly common
+// case): one atomic load, returns nil. Armed: counts the hit and, once
+// the hit count reaches the spec's @N threshold, performs the action —
+// returns an error, panics, sleeps, or exits the process.
+func (f *F) Inject() error {
+	a := f.act.Load()
+	if a == nil {
+		return nil
+	}
+	return f.fire(a, nil, nil)
+}
+
+// InjectWrite evaluates a site guarding a file write of buf. It
+// behaves like Inject, except that a crash(N) action first writes
+// buf[:N] to file and fsyncs it, simulating a torn write followed by a
+// power cut. The caller performs its own full write only when
+// InjectWrite returns nil.
+func (f *F) InjectWrite(file *os.File, buf []byte) error {
+	a := f.act.Load()
+	if a == nil {
+		return nil
+	}
+	return f.fire(a, file, buf)
+}
+
+// fire implements the armed slow path.
+func (f *F) fire(a *action, file *os.File, buf []byte) error {
+	if f.hits.Add(1) < a.after {
+		return nil
+	}
+	switch a.kind {
+	case KindError:
+		return fmt.Errorf("failpoint: %s: %s", f.name, a.msg)
+	case KindPanic:
+		panic(fmt.Sprintf("failpoint: %s: %s", f.name, a.msg))
+	case KindSleep:
+		time.Sleep(a.sleep)
+		return nil
+	case KindCrash:
+		if file != nil && a.bytes >= 0 {
+			n := a.bytes
+			if n > len(buf) {
+				n = len(buf)
+			}
+			file.Write(buf[:n]) //nolint:errcheck // crashing anyway
+			file.Sync()         //nolint:errcheck
+		}
+		os.Exit(CrashExitCode)
+	}
+	return nil
+}
+
+// parseSpec parses a gofail-style action spec:
+//
+//	error            error("msg")        — Inject returns an error
+//	panic            panic("msg")        — Inject panics
+//	sleep(50ms)                          — Inject sleeps
+//	crash            crash(N)            — process exit; with N, a
+//	                                       torn write of N bytes first
+//
+// any of which may take an "@N" suffix arming the action from the Nth
+// hit on (default: the 1st).
+func parseSpec(spec string) (*action, error) {
+	spec = strings.TrimSpace(spec)
+	a := &action{after: 1, bytes: -1}
+	if base, at, ok := strings.Cut(spec, "@"); ok {
+		n, err := strconv.ParseUint(strings.TrimSpace(at), 10, 64)
+		if err != nil || n == 0 {
+			return nil, fmt.Errorf("bad hit count in spec %q", spec)
+		}
+		a.after = n
+		spec = strings.TrimSpace(base)
+	}
+	name := spec
+	arg := ""
+	if i := strings.IndexByte(spec, '('); i >= 0 {
+		if !strings.HasSuffix(spec, ")") {
+			return nil, fmt.Errorf("unbalanced parens in spec %q", spec)
+		}
+		name = spec[:i]
+		arg = strings.Trim(spec[i+1:len(spec)-1], `"' `)
+	}
+	switch name {
+	case "error":
+		a.kind = KindError
+		a.msg = arg
+		if a.msg == "" {
+			a.msg = "injected error"
+		}
+	case "panic":
+		a.kind = KindPanic
+		a.msg = arg
+		if a.msg == "" {
+			a.msg = "injected panic"
+		}
+	case "sleep":
+		d, err := time.ParseDuration(arg)
+		if err != nil {
+			return nil, fmt.Errorf("bad sleep duration in spec %q", spec)
+		}
+		a.kind = KindSleep
+		a.sleep = d
+	case "crash":
+		a.kind = KindCrash
+		if arg != "" {
+			n, err := strconv.Atoi(arg)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("bad byte count in spec %q", spec)
+			}
+			a.bytes = n
+		}
+	default:
+		return nil, fmt.Errorf("unknown action in spec %q", spec)
+	}
+	return a, nil
+}

@@ -1,0 +1,202 @@
+package failpoint
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDisabledSiteIsNil(t *testing.T) {
+	f := Site("test/disabled")
+	for i := 0; i < 100; i++ {
+		if err := f.Inject(); err != nil {
+			t.Fatalf("disabled site returned %v", err)
+		}
+	}
+	if f.Hits() != 0 {
+		t.Errorf("disabled site counted hits: %d", f.Hits())
+	}
+}
+
+func TestSiteIdentity(t *testing.T) {
+	a := Site("test/identity")
+	b := Site("test/identity")
+	if a != b {
+		t.Error("Site returned distinct handles for one name")
+	}
+	found := false
+	for _, n := range List() {
+		if n == "test/identity" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("registered site missing from List")
+	}
+}
+
+func TestErrorAction(t *testing.T) {
+	f := Site("test/error")
+	t.Cleanup(DisableAll)
+	if err := Enable("test/error", `error("boom")`); err != nil {
+		t.Fatal(err)
+	}
+	err := f.Inject()
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("Inject = %v, want injected boom", err)
+	}
+	Disable("test/error")
+	if err := f.Inject(); err != nil {
+		t.Fatalf("after Disable: %v", err)
+	}
+}
+
+func TestHitThreshold(t *testing.T) {
+	f := Site("test/threshold")
+	t.Cleanup(DisableAll)
+	if err := Enable("test/threshold", "error@3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Inject(); err != nil {
+		t.Fatalf("hit 1 fired early: %v", err)
+	}
+	if err := f.Inject(); err != nil {
+		t.Fatalf("hit 2 fired early: %v", err)
+	}
+	if err := f.Inject(); err == nil {
+		t.Fatal("hit 3 did not fire")
+	}
+	if err := f.Inject(); err == nil {
+		t.Fatal("hit 4 did not fire (threshold is from-Nth-on)")
+	}
+	if f.Hits() != 4 {
+		t.Errorf("hits = %d, want 4", f.Hits())
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	f := Site("test/panic")
+	t.Cleanup(DisableAll)
+	if err := Enable("test/panic", "panic"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("panic action did not panic")
+		}
+	}()
+	f.Inject() //nolint:errcheck
+}
+
+func TestSleepAction(t *testing.T) {
+	f := Site("test/sleep")
+	t.Cleanup(DisableAll)
+	if err := Enable("test/sleep", "sleep(30ms)"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := f.Inject(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Errorf("sleep action returned after %v", d)
+	}
+}
+
+func TestEnableUnknownSite(t *testing.T) {
+	if err := Enable("test/never-registered-xyz", "error"); err == nil {
+		t.Error("Enable on unknown site succeeded")
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	Site("test/spec")
+	t.Cleanup(DisableAll)
+	for _, bad := range []string{"", "explode", "sleep(soon)", "crash(-1)", "error@0", "error@x", "sleep(1ms"} {
+		if err := Enable("test/spec", bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+	for _, good := range []string{"error", `error("msg")`, "panic", "sleep(1ms)", "crash", "crash(0)", "crash(12)@4"} {
+		if err := Enable("test/spec", good); err != nil {
+			t.Errorf("spec %q rejected: %v", good, err)
+		}
+	}
+}
+
+func TestSetFromEnv(t *testing.T) {
+	f := Site("test/env")
+	g := Site("test/env2")
+	t.Cleanup(DisableAll)
+	t.Setenv(EnvVar, `test/env=error("from env"); test/env2=error@2`)
+	if err := SetFromEnv(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Inject(); err == nil {
+		t.Error("env-armed site did not fire")
+	}
+	if err := g.Inject(); err != nil {
+		t.Errorf("env-armed @2 site fired on first hit: %v", err)
+	}
+	if err := g.Inject(); err == nil {
+		t.Error("env-armed @2 site did not fire on second hit")
+	}
+
+	t.Setenv(EnvVar, "garbage-without-equals")
+	if err := SetFromEnv(); err == nil {
+		t.Error("malformed env accepted")
+	}
+	t.Setenv(EnvVar, "test/unknown-site=error")
+	if err := SetFromEnv(); err == nil {
+		t.Error("unknown site in env accepted")
+	}
+}
+
+func TestInjectWriteTornPrefix(t *testing.T) {
+	// crash actions exit the process, so the torn-prefix write is
+	// exercised in a child process.
+	if os.Getenv("FAILPOINT_TEST_CHILD") == "1" {
+		f := Site("test/torn")
+		if err := SetFromEnv(); err != nil {
+			os.Exit(3)
+		}
+		file, err := os.Create(os.Getenv("FAILPOINT_TEST_FILE"))
+		if err != nil {
+			os.Exit(4)
+		}
+		f.InjectWrite(file, []byte("hello world")) //nolint:errcheck // exits
+		os.Exit(5)                                 // unreachable if the crash fired
+	}
+	path := filepath.Join(t.TempDir(), "torn")
+	cmd := exec.Command(os.Args[0], "-test.run=TestInjectWriteTornPrefix$")
+	cmd.Env = append(os.Environ(),
+		"FAILPOINT_TEST_CHILD=1",
+		"FAILPOINT_TEST_FILE="+path,
+		EnvVar+"=test/torn=crash(5)")
+	err := cmd.Run()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != CrashExitCode {
+		t.Fatalf("child exit = %v, want exit code %d", err, CrashExitCode)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello" {
+		t.Errorf("torn write produced %q, want %q", data, "hello")
+	}
+}
+
+func BenchmarkInjectDisabled(b *testing.B) {
+	f := Site("bench/disabled")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := f.Inject(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -24,11 +24,17 @@ import (
 	"time"
 
 	"perfbase/internal/core"
+	"perfbase/internal/failpoint"
 	"perfbase/internal/pbxml"
 	"perfbase/internal/query"
 	"perfbase/internal/sqldb"
 	"perfbase/internal/sqldb/wire"
 )
+
+// fpWorkerDial fires while a TCP pool connects its workers; arming it
+// simulates an unreachable cluster node, which must fail pool
+// construction cleanly (no leaked servers or half-built pools).
+var fpWorkerDial = failpoint.Site("parquery/worker/dial")
 
 // Pool is a set of worker database servers for query element
 // placement.
@@ -61,6 +67,12 @@ func NewTCPPool(n int) (*Pool, error) {
 			return nil, fmt.Errorf("parquery: worker %d: %w", i, err)
 		}
 		client, err := wire.Dial(srv.Addr())
+		if err == nil {
+			if ferr := fpWorkerDial.Inject(); ferr != nil {
+				client.Close()
+				err = ferr
+			}
+		}
 		if err != nil {
 			srv.Close()
 			p.Close()

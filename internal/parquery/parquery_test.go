@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"perfbase/internal/core"
+	"perfbase/internal/failpoint"
 	"perfbase/internal/pbxml"
 	"perfbase/internal/query"
 	"perfbase/internal/sqldb"
@@ -255,5 +256,23 @@ func TestPlanWidthBoundsParallelism(t *testing.T) {
 	}
 	if plan.Width() != 2 {
 		t.Errorf("fig7 width = %d, want 2", plan.Width())
+	}
+}
+
+// TestTCPPoolDialFailureCleanup: an injected dial failure (an
+// unreachable cluster node) must fail pool construction with an error
+// and tear down the workers already started — no leaked listeners.
+func TestTCPPoolDialFailureCleanup(t *testing.T) {
+	if err := failpoint.Enable("parquery/worker/dial", "error(node unreachable)@3"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.DisableAll()
+	pool, err := NewTCPPool(4)
+	if err == nil {
+		pool.Close()
+		t.Fatal("pool construction succeeded despite injected dial failure")
+	}
+	if !strings.Contains(err.Error(), "node unreachable") {
+		t.Errorf("error = %v, want injected dial failure", err)
 	}
 }

@@ -44,6 +44,11 @@ type DB struct {
 
 	wal *groupWAL // nil for a memory-only database
 	dir string
+	// walEpoch is the checkpoint generation the current WAL extends;
+	// recovery discards a WAL older than the snapshot. Guarded by wmu.
+	walEpoch uint64
+	// recovery reports what the last Open found in the WAL.
+	recovery RecoveryInfo
 }
 
 // ErrTxnBusy is returned by BEGIN while another transaction is open.
@@ -137,8 +142,11 @@ func (db *DB) ExecParsed(st Statement, raw string) (*Result, error) {
 	db.wmu.Unlock()
 	// Durability waits happen outside the writer lock so that
 	// concurrent committers share one group fsync instead of
-	// serializing on the disk.
-	db.waitDurable(seq)
+	// serializing on the disk. Under SyncAlways a WAL failure fails the
+	// commit: the caller must never treat a lost record as durable.
+	if err := db.waitDurable(seq); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
@@ -544,7 +552,9 @@ func (db *DB) InsertRows(tableName string, cols []string, rows []Row) (int, erro
 		}
 	}
 	db.wmu.Unlock()
-	db.waitDurable(seq)
+	if err := db.waitDurable(seq); err != nil {
+		return 0, err
+	}
 	return len(rows), nil
 }
 

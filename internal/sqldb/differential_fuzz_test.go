@@ -1,0 +1,342 @@
+// Differential SQL fuzzing: a byte-driven generator produces random
+// but well-typed statement sequences and runs them against three
+// implementations at once —
+//
+//  1. the engine itself (compiled executor + plan cache),
+//  2. a naive test-side reference model (plain Go slices, no SQL), and
+//  3. a second engine behind the TCP wire protocol, fed the identical
+//     stream partly through single Execs and partly through pipelined
+//     batches.
+//
+// At every generated SELECT the three answers must agree exactly
+// (floats within 1e-9 for AVG). The package is sqldb_test rather than
+// sqldb because the wire package imports sqldb: an in-package test
+// would close an import cycle.
+package sqldb_test
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"perfbase/internal/sqldb"
+	"perfbase/internal/sqldb/wire"
+)
+
+// mrow is the reference model's row: the fuzz schema is fixed as
+// m (k integer, grp string, v integer) with k unique and increasing so
+// ORDER BY k is total and comparisons are deterministic.
+type mrow struct {
+	k   int64
+	grp string
+	v   int64
+}
+
+// diffState threads the generator through one fuzz input.
+type diffState struct {
+	t     *testing.T
+	db    *sqldb.DB    // oracle 1: in-process engine
+	wc    *wire.Client // oracle 3: same statements over TCP
+	model []mrow       // oracle 2: naive reference
+	saved []mrow       // model backup for ROLLBACK
+	inTxn bool
+	nextK int64
+	// pending statements not yet applied to the wire mirror; flushed
+	// alternately via ExecPipeline and via per-statement Exec so both
+	// transports are exercised.
+	pending []sqldb.PipelineRequest
+	flushes int
+}
+
+// exec applies one mutation statement to the engine and queues it for
+// the wire mirror. Generated statements are well-typed by
+// construction, so any error is a finding.
+func (s *diffState) exec(sql string) {
+	s.t.Helper()
+	if _, err := s.db.Exec(sql); err != nil {
+		s.t.Fatalf("engine rejected generated statement %q: %v", sql, err)
+	}
+	s.pending = append(s.pending, sqldb.PipelineRequest{SQL: sql})
+}
+
+// flush catches the wire mirror up with the engine.
+func (s *diffState) flush() {
+	s.t.Helper()
+	if len(s.pending) == 0 {
+		return
+	}
+	s.flushes++
+	if s.flushes%2 == 0 {
+		if _, err := s.wc.ExecPipeline(s.pending); err != nil {
+			s.t.Fatalf("wire pipeline rejected mirrored batch: %v", err)
+		}
+	} else {
+		for _, req := range s.pending {
+			if _, err := s.wc.Exec(req.SQL); err != nil {
+				s.t.Fatalf("wire rejected mirrored statement %q: %v", req.SQL, err)
+			}
+		}
+	}
+	s.pending = s.pending[:0]
+}
+
+// modelRows returns a sorted copy of the reference rows (by k).
+func (s *diffState) modelRows() []mrow {
+	out := append([]mrow(nil), s.model...)
+	sort.Slice(out, func(i, j int) bool { return out[i].k < out[j].k })
+	return out
+}
+
+// resultString renders a Result canonically for engine-vs-wire
+// comparison: both sides run the same engine, so the rendering must be
+// byte-identical.
+func resultString(res *sqldb.Result) string {
+	var b strings.Builder
+	for _, row := range res.Rows {
+		for j, v := range row {
+			if j > 0 {
+				b.WriteByte('\t')
+			}
+			if v.IsNull() {
+				b.WriteString("NULL")
+			} else {
+				b.WriteString(v.String())
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// query runs one SELECT on engine and wire, checks they agree exactly,
+// and returns the engine result for the reference check.
+func (s *diffState) query(sql string) *sqldb.Result {
+	s.t.Helper()
+	res, err := s.db.Exec(sql)
+	if err != nil {
+		s.t.Fatalf("engine rejected generated query %q: %v", sql, err)
+	}
+	s.flush()
+	wres, err := s.wc.Exec(sql)
+	if err != nil {
+		s.t.Fatalf("wire rejected generated query %q: %v", sql, err)
+	}
+	if eng, wr := resultString(res), resultString(wres); eng != wr {
+		s.t.Fatalf("engine and wire disagree on %q:\nengine:\n%swire:\n%s", sql, eng, wr)
+	}
+	return res
+}
+
+func (s *diffState) fail(sql string, res *sqldb.Result, format string, argv ...any) {
+	s.t.Helper()
+	s.t.Fatalf("engine and reference disagree on %q: %s\nengine rows: %v\nmodel: %+v",
+		sql, fmt.Sprintf(format, argv...), res.Rows, s.modelRows())
+}
+
+// checkFullScan: SELECT k, grp, v FROM m ORDER BY k.
+func (s *diffState) checkFullScan() {
+	const sql = "SELECT k, grp, v FROM m ORDER BY k"
+	res := s.query(sql)
+	want := s.modelRows()
+	if len(res.Rows) != len(want) {
+		s.fail(sql, res, "row count %d, want %d", len(res.Rows), len(want))
+	}
+	for i, w := range want {
+		r := res.Rows[i]
+		if r[0].Int() != w.k || r[1].Str() != w.grp || r[2].Int() != w.v {
+			s.fail(sql, res, "row %d = (%v, %v, %v), want %+v", i, r[0], r[1], r[2], w)
+		}
+	}
+}
+
+// checkGroupBy: per-group COUNT/SUM/MIN/MAX.
+func (s *diffState) checkGroupBy() {
+	const sql = "SELECT grp, COUNT(*), SUM(v), MIN(v), MAX(v) FROM m GROUP BY grp ORDER BY grp"
+	res := s.query(sql)
+	type agg struct {
+		n, sum, min, max int64
+	}
+	groups := map[string]*agg{}
+	for _, r := range s.model {
+		a, ok := groups[r.grp]
+		if !ok {
+			groups[r.grp] = &agg{n: 1, sum: r.v, min: r.v, max: r.v}
+			continue
+		}
+		a.n++
+		a.sum += r.v
+		if r.v < a.min {
+			a.min = r.v
+		}
+		if r.v > a.max {
+			a.max = r.v
+		}
+	}
+	names := make([]string, 0, len(groups))
+	for g := range groups {
+		names = append(names, g)
+	}
+	sort.Strings(names)
+	if len(res.Rows) != len(names) {
+		s.fail(sql, res, "group count %d, want %d", len(res.Rows), len(names))
+	}
+	for i, g := range names {
+		r, a := res.Rows[i], groups[g]
+		if r[0].Str() != g || r[1].Int() != a.n || r[2].Int() != a.sum || r[3].Int() != a.min || r[4].Int() != a.max {
+			s.fail(sql, res, "group %q = %v, want %+v", g, r, *a)
+		}
+	}
+}
+
+// checkFilter: SELECT k, v FROM m WHERE v >= c ORDER BY k.
+func (s *diffState) checkFilter(c int64) {
+	sql := fmt.Sprintf("SELECT k, v FROM m WHERE v >= %d ORDER BY k", c)
+	res := s.query(sql)
+	var want []mrow
+	for _, r := range s.modelRows() {
+		if r.v >= c {
+			want = append(want, r)
+		}
+	}
+	if len(res.Rows) != len(want) {
+		s.fail(sql, res, "row count %d, want %d", len(res.Rows), len(want))
+	}
+	for i, w := range want {
+		if res.Rows[i][0].Int() != w.k || res.Rows[i][1].Int() != w.v {
+			s.fail(sql, res, "row %d = %v, want %+v", i, res.Rows[i], w)
+		}
+	}
+}
+
+// checkCountAvg: whole-table COUNT and AVG (float, 1e-9 tolerance).
+func (s *diffState) checkCountAvg() {
+	const sql = "SELECT COUNT(*), AVG(v) FROM m"
+	res := s.query(sql)
+	if len(res.Rows) != 1 {
+		s.fail(sql, res, "row count %d, want 1", len(res.Rows))
+	}
+	r := res.Rows[0]
+	if r[0].Int() != int64(len(s.model)) {
+		s.fail(sql, res, "COUNT = %v, want %d", r[0], len(s.model))
+	}
+	if len(s.model) == 0 {
+		if !r[1].IsNull() {
+			s.fail(sql, res, "AVG of empty table = %v, want NULL", r[1])
+		}
+		return
+	}
+	var sum int64
+	for _, m := range s.model {
+		sum += m.v
+	}
+	want := float64(sum) / float64(len(s.model))
+	if got := r[1].Float(); math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+		s.fail(sql, res, "AVG = %g, want %g", got, want)
+	}
+}
+
+// FuzzSQLDifferential interprets the fuzz input as a program over the
+// fixed schema and cross-checks every query against all three oracles.
+func FuzzSQLDifferential(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Add([]byte("insert update delete begin commit rollback select"))
+	f.Add([]byte{4, 200, 4, 100, 4, 50, 7, 0, 5, 1, 9, 4, 12, 6, 2, 9, 3, 255, 7, 1})
+	f.Add([]byte{4, 1, 4, 2, 5, 0, 4, 3, 6, 0, 7, 0, 5, 0, 4, 4, 5, 0, 7, 1, 7, 2, 7, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db := sqldb.NewMemory()
+		srv := wire.NewServer(sqldb.NewMemory())
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			t.Skip("loopback unavailable")
+		}
+		defer srv.Close()
+		wc, err := wire.Dial(srv.Addr())
+		if err != nil {
+			t.Skip("loopback unavailable")
+		}
+		defer wc.Close()
+
+		s := &diffState{t: t, db: db, wc: wc}
+		s.exec("CREATE TABLE m (k integer, grp string, v integer)")
+
+		// Each opcode consumes one selector byte plus up to two operand
+		// bytes. 64 ops keeps a single input fast while still producing
+		// transactions that span many mutations.
+		byteAt := func(i int) byte {
+			if i < len(data) {
+				return data[i]
+			}
+			return 0
+		}
+		pos := 0
+		next := func() byte { b := byteAt(pos); pos++; return b }
+		for ops := 0; pos < len(data) && ops < 64; ops++ {
+			switch next() % 8 {
+			case 0, 1: // single-row INSERT
+				grp := fmt.Sprintf("g%d", next()%4)
+				v := int64(int8(next()))
+				k := s.nextK
+				s.nextK++
+				s.exec(fmt.Sprintf("INSERT INTO m VALUES (%d, '%s', %d)", k, grp, v))
+				s.model = append(s.model, mrow{k, grp, v})
+			case 2: // multi-row INSERT (one atomic statement)
+				grp := fmt.Sprintf("g%d", next()%4)
+				v := int64(int8(next()))
+				k1, k2 := s.nextK, s.nextK+1
+				s.nextK += 2
+				s.exec(fmt.Sprintf("INSERT INTO m VALUES (%d, '%s', %d), (%d, '%s', %d)",
+					k1, grp, v, k2, grp, -v))
+				s.model = append(s.model, mrow{k1, grp, v}, mrow{k2, grp, -v})
+			case 3: // UPDATE one group
+				grp := fmt.Sprintf("g%d", next()%4)
+				v := int64(int8(next()))
+				s.exec(fmt.Sprintf("UPDATE m SET v = %d WHERE grp = '%s'", v, grp))
+				for i := range s.model {
+					if s.model[i].grp == grp {
+						s.model[i].v = v
+					}
+				}
+			case 4: // DELETE below a threshold
+				c := int64(int8(next()))
+				s.exec(fmt.Sprintf("DELETE FROM m WHERE v < %d", c))
+				kept := s.model[:0]
+				for _, r := range s.model {
+					if r.v >= c {
+						kept = append(kept, r)
+					}
+				}
+				s.model = kept
+			case 5: // BEGIN / COMMIT toggle
+				if s.inTxn {
+					s.exec("COMMIT")
+					s.inTxn, s.saved = false, nil
+				} else {
+					s.exec("BEGIN")
+					s.inTxn = true
+					s.saved = append([]mrow(nil), s.model...)
+				}
+			case 6: // ROLLBACK (no-op outside a transaction)
+				if s.inTxn {
+					s.exec("ROLLBACK")
+					s.model, s.saved, s.inTxn = s.saved, nil, false
+				}
+			case 7: // cross-checked SELECT
+				switch next() % 4 {
+				case 0:
+					s.checkFullScan()
+				case 1:
+					s.checkGroupBy()
+				case 2:
+					s.checkFilter(int64(int8(next())))
+				case 3:
+					s.checkCountAvg()
+				}
+			}
+		}
+		// Final full comparison regardless of what the input generated.
+		s.checkFullScan()
+		s.checkGroupBy()
+		s.checkCountAvg()
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -13,17 +14,35 @@ import (
 	"sync"
 	"time"
 
+	"perfbase/internal/failpoint"
 	"perfbase/internal/value"
 )
 
 // Durability layout: a database directory holds
 //
 //	snapshot.gob — gob-encoded full table state at the last checkpoint
-//	wal.log      — length-prefixed SQL statements executed since
+//	wal.log      — CRC-framed SQL statement batches executed since
 //
 // Open loads the snapshot and replays the WAL. Checkpoint folds the
 // WAL into a fresh snapshot. Mutating statements append to the WAL on
-// commit (transactions buffer their statements until COMMIT).
+// commit; a multi-statement transaction is framed as ONE record, so a
+// crash can never surface half of a committed transaction.
+//
+// WAL file format (v2):
+//
+//	header:  8-byte magic "PBWAL2\r\n" + uint64 LE epoch
+//	frame:   uvarint(len payload) + uint32 LE CRC-32C(payload) + payload
+//	payload: repeated { uvarint(len stmt) + stmt }
+//
+// The epoch ties the WAL to the snapshot generation it extends: a
+// checkpoint writes a snapshot stamped epoch E+1 and then resets the
+// WAL to epoch E+1. If the process dies between the two steps, reopen
+// sees snapshot epoch E+1 with a WAL still at epoch E and discards the
+// stale WAL instead of replaying statements the snapshot already
+// contains (the classic double-apply window). Replay stops cleanly at
+// the first torn or corrupt frame, reports the recovered position (see
+// RecoveryInfo), and truncates the file there so later appends never
+// hide behind garbage.
 //
 // The WAL uses group commit: statements are framed into an in-memory
 // buffer under the writer lock and a background flusher writes and
@@ -33,6 +52,27 @@ import (
 const (
 	snapshotFile = "snapshot.gob"
 	walFile      = "wal.log"
+)
+
+// walMagic identifies a v2 WAL file; the header is the magic plus a
+// little-endian uint64 epoch.
+var walMagic = [8]byte{'P', 'B', 'W', 'A', 'L', '2', '\r', '\n'}
+
+const walHeaderSize = 16
+
+var walCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// Failpoint sites of the persistence layer. Disabled, each costs one
+// atomic load; the torture harness arms them to kill the process (or
+// tear a write) at every stage of the commit and checkpoint paths.
+var (
+	fpWALAppend   = failpoint.Site("sqldb/wal/append")
+	fpWALWrite    = failpoint.Site("sqldb/wal/write")
+	fpWALSync     = failpoint.Site("sqldb/wal/fsync")
+	fpWALRotate   = failpoint.Site("sqldb/wal/rotate")
+	fpPersistSave = failpoint.Site("sqldb/persist/save")
+	fpPersistRen  = failpoint.Site("sqldb/persist/rename")
+	fpPersistLoad = failpoint.Site("sqldb/persist/load")
 )
 
 // SyncPolicy controls when the WAL is fsynced.
@@ -62,11 +102,26 @@ func (p SyncPolicy) String() string {
 	return "interval"
 }
 
+// ParseSyncPolicy is the inverse of SyncPolicy.String; unknown names
+// return an error. The torture harness hands policies to its child
+// process through the environment as strings.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "off":
+		return SyncOff, nil
+	}
+	return 0, errorf("unknown sync policy %q", s)
+}
+
 // syncInterval is the background fsync cadence under SyncInterval.
 const syncInterval = 50 * time.Millisecond
 
-// groupWAL appends framed statements to the log file with batched
-// writes and group fsync.
+// groupWAL appends framed statement batches to the log file with
+// batched writes and group fsync.
 type groupWAL struct {
 	policy SyncPolicy
 
@@ -84,10 +139,35 @@ type groupWAL struct {
 	done     chan struct{}
 }
 
-func openWAL(path string, policy SyncPolicy) (*groupWAL, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+// openWAL opens (or creates) the WAL for appending. A fresh or empty
+// file gets a header stamped with the given epoch; an existing file
+// keeps its header (the caller has already validated the epoch during
+// replay). With truncate set, any existing contents are discarded and
+// a new header is written — the checkpoint rotation path.
+func openWAL(path string, policy SyncPolicy, epoch uint64, truncate bool) (*groupWAL, error) {
+	flags := os.O_CREATE | os.O_WRONLY
+	if truncate {
+		flags |= os.O_TRUNC
+	} else {
+		flags |= os.O_APPEND
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
 	if err != nil {
 		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() == 0 {
+		var hdr [walHeaderSize]byte
+		copy(hdr[:8], walMagic[:])
+		binary.LittleEndian.PutUint64(hdr[8:], epoch)
+		if _, err := f.Write(hdr[:]); err != nil {
+			f.Close()
+			return nil, err
+		}
 	}
 	w := &groupWAL{
 		policy:   policy,
@@ -101,14 +181,43 @@ func openWAL(path string, policy SyncPolicy) (*groupWAL, error) {
 	return w, nil
 }
 
-// enqueue frames stmt into the buffer and returns its sequence number
-// for waitDurable. It never touches the disk.
-func (w *groupWAL) enqueue(stmt string) uint64 {
-	w.mu.Lock()
+// appendFrame appends one CRC-framed record carrying stmts to dst.
+func appendFrame(dst []byte, stmts []string) []byte {
+	var payload []byte
 	var lenBuf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(lenBuf[:], uint64(len(stmt)))
-	w.buf = append(w.buf, lenBuf[:n]...)
-	w.buf = append(w.buf, stmt...)
+	for _, s := range stmts {
+		n := binary.PutUvarint(lenBuf[:], uint64(len(s)))
+		payload = append(payload, lenBuf[:n]...)
+		payload = append(payload, s...)
+	}
+	n := binary.PutUvarint(lenBuf[:], uint64(len(payload)))
+	dst = append(dst, lenBuf[:n]...)
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc32.Checksum(payload, walCRC))
+	dst = append(dst, crcBuf[:]...)
+	return append(dst, payload...)
+}
+
+// enqueue frames a statement batch (one committed unit — a single
+// statement, or every statement of a transaction) into the buffer and
+// returns its sequence number for waitDurable. It never touches the
+// disk. A batch travels in one frame, so recovery sees it entirely or
+// not at all.
+func (w *groupWAL) enqueue(stmts ...string) uint64 {
+	if len(stmts) == 0 {
+		return 0
+	}
+	w.mu.Lock()
+	if err := fpWALAppend.Inject(); err != nil {
+		// An append failure poisons the WAL like a write error: SyncAlways
+		// committers see it in waitDurable; Checkpoint surfaces it too.
+		if w.err == nil {
+			w.err = err
+		}
+		w.mu.Unlock()
+		return 0
+	}
+	w.buf = appendFrame(w.buf, stmts)
 	w.seq++
 	w.bufTop = w.seq
 	s := w.seq
@@ -169,10 +278,17 @@ func (w *groupWAL) flush(sync bool) {
 
 	var err error
 	if len(buf) > 0 {
-		_, err = w.f.Write(buf)
+		// The write failpoint can tear the write: under crash(N) it
+		// writes buf[:N], fsyncs, and kills the process — the torn-tail
+		// recovery path's torture vector.
+		if err = fpWALWrite.InjectWrite(w.f, buf); err == nil {
+			_, err = w.f.Write(buf)
+		}
 	}
 	if err == nil && sync {
-		err = w.f.Sync()
+		if err = fpWALSync.Inject(); err == nil {
+			err = w.f.Sync()
+		}
 	}
 
 	w.mu.Lock()
@@ -200,33 +316,129 @@ func (w *groupWAL) close() error {
 	return cerr
 }
 
-// readWAL returns all statements in the log, tolerating a truncated
-// final record (crash during append).
-func readWAL(path string) ([]string, error) {
+// walContents is the result of scanning a WAL file during recovery.
+type walContents struct {
+	epoch    uint64
+	batches  [][]string
+	validOff int64 // byte offset after the last intact frame
+	torn     bool  // trailing torn/corrupt bytes were discarded
+}
+
+// readWAL scans the log, verifying each frame's CRC, and stops at the
+// first torn or corrupt record: everything after an interrupted write
+// is untrusted. A missing file reads as an empty epoch-0 log.
+func readWAL(path string) (walContents, error) {
+	var wc walContents
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return nil, nil
+		return wc, nil
 	}
 	if err != nil {
-		return nil, err
+		return wc, err
 	}
 	defer f.Close()
-	r := bufio.NewReader(f)
-	var stmts []string
-	for {
-		n, err := binary.ReadUvarint(r)
-		if err == io.EOF {
-			return stmts, nil
-		}
-		if err != nil {
-			return stmts, nil // truncated length: drop the tail
-		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(r, buf); err != nil {
-			return stmts, nil // truncated record: drop the tail
-		}
-		stmts = append(stmts, string(buf))
+
+	var hdr [walHeaderSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		// Shorter than a header (including empty): nothing recoverable.
+		wc.torn = err != io.EOF
+		return wc, nil
 	}
+	if string(hdr[:8]) != string(walMagic[:]) {
+		// Unrecognized header: treat the whole file as garbage rather
+		// than guessing at frame boundaries.
+		wc.torn = true
+		return wc, nil
+	}
+	wc.epoch = binary.LittleEndian.Uint64(hdr[8:])
+	wc.validOff = walHeaderSize
+
+	r := &countingReader{r: bufio.NewReader(f), n: walHeaderSize}
+	for {
+		payloadLen, err := binary.ReadUvarint(r)
+		if err == io.EOF {
+			return wc, nil
+		}
+		if err != nil || payloadLen > 1<<31 {
+			wc.torn = true
+			return wc, nil
+		}
+		var crcBuf [4]byte
+		if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
+			wc.torn = true
+			return wc, nil
+		}
+		payload := make([]byte, payloadLen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			wc.torn = true
+			return wc, nil
+		}
+		if crc32.Checksum(payload, walCRC) != binary.LittleEndian.Uint32(crcBuf[:]) {
+			wc.torn = true
+			return wc, nil
+		}
+		stmts, ok := decodeBatch(payload)
+		if !ok {
+			wc.torn = true
+			return wc, nil
+		}
+		wc.batches = append(wc.batches, stmts)
+		wc.validOff = r.n
+	}
+}
+
+// decodeBatch splits a frame payload into its statements.
+func decodeBatch(payload []byte) ([]string, bool) {
+	var stmts []string
+	for len(payload) > 0 {
+		n, sz := binary.Uvarint(payload)
+		if sz <= 0 || n > uint64(len(payload)-sz) {
+			return nil, false
+		}
+		stmts = append(stmts, string(payload[sz:sz+int(n)]))
+		payload = payload[sz+int(n):]
+	}
+	return stmts, len(stmts) > 0
+}
+
+// countingReader tracks the byte offset consumed from the underlying
+// reader, so recovery knows where the last intact frame ends.
+type countingReader struct {
+	r *bufio.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countingReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.n++
+	}
+	return b, err
+}
+
+// RecoveryInfo reports what Open found in the WAL. The torture harness
+// (and operators) read it to confirm recovery stopped cleanly at a
+// torn tail instead of erroring out or applying a partial commit.
+type RecoveryInfo struct {
+	// Frames is the number of intact WAL records replayed — the
+	// recovered LSN: every acknowledged-durable commit with a sequence
+	// number at or below it survived.
+	Frames int
+	// Statements counts the individual statements those frames carried.
+	Statements int
+	// TornTail is true when trailing bytes after the last intact frame
+	// were discarded (a crash tore the final write).
+	TornTail bool
+	// StaleWAL is true when the WAL predated the snapshot (a crash hit
+	// the checkpoint between snapshot publish and WAL rotation) and was
+	// discarded wholesale instead of double-applied.
+	StaleWAL bool
 }
 
 // Open opens (creating if necessary) a durable database in dir with
@@ -245,14 +457,19 @@ func OpenWithPolicy(dir string, policy SyncPolicy) (*DB, error) {
 	db.dir = dir
 
 	// Load snapshot.
+	var snapEpoch uint64
 	snapPath := filepath.Join(dir, snapshotFile)
 	if f, err := os.Open(snapPath); err == nil {
 		var snap snapshotData
-		derr := gob.NewDecoder(f).Decode(&snap)
+		derr := fpPersistLoad.Inject()
+		if derr == nil {
+			derr = gob.NewDecoder(f).Decode(&snap)
+		}
 		f.Close()
 		if derr != nil {
 			return nil, fmt.Errorf("sqldb: corrupt snapshot %s: %w", snapPath, derr)
 		}
+		snapEpoch = snap.Epoch
 		tables := make(map[string]*table, len(snap.Tables))
 		for _, ts := range snap.Tables {
 			schema := make(Schema, len(ts.Cols))
@@ -278,21 +495,55 @@ func OpenWithPolicy(dir string, policy SyncPolicy) (*DB, error) {
 	}
 
 	// Replay WAL.
-	stmts, err := readWAL(filepath.Join(dir, walFile))
+	walPath := filepath.Join(dir, walFile)
+	wc, err := readWAL(walPath)
 	if err != nil {
 		return nil, err
 	}
-	for _, s := range stmts {
-		st, err := Parse(s)
-		if err != nil {
-			return nil, fmt.Errorf("sqldb: corrupt WAL statement %q: %w", s, err)
-		}
-		if _, err := db.ExecParsed(st, ""); err != nil {
-			return nil, fmt.Errorf("sqldb: WAL replay of %q: %w", s, err)
+	stale := wc.epoch < snapEpoch
+	if !stale {
+		for _, batch := range wc.batches {
+			for _, s := range batch {
+				st, err := Parse(s)
+				if err != nil {
+					return nil, fmt.Errorf("sqldb: corrupt WAL statement %q: %w", s, err)
+				}
+				if _, err := db.ExecParsed(st, ""); err != nil {
+					return nil, fmt.Errorf("sqldb: WAL replay of %q: %w", s, err)
+				}
+			}
+			db.recovery.Frames++
+			db.recovery.Statements += len(batch)
 		}
 	}
+	db.recovery.TornTail = wc.torn
+	db.recovery.StaleWAL = stale
 
-	w, err := openWAL(filepath.Join(dir, walFile), policy)
+	if stale {
+		// The WAL belongs to the pre-checkpoint generation; its effects
+		// are already inside the snapshot. Discard it and start a fresh
+		// log at the snapshot's epoch.
+		db.walEpoch = snapEpoch
+		w, err := openWAL(walPath, policy, snapEpoch, true)
+		if err != nil {
+			return nil, err
+		}
+		db.wal = w
+		return db, nil
+	}
+	if wc.torn {
+		// Cut the garbage tail so future appends are never hidden
+		// behind it on the next recovery.
+		if err := os.Truncate(walPath, wc.validOff); err != nil {
+			return nil, err
+		}
+	}
+	epoch := wc.epoch
+	if epoch < snapEpoch {
+		epoch = snapEpoch
+	}
+	db.walEpoch = epoch
+	w, err := openWAL(walPath, policy, epoch, false)
 	if err != nil {
 		return nil, err
 	}
@@ -300,10 +551,16 @@ func OpenWithPolicy(dir string, policy SyncPolicy) (*DB, error) {
 	return db, nil
 }
 
+// Recovery returns what the last Open found in the WAL. Zero value for
+// memory-only databases and clean opens.
+func (db *DB) Recovery() RecoveryInfo { return db.recovery }
+
 // logMutation records a committed mutation in the WAL and returns the
 // sequence number to wait on for durability (0 when nothing needs
 // waiting). Statements that only touch temporary tables are not
-// durable and are skipped. The caller holds db.wmu.
+// durable and are skipped. A transaction's statements are framed as a
+// single WAL record on COMMIT, so recovery applies the whole
+// transaction or none of it. The caller holds db.wmu.
 func (db *DB) logMutation(st Statement, raw string) uint64 {
 	if db.wal == nil || raw == "" {
 		return 0
@@ -317,10 +574,7 @@ func (db *DB) logMutation(st Statement, raw string) uint64 {
 		db.txnLog = nil
 		return 0
 	case *CommitStmt:
-		var seq uint64
-		for _, stmt := range db.txnLog {
-			seq = db.wal.enqueue(stmt)
-		}
+		seq := db.wal.enqueue(db.txnLog...)
 		db.txnLog = nil
 		return seq
 	case *CreateTableStmt:
@@ -357,16 +611,21 @@ func (db *DB) logMutation(st Statement, raw string) uint64 {
 
 // waitDurable blocks until the WAL record with the given sequence
 // number is durable per the sync policy. Called without db.wmu so
-// concurrent committers batch into one fsync.
-func (db *DB) waitDurable(seq uint64) {
+// concurrent committers batch into one fsync. Under SyncAlways a WAL
+// write or fsync failure is returned: the commit must not be
+// acknowledged as durable when its record never reached the disk.
+func (db *DB) waitDurable(seq uint64) error {
 	if seq == 0 {
-		return
+		return nil
 	}
 	w := db.wal
 	if w == nil {
-		return
+		return nil
 	}
-	w.waitDurable(seq) //nolint:errcheck // best effort, surfaced at Checkpoint
+	if err := w.waitDurable(seq); err != nil {
+		return fmt.Errorf("sqldb: commit not durable: %w", err)
+	}
+	return nil
 }
 
 func (db *DB) isTemp(name string) bool {
@@ -388,11 +647,15 @@ type colSnap struct {
 }
 
 type snapshotData struct {
+	// Epoch is the checkpoint generation; the WAL header carries the
+	// epoch it extends, and recovery discards a WAL older than the
+	// snapshot (see the file comment).
+	Epoch  uint64
 	Tables []tableSnap
 }
 
-// Checkpoint writes a fresh snapshot and truncates the WAL. It is a
-// no-op for memory-only databases.
+// Checkpoint writes a fresh snapshot and resets the WAL. It is a no-op
+// for memory-only databases.
 func (db *DB) Checkpoint() error {
 	db.wmu.Lock()
 	defer db.wmu.Unlock()
@@ -400,7 +663,7 @@ func (db *DB) Checkpoint() error {
 		return nil
 	}
 	sn := db.state.Load()
-	var snap snapshotData
+	snap := snapshotData{Epoch: db.walEpoch + 1}
 	names := make([]string, 0, len(sn.tables))
 	for k := range sn.tables {
 		names = append(names, k)
@@ -422,6 +685,9 @@ func (db *DB) Checkpoint() error {
 		snap.Tables = append(snap.Tables, ts)
 	}
 
+	if err := fpPersistSave.Inject(); err != nil {
+		return err
+	}
 	tmp := filepath.Join(db.dir, snapshotFile+".tmp")
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -441,10 +707,16 @@ func (db *DB) Checkpoint() error {
 		os.Remove(tmp)
 		return err
 	}
+	if err := fpPersistRen.Inject(); err != nil {
+		return err
+	}
 	if err := os.Rename(tmp, filepath.Join(db.dir, snapshotFile)); err != nil {
 		return err
 	}
-	// Truncate the WAL: stop the old writer, reopen fresh.
+	// Rotate the WAL: stop the old writer, recreate at the new epoch.
+	// A crash anywhere in this window leaves snapshot epoch E+1 with a
+	// WAL at epoch E, which recovery discards as stale — never
+	// double-applied.
 	var policy SyncPolicy
 	if db.wal != nil {
 		policy = db.wal.policy
@@ -453,10 +725,11 @@ func (db *DB) Checkpoint() error {
 		}
 		db.wal = nil
 	}
-	if err := os.Truncate(filepath.Join(db.dir, walFile), 0); err != nil && !errors.Is(err, os.ErrNotExist) {
+	if err := fpWALRotate.Inject(); err != nil {
 		return err
 	}
-	w, err := openWAL(filepath.Join(db.dir, walFile), policy)
+	db.walEpoch = snap.Epoch
+	w, err := openWAL(filepath.Join(db.dir, walFile), policy, snap.Epoch, true)
 	if err != nil {
 		return err
 	}

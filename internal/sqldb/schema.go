@@ -21,8 +21,14 @@ import (
 	"strings"
 	"time"
 
+	"perfbase/internal/failpoint"
 	"perfbase/internal/value"
 )
+
+// fpCompact fires at the head of chunk compaction (every table seal):
+// crashing here exercises recovery with arbitrarily-shaped in-memory
+// chunk states that must all be reconstructible from the WAL.
+var fpCompact = failpoint.Site("sqldb/table/compact")
 
 // Column describes one column of a table or result.
 type Column struct {
@@ -160,6 +166,7 @@ const maxCompactChunk = 512
 // chunks. Merging preserves global row ordinals, so indexes stay
 // valid.
 func (t *table) compact() {
+	_ = fpCompact.Inject() // crash/panic/sleep site; compact cannot fail
 	for len(t.chunks) >= 2 {
 		k := len(t.chunks)
 		last, prev := t.chunks[k-1], t.chunks[k-2]

@@ -1,6 +1,16 @@
 package sqldb
 
-import "sort"
+import (
+	"sort"
+
+	"perfbase/internal/failpoint"
+)
+
+// fpPublish fires just before a writer installs its working state as
+// the next snapshot — a crash here loses the statement entirely (it
+// was never acknowledged), which is exactly what the torture harness
+// asserts.
+var fpPublish = failpoint.Site("sqldb/snapshot/publish")
 
 // This file implements the MVCC core of the engine.
 //
@@ -187,6 +197,7 @@ func (ws *writeState) publish() {
 	if !ws.changed {
 		return
 	}
+	_ = fpPublish.Inject() // crash/panic/sleep site; errors have no channel here
 	for _, t := range ws.derived {
 		t.seal()
 	}

@@ -1,0 +1,213 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"perfbase/internal/failpoint"
+	"perfbase/internal/sqldb"
+)
+
+// TestBusyErrorTypedAcrossWire checks that the engine's ErrTxnBusy
+// survives the wire round trip as a typed error, not just text.
+func TestBusyErrorTypedAcrossWire(t *testing.T) {
+	db := sqldb.NewMemory()
+	srv := NewServer(db)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Exec("BEGIN")
+	if !errors.Is(err, sqldb.ErrTxnBusy) {
+		t.Fatalf("second BEGIN error = %v, want ErrTxnBusy", err)
+	}
+	if _, err := c.Exec("ROLLBACK"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRetryPolicyConcurrentCommit runs two clients that both insist on
+// a full BEGIN/INSERT/COMMIT transaction against the single
+// transaction slot. With auto-retry enabled, both must eventually
+// commit every round.
+func TestRetryPolicyConcurrentCommit(t *testing.T) {
+	db := sqldb.NewMemory()
+	if _, err := db.Exec("CREATE TABLE hits (who integer, round integer)"); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(db)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const rounds = 25
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for who := 0; who < 2; who++ {
+		c, err := Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		c.SetRetryPolicy(RetryPolicy{
+			MaxAttempts: 500,
+			BaseDelay:   100 * time.Microsecond,
+			MaxDelay:    2 * time.Millisecond,
+		})
+		wg.Add(1)
+		go func(who int, c *Client) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				if _, err := c.Exec("BEGIN"); err != nil {
+					errs[who] = fmt.Errorf("round %d BEGIN: %w", round, err)
+					return
+				}
+				if _, err := c.Exec(fmt.Sprintf("INSERT INTO hits VALUES (%d, %d)", who, round)); err != nil {
+					errs[who] = fmt.Errorf("round %d INSERT: %w", round, err)
+					return
+				}
+				if _, err := c.Exec("COMMIT"); err != nil {
+					errs[who] = fmt.Errorf("round %d COMMIT: %w", round, err)
+					return
+				}
+			}
+		}(who, c)
+	}
+	wg.Wait()
+	for who, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", who, err)
+		}
+	}
+	res, err := db.Exec("SELECT who, COUNT(*) FROM hits GROUP BY who ORDER BY who")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("writers seen = %d, want 2 (%v)", len(res.Rows), res.Rows)
+	}
+	for _, row := range res.Rows {
+		if row[1].Int() != rounds {
+			t.Errorf("writer %v committed %v rounds, want %d", row[0], row[1], rounds)
+		}
+	}
+}
+
+// TestRetryDisabledByDefault: without a policy, busy errors surface
+// immediately.
+func TestRetryDisabledByDefault(t *testing.T) {
+	db := sqldb.NewMemory()
+	srv := NewServer(db)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	a, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if _, err := a.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := b.Exec("BEGIN"); !errors.Is(err, sqldb.ErrTxnBusy) {
+		t.Fatalf("busy BEGIN = %v, want ErrTxnBusy", err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Errorf("no-retry busy took %v; default policy should not back off", d)
+	}
+}
+
+// TestServerReadFailpointDisconnects: an armed read site severs the
+// connection; the client surfaces a receive error and the server keeps
+// accepting fresh connections.
+func TestServerReadFailpointDisconnects(t *testing.T) {
+	db := sqldb.NewMemory()
+	srv := NewServer(db)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if err := failpoint.Enable("wire/server/read", "error@2"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.DisableAll()
+
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec("SELECT 1"); err != nil {
+		t.Fatalf("first statement should pass: %v", err)
+	}
+	if _, err := c.Exec("SELECT 1"); err == nil {
+		t.Fatal("statement after injected disconnect succeeded")
+	}
+
+	failpoint.DisableAll()
+	c2, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Exec("SELECT 1"); err != nil {
+		t.Fatalf("server did not survive injected disconnect: %v", err)
+	}
+}
+
+// TestServerWriteFailpointDisconnects covers the response-side site:
+// the statement executes but its response never arrives.
+func TestServerWriteFailpointDisconnects(t *testing.T) {
+	db := sqldb.NewMemory()
+	if _, err := db.Exec("CREATE TABLE t (a integer)"); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(db)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if err := failpoint.Enable("wire/server/write", "error"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.DisableAll()
+
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec("INSERT INTO t VALUES (1)"); err == nil {
+		t.Fatal("client got a response through a severed write path")
+	}
+	failpoint.DisableAll()
+	// The effect of the acked-but-unanswered statement is visible: the
+	// disconnect lost the response, not the write. Clients must treat
+	// wire errors as "unknown outcome", exactly like any RDBMS.
+	if n, ok := db.RowCount("t"); !ok || n != 1 {
+		t.Errorf("rows after severed response = %d, want 1", n)
+	}
+}

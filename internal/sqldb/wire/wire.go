@@ -24,8 +24,18 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
+	"perfbase/internal/failpoint"
 	"perfbase/internal/sqldb"
+)
+
+// Failpoint sites of the wire server's connection loops. Armed with
+// error actions they sever connections mid-conversation, which is how
+// the torture/fuzz harnesses exercise client-visible disconnects.
+var (
+	fpServerRead  = failpoint.Site("wire/server/read")
+	fpServerWrite = failpoint.Site("wire/server/write")
 )
 
 // request is one statement sent from client to server. When Bulk is
@@ -45,12 +55,15 @@ type request struct {
 	Batch []request
 }
 
-// response carries the result (or error text) of one statement.
+// response carries the result (or error text) of one statement. Busy
+// marks the one retryable error class (sqldb.ErrTxnBusy) so the client
+// can reconstruct a typed error from the flattened text.
 type response struct {
 	Columns  sqldb.Schema
 	Rows     []sqldb.Row
 	Affected int
 	Err      string
+	Busy     bool
 
 	Batch []response
 }
@@ -124,6 +137,9 @@ func (s *Server) serveConn(conn net.Conn) {
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	for {
+		if fpServerRead.Inject() != nil {
+			return // injected disconnect before the next request
+		}
 		var req request
 		if err := dec.Decode(&req); err != nil {
 			return // client gone or protocol error
@@ -141,6 +157,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		} else {
 			resp = s.execOne(&req)
 		}
+		if fpServerWrite.Inject() != nil {
+			return // injected disconnect with a response in flight
+		}
 		if err := enc.Encode(&resp); err != nil {
 			return
 		}
@@ -154,6 +173,7 @@ func (s *Server) execOne(req *request) response {
 		n, err := s.db.InsertRows(req.Table, req.Cols, req.Rows)
 		if err != nil {
 			resp.Err = err.Error()
+			resp.Busy = errors.Is(err, sqldb.ErrTxnBusy)
 		} else {
 			resp.Affected = n
 		}
@@ -162,6 +182,7 @@ func (s *Server) execOne(req *request) response {
 	res, err := s.db.Exec(req.SQL)
 	if err != nil {
 		resp.Err = err.Error()
+		resp.Busy = errors.Is(err, sqldb.ErrTxnBusy)
 	} else {
 		resp.Columns = res.Columns
 		resp.Rows = res.Rows
@@ -190,14 +211,51 @@ func (s *Server) Close() error {
 	return err
 }
 
+// RetryPolicy configures automatic retry of statements that fail with
+// sqldb.ErrTxnBusy (the engine's single transaction slot is taken,
+// like SQLITE_BUSY). Retry is opt-in via Client.SetRetryPolicy; the
+// zero policy disables it. Between attempts the client sleeps an
+// exponentially growing delay starting at BaseDelay and capped at
+// MaxDelay.
+type RetryPolicy struct {
+	// MaxAttempts bounds the total number of tries (the first attempt
+	// included). Zero or one disables retry.
+	MaxAttempts int
+	// BaseDelay is the sleep before the first retry; it doubles per
+	// attempt. Defaults to 1ms when zero.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Defaults to 100ms when zero.
+	MaxDelay time.Duration
+}
+
+// backoff returns the sleep before retry attempt n (0-based).
+func (p RetryPolicy) backoff(n int) time.Duration {
+	d := p.BaseDelay
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 100 * time.Millisecond
+	}
+	for ; n > 0 && d < max; n-- {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
 // Client is a connection to a remote database server. It implements
 // sqldb.Querier; concurrent Exec calls are serialized on the single
 // connection.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	mu    sync.Mutex
+	conn  net.Conn
+	enc   *gob.Encoder
+	dec   *gob.Decoder
+	retry RetryPolicy
 }
 
 // Dial connects to a server.
@@ -213,8 +271,40 @@ func Dial(addr string) (*Client, error) {
 	}, nil
 }
 
-// Exec sends one statement and waits for its result.
+// SetRetryPolicy enables (or, with the zero policy, disables)
+// automatic retry of busy errors on this client. Safe to call
+// concurrently with Exec.
+func (c *Client) SetRetryPolicy(p RetryPolicy) {
+	c.mu.Lock()
+	c.retry = p
+	c.mu.Unlock()
+}
+
+// Exec sends one statement and waits for its result. With a retry
+// policy set, a sqldb.ErrTxnBusy failure is retried with capped
+// exponential backoff until it succeeds or attempts run out; other
+// errors never retry. The connection lock is released between
+// attempts, so a busy loop does not starve other users of the client.
 func (c *Client) Exec(sql string) (*sqldb.Result, error) {
+	res, err := c.execOnce(sql)
+	if err == nil || !errors.Is(err, sqldb.ErrTxnBusy) {
+		return res, err
+	}
+	c.mu.Lock()
+	policy := c.retry
+	c.mu.Unlock()
+	for attempt := 1; attempt < policy.MaxAttempts; attempt++ {
+		time.Sleep(policy.backoff(attempt - 1))
+		res, err = c.execOnce(sql)
+		if err == nil || !errors.Is(err, sqldb.ErrTxnBusy) {
+			return res, err
+		}
+	}
+	return res, err
+}
+
+// execOnce performs one request/response round trip.
+func (c *Client) execOnce(sql string) (*sqldb.Result, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn == nil {
@@ -228,9 +318,18 @@ func (c *Client) Exec(sql string) (*sqldb.Result, error) {
 		return nil, fmt.Errorf("wire: receive: %w", err)
 	}
 	if resp.Err != "" {
-		return nil, errors.New(resp.Err)
+		return nil, respError(&resp)
 	}
 	return &sqldb.Result{Columns: resp.Columns, Rows: resp.Rows, Affected: resp.Affected}, nil
+}
+
+// respError reconstructs a typed error from a response: busy errors
+// wrap sqldb.ErrTxnBusy so errors.Is works across the wire.
+func respError(resp *response) error {
+	if resp.Busy {
+		return fmt.Errorf("wire: %w", sqldb.ErrTxnBusy)
+	}
+	return errors.New(resp.Err)
 }
 
 // InsertRows implements sqldb.BulkInserter over the wire: the rows
@@ -250,7 +349,7 @@ func (c *Client) InsertRows(table string, cols []string, rows []sqldb.Row) (int,
 		return 0, fmt.Errorf("wire: receive: %w", err)
 	}
 	if resp.Err != "" {
-		return 0, errors.New(resp.Err)
+		return 0, respError(&resp)
 	}
 	return resp.Affected, nil
 }
