@@ -4,14 +4,18 @@
 # order). BENCH_PR1.json holds the executor/plan-cache numbers;
 # BENCH_PR2.json repeats them alongside the MVCC concurrency numbers
 # (concurrent readers during a bulk import, rollback cost on a large
-# table). Re-run after engine changes and compare the committed
-# numbers in CHANGES.md.
+# table); BENCH_PR4.json holds the replication read-scaling numbers
+# (aggregate SELECT throughput against 0/1/2/4 read replicas under a
+# steady primary write load — the ≥2.5× criterion compares the
+# 4-replica ns/op against primaryOnly). Re-run after engine changes
+# and compare the committed numbers in CHANGES.md.
 set -eu
 cd "$(dirname "$0")"
 
 TMP1=$(mktemp)
 TMP2=$(mktemp)
-trap 'rm -f "$TMP1" "$TMP2"' EXIT
+TMP4=$(mktemp)
+trap 'rm -f "$TMP1" "$TMP2" "$TMP4"' EXIT
 
 go test -run '^$' -bench \
   'BenchmarkExprDerived$|BenchmarkFig3_ParallelSpeedupTCP$' \
@@ -54,7 +58,11 @@ to_json() {
     ' "$1" > "$2"
 }
 
+go test -run '^$' -bench 'BenchmarkReplReadScaling' \
+  -count=1 ./internal/repl | tee -a "$TMP4"
+
 to_json "$TMP1" BENCH_PR1.json
 to_json "$TMP2" BENCH_PR2.json
+to_json "$TMP4" BENCH_PR4.json
 
-echo "wrote BENCH_PR1.json and BENCH_PR2.json"
+echo "wrote BENCH_PR1.json, BENCH_PR2.json and BENCH_PR4.json"

@@ -7,9 +7,16 @@
 // nodes. pbserver is that server: it exposes a (durable or in-memory)
 // database over TCP using the perfbase wire protocol.
 //
+// A pbserver is also a replication node. By default it is a primary:
+// it streams WAL v2 frames to any subscriber. With -replica-of it
+// serves a read-only replica instead: it bootstraps from the primary
+// (snapshot transfer), tails its frame stream, and rejects writes.
+//
 // Usage:
 //
 //	pbserver [-addr HOST:PORT] [-db DIR] [-mem]
+//	pbserver -replica-of HOST:PORT [-addr HOST:PORT] [-advertise HOST:PORT]
+//	pbserver -waldump DIR
 package main
 
 import (
@@ -17,9 +24,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 
 	"perfbase/internal/failpoint"
+	"perfbase/internal/repl"
 	"perfbase/internal/sqldb"
 	"perfbase/internal/sqldb/wire"
 )
@@ -28,7 +37,14 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7337", "listen address")
 	dbDir := flag.String("db", "perfbase.db", "database directory")
 	mem := flag.Bool("mem", false, "serve an in-memory database (worker node mode)")
+	replicaOf := flag.String("replica-of", "", "run as a read-only replica of the primary at this address")
+	advertise := flag.String("advertise", "", "address to report in STATUS (defaults to the listen address)")
+	waldump := flag.String("waldump", "", "print the WAL v2 frames of a database directory and exit")
 	flag.Parse()
+
+	if *waldump != "" {
+		os.Exit(dumpWAL(*waldump))
+	}
 
 	// Fault-injection sites (crash-recovery testing against the real
 	// binary): PERFBASE_FAILPOINTS="sqldb/wal/fsync=error(disk gone)".
@@ -39,9 +55,14 @@ func main() {
 
 	var db *sqldb.DB
 	var err error
-	if *mem {
+	switch {
+	case *replicaOf != "":
+		// A replica's durability is the primary's WAL: its store is
+		// memory-only and a restart re-bootstraps via snapshot transfer.
 		db = sqldb.NewMemory()
-	} else {
+	case *mem:
+		db = sqldb.NewMemory()
+	default:
 		db, err = sqldb.Open(*dbDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pbserver:", err)
@@ -50,19 +71,69 @@ func main() {
 	}
 
 	srv := wire.NewServer(db)
+	var hub *repl.Hub
+	var replica *repl.Replica
+	if *replicaOf != "" {
+		replica = repl.NewReplica(db, *replicaOf)
+		srv.SetReplState(replica)
+		srv.SetReadOnly(true)
+	} else {
+		hub = repl.NewHub(db)
+		srv.SetReplSource(hub)
+	}
 	if err := srv.Listen(*addr); err != nil {
 		fmt.Fprintln(os.Stderr, "pbserver:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("pbserver: serving on %s (durable=%v)\n", srv.Addr(), !*mem)
+	if *advertise != "" {
+		srv.SetAdvertise(*advertise)
+	} else {
+		srv.SetAdvertise(srv.Addr())
+	}
+	if *replicaOf != "" {
+		fmt.Printf("pbserver: replica of %s serving on %s\n", *replicaOf, srv.Addr())
+	} else {
+		fmt.Printf("pbserver: primary serving on %s (durable=%v)\n", srv.Addr(), db.Role() == "primary" && !*mem)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("pbserver: shutting down")
+	if replica != nil {
+		replica.Close()
+	}
 	srv.Close()
+	if hub != nil {
+		hub.Close()
+	}
 	if err := db.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "pbserver:", err)
 		os.Exit(1)
 	}
+}
+
+// dumpWAL prints the frames of a database directory's WAL — epoch,
+// LSN, offset, CRC status, statement count — the replication debugging
+// view of the on-disk stream.
+func dumpWAL(dir string) int {
+	path := filepath.Join(dir, "wal.log")
+	info, err := sqldb.ScanWALFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pbserver: waldump:", err)
+		return 1
+	}
+	fmt.Printf("%s: epoch %d, %d frame(s)\n", path, info.Epoch, len(info.Frames))
+	for _, fr := range info.Frames {
+		crc := "ok"
+		if !fr.CRCOK {
+			crc = "BAD"
+		}
+		fmt.Printf("  lsn=%-6d off=%-8d size=%-6d stmts=%-4d crc=%s\n",
+			fr.LSN, fr.Offset, fr.Size, fr.Statements, crc)
+	}
+	if info.Torn {
+		fmt.Printf("  TORN TAIL after offset %d\n", info.TornOffset)
+	}
+	return 0
 }

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -51,7 +52,10 @@ func NewStore(q sqldb.Querier) *Store {
 func (s *Store) Querier() sqldb.Querier { return s.q }
 
 // Init creates the perfbase meta tables if they do not exist yet.
-// It is idempotent.
+// It is idempotent. Against a read-only replica the creation attempt
+// is refused — the meta tables arrive there through replication — so a
+// read-only refusal is not an error and the session proceeds
+// query-only.
 func (s *Store) Init() error {
 	stmts := []string{
 		`CREATE TABLE IF NOT EXISTS ` + tblExperiments + ` (
@@ -70,6 +74,9 @@ func (s *Store) Init() error {
 	}
 	for _, stmt := range stmts {
 		if _, err := s.q.Exec(stmt); err != nil {
+			if errors.Is(err, sqldb.ErrReadOnly) {
+				return nil
+			}
 			return fmt.Errorf("core: init meta tables: %w", err)
 		}
 	}

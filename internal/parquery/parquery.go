@@ -104,6 +104,9 @@ func (p *Pool) Close() {
 type Executor struct {
 	engine *query.Engine
 	pool   *Pool
+	// src, when set, overrides where source elements read the
+	// persistent experiment data from (see SetReadSource).
+	src sqldb.Querier
 }
 
 // NewExecutor builds an executor. With a nil or empty pool all
@@ -112,6 +115,15 @@ type Executor struct {
 func NewExecutor(exp *core.Experiment, pool *Pool) *Executor {
 	return &Executor{engine: query.NewEngine(exp), pool: pool}
 }
+
+// SetReadSource overrides where source elements read the persistent
+// experiment data. The natural argument is a repl.Router: source
+// SELECTs then fan out over read replicas (with the router's
+// read-your-writes bound) while the primary only serves writes —
+// extending §4.3's observation that the primary need only serve the
+// source reads, now offloaded too. A nil src restores the default
+// (the engine's primary, snapshot-pinned when local).
+func (ex *Executor) SetReadSource(src sqldb.Querier) { ex.src = src }
 
 // Engine exposes the underlying engine (for profiling access).
 func (ex *Executor) Engine() *query.Engine { return ex.engine }
@@ -148,11 +160,16 @@ func (ex *Executor) Run(spec *pbxml.Query) (*query.Results, error) {
 // RunPlan executes a prebuilt plan. When the primary is a local
 // database, all source reads of this run are pinned to one MVCC
 // snapshot taken here: concurrently committing imports neither block
-// the workers nor become partially visible to them.
+// the workers nor become partially visible to them. A SetReadSource
+// override (replica fan-out) is used as-is — its staleness bound is
+// the router's, not a pinned snapshot.
 func (ex *Executor) RunPlan(plan *query.Plan) (*query.Results, error) {
-	src := ex.engine.Primary()
-	if pdb, ok := src.(*sqldb.DB); ok {
-		src = pdb.Snapshot()
+	src := ex.src
+	if src == nil {
+		src = ex.engine.Primary()
+		if pdb, ok := src.(*sqldb.DB); ok {
+			src = pdb.Snapshot()
+		}
 	}
 	vectors := map[string]*query.Vector{}
 	defer func() {

@@ -1,0 +1,122 @@
+package repl
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"perfbase/internal/failpoint"
+	"perfbase/internal/sqldb/wire"
+)
+
+// Read-scaling benchmark: aggregate SELECT throughput against 1
+// primary vs 1/2/4 read replicas, while the primary ingests a steady
+// write load that every replica must also apply.
+//
+// The client policy is one synchronous session per endpoint — the way
+// a lab's analysis scripts actually hit a perfbase server. Every
+// endpoint charges a fixed 300µs of service latency per request
+// (injected via the wire/server/read failpoint): on this single-CPU
+// benchmark host all "nodes" share one core, so per-node service time
+// has to be modeled explicitly or the numbers would claim CPU
+// parallelism the host doesn't have. What the benchmark then measures
+// honestly is what replication actually buys: independent endpoints
+// whose service latencies overlap, so aggregate read throughput grows
+// with replica count while the primary keeps ingesting.
+//
+// benchServiceLatency is the modeled per-request service time.
+const benchServiceLatency = "sleep(300us)"
+
+// benchReadSQL aggregates over the static table so per-op cost does
+// not drift as the write load grows its own table.
+const benchReadSQL = "SELECT count(*) FROM runs WHERE id % 7 = 3"
+
+// setupBenchCluster starts a primary with a static read table and a
+// growing write-load table, attaches n replicas, converges them, and
+// returns one read client per read endpoint (the replicas; with n=0
+// the primary itself) plus a stop for the background writer.
+func setupBenchCluster(b *testing.B, nReplicas int) (readers []*wire.Client, stopWrites func()) {
+	b.Helper()
+	p := startPrimary(b)
+	b.Cleanup(p.close)
+	mustExec(b, p.db, "CREATE TABLE runs (id integer, v string)")
+	mustExec(b, p.db, "CREATE TABLE wload (seq integer)")
+	for i := 0; i < 128; i++ {
+		mustExec(b, p.db, fmt.Sprintf("INSERT INTO runs VALUES (%d, 'r%d')", i, i))
+	}
+
+	endpoints := []string{p.addr()}
+	if nReplicas > 0 {
+		endpoints = endpoints[:0]
+		for i := 0; i < nReplicas; i++ {
+			r := startReplica(b, p.addr())
+			b.Cleanup(r.close)
+			waitConverged(b, p, r)
+			endpoints = append(endpoints, r.addr())
+		}
+	}
+	for _, a := range endpoints {
+		c, err := wire.Dial(a)
+		if err != nil {
+			b.Fatalf("dial %s: %v", a, err)
+		}
+		b.Cleanup(func() { c.Close() })
+		readers = append(readers, c)
+	}
+
+	// Steady write load on the primary (~2k commits/s): every commit is
+	// streamed to and applied by every replica during the measurement.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for seq := 0; ; seq++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := p.db.Exec(fmt.Sprintf("INSERT INTO wload VALUES (%d)", seq)); err != nil {
+				b.Error(err)
+				return
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+	return readers, func() { close(stop); <-done }
+}
+
+func benchReadScaling(b *testing.B, nReplicas int) {
+	defer failpoint.DisableAll()
+	readers, stopWrites := setupBenchCluster(b, nReplicas)
+	defer stopWrites()
+	if err := failpoint.Enable("wire/server/read", benchServiceLatency); err != nil {
+		b.Fatal(err)
+	}
+
+	var next atomic.Int64
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for _, c := range readers {
+		wg.Add(1)
+		go func(c *wire.Client) {
+			defer wg.Done()
+			for next.Add(1) <= int64(b.N) {
+				if _, err := c.Exec(benchReadSQL); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	b.StopTimer()
+	failpoint.DisableAll()
+}
+
+func BenchmarkReplReadScaling_primaryOnly(b *testing.B) { benchReadScaling(b, 0) }
+func BenchmarkReplReadScaling_1replica(b *testing.B)    { benchReadScaling(b, 1) }
+func BenchmarkReplReadScaling_2replicas(b *testing.B)   { benchReadScaling(b, 2) }
+func BenchmarkReplReadScaling_4replicas(b *testing.B)   { benchReadScaling(b, 4) }

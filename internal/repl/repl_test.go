@@ -1,0 +1,262 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"perfbase/internal/sqldb"
+	"perfbase/internal/sqldb/wire"
+)
+
+// node is one in-process pbserver: a database, its wire server, and
+// (for replicas) the receiver.
+type node struct {
+	db      *sqldb.DB
+	srv     *wire.Server
+	hub     *Hub     // primaries only
+	replica *Replica // replicas only
+}
+
+func (n *node) addr() string { return n.srv.Addr() }
+
+func (n *node) close() {
+	if n.replica != nil {
+		n.replica.Close()
+	}
+	if n.hub != nil {
+		n.hub.Close()
+	}
+	n.srv.Close()
+}
+
+// startPrimary serves a fresh memory database as a replication
+// primary.
+func startPrimary(t testing.TB) *node {
+	t.Helper()
+	db := sqldb.NewMemory()
+	return servePrimary(t, db)
+}
+
+func servePrimary(t testing.TB, db *sqldb.DB) *node {
+	t.Helper()
+	hub := NewHub(db)
+	srv := wire.NewServer(db)
+	srv.SetReplSource(hub)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv.SetAdvertise(srv.Addr())
+	return &node{db: db, srv: srv, hub: hub}
+}
+
+// startReplica attaches a read-only replica to the primary.
+func startReplica(t testing.TB, primaryAddr string) *node {
+	t.Helper()
+	db := sqldb.NewMemory()
+	rep := NewReplica(db, primaryAddr)
+	srv := wire.NewServer(db)
+	srv.SetReplState(rep)
+	srv.SetReadOnly(true)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv.SetAdvertise(srv.Addr())
+	return &node{db: db, srv: srv, replica: rep}
+}
+
+// waitConverged blocks until the replica has applied the primary's
+// current position.
+func waitConverged(t testing.TB, primary, replica *node) {
+	t.Helper()
+	pos := primary.db.Pos()
+	if err := replica.replica.WaitCaughtUp(pos, 10*time.Second); err != nil {
+		t.Fatalf("replica never reached %v: %v (last err: %v)", pos, err, replica.replica.LastError())
+	}
+}
+
+// mustDump compares primary and replica state byte-for-byte.
+func assertIdentical(t testing.TB, primary, replica *node) {
+	t.Helper()
+	pd, rd := primary.db.DumpString(), replica.db.DumpString()
+	if pd != rd {
+		t.Fatalf("state diverged:\n-- primary --\n%s\n-- replica --\n%s", pd, rd)
+	}
+}
+
+func mustExec(t testing.TB, q sqldb.Querier, sql string) *sqldb.Result {
+	t.Helper()
+	res, err := q.Exec(sql)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	return res
+}
+
+func TestReplicaStreamsAndConverges(t *testing.T) {
+	p := startPrimary(t)
+	defer p.close()
+
+	mustExec(t, p.db, "CREATE TABLE runs (id integer, host string, dur float)")
+	mustExec(t, p.db, "INSERT INTO runs VALUES (1, 'n01', 1.5)")
+
+	r := startReplica(t, p.addr())
+	defer r.close()
+
+	// Mix of pre-subscription (bootstrap) and live-streamed writes.
+	mustExec(t, p.db, "INSERT INTO runs VALUES (2, 'n02', 2.5)")
+	mustExec(t, p.db, "UPDATE runs SET dur = dur * 2 WHERE id = 1")
+	mustExec(t, p.db, "BEGIN")
+	mustExec(t, p.db, "INSERT INTO runs VALUES (3, 'n03', 3.5)")
+	mustExec(t, p.db, "INSERT INTO runs VALUES (4, 'n04', 4.5)")
+	mustExec(t, p.db, "COMMIT")
+
+	waitConverged(t, p, r)
+	assertIdentical(t, p, r)
+
+	res := mustExec(t, r.db, "SELECT count(*) FROM runs")
+	if res.Rows[0][0].Int() != 4 {
+		t.Fatalf("replica row count = %v, want 4", res.Rows[0][0])
+	}
+}
+
+func TestReplicaRejectsWrites(t *testing.T) {
+	p := startPrimary(t)
+	defer p.close()
+	mustExec(t, p.db, "CREATE TABLE t (x integer)")
+	r := startReplica(t, p.addr())
+	defer r.close()
+	waitConverged(t, p, r)
+
+	c, err := wire.Dial(r.addr())
+	if err != nil {
+		t.Fatalf("dial replica: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Exec("INSERT INTO t VALUES (1)"); !errors.Is(err, sqldb.ErrReadOnly) {
+		t.Fatalf("replica INSERT error = %v, want ErrReadOnly", err)
+	}
+	if _, err := c.InsertRows("t", []string{"x"}, []sqldb.Row{intVal(1)}); !errors.Is(err, sqldb.ErrReadOnly) {
+		t.Fatalf("replica bulk insert error = %v, want ErrReadOnly", err)
+	}
+	if _, err := c.Exec("SELECT count(*) FROM t"); err != nil {
+		t.Fatalf("replica SELECT: %v", err)
+	}
+}
+
+func intVal(i int64) (v sqldb.Row) {
+	res, err := sqldb.NewMemory().Exec(fmt.Sprintf("SELECT %d", i))
+	if err != nil {
+		panic(err)
+	}
+	return res.Rows[0]
+}
+
+func TestReadYourWritesThroughRouter(t *testing.T) {
+	p := startPrimary(t)
+	defer p.close()
+	mustExec(t, p.db, "CREATE TABLE t (x integer)")
+	r := startReplica(t, p.addr())
+	defer r.close()
+	waitConverged(t, p, r)
+
+	router, err := DialRouter(p.addr(), r.addr())
+	if err != nil {
+		t.Fatalf("dial router: %v", err)
+	}
+	defer router.Close()
+
+	// Every write must be observed by the immediately following read,
+	// even though reads go to the replica.
+	for i := 1; i <= 50; i++ {
+		mustExec(t, router, fmt.Sprintf("INSERT INTO t VALUES (%d)", i))
+		res := mustExec(t, router, "SELECT count(*) FROM t")
+		if got := res.Rows[0][0].Int(); got != int64(i) {
+			t.Fatalf("after insert %d: read-your-writes count = %d", i, got)
+		}
+	}
+}
+
+func TestRouterRoutesReadsToReplica(t *testing.T) {
+	p := startPrimary(t)
+	defer p.close()
+	mustExec(t, p.db, "CREATE TABLE t (x integer)")
+	mustExec(t, p.db, "INSERT INTO t VALUES (7)")
+	r := startReplica(t, p.addr())
+	defer r.close()
+	waitConverged(t, p, r)
+
+	router, err := DialRouter(p.addr(), r.addr())
+	if err != nil {
+		t.Fatalf("dial router: %v", err)
+	}
+	defer router.Close()
+
+	// EXPLAIN's trailer names the serving node's role: reads must land
+	// on the replica, so the trailer must say replica.
+	res := mustExec(t, router, "EXPLAIN SELECT x FROM t")
+	var roleLine string
+	for _, row := range res.Rows {
+		if s := row[0].Str(); len(s) >= 5 && s[:5] == "role=" {
+			roleLine = s
+		}
+	}
+	if roleLine == "" || roleLine[:12] != "role=replica" {
+		t.Fatalf("EXPLAIN through router: role line = %q, want role=replica...", roleLine)
+	}
+}
+
+func TestReplicaBootstrapsWhenBehindHistory(t *testing.T) {
+	p := startPrimary(t)
+	defer p.close()
+	mustExec(t, p.db, "CREATE TABLE t (x integer)")
+	// Push more frames than the hub retains so a fresh subscriber at
+	// position 0 is behind the window and must snapshot-bootstrap.
+	for i := 0; i < defaultHistory+16; i++ {
+		mustExec(t, p.db, fmt.Sprintf("INSERT INTO t VALUES (%d)", i))
+	}
+	r := startReplica(t, p.addr())
+	defer r.close()
+	waitConverged(t, p, r)
+	assertIdentical(t, p, r)
+}
+
+func TestStatusReportsRoleAndLag(t *testing.T) {
+	p := startPrimary(t)
+	defer p.close()
+	mustExec(t, p.db, "CREATE TABLE t (x integer)")
+	mustExec(t, p.db, "INSERT INTO t VALUES (1)")
+	r := startReplica(t, p.addr())
+	defer r.close()
+	waitConverged(t, p, r)
+
+	pc, err := wire.Dial(p.addr())
+	if err != nil {
+		t.Fatalf("dial primary: %v", err)
+	}
+	defer pc.Close()
+	st, err := pc.Status()
+	if err != nil {
+		t.Fatalf("primary status: %v", err)
+	}
+	if st.Role != "primary" || st.LSN != 2 {
+		t.Fatalf("primary status = %+v, want role=primary lsn=2", st)
+	}
+
+	rc, err := wire.Dial(r.addr())
+	if err != nil {
+		t.Fatalf("dial replica: %v", err)
+	}
+	defer rc.Close()
+	rst, err := rc.Status()
+	if err != nil {
+		t.Fatalf("replica status: %v", err)
+	}
+	if rst.Role != "replica" || !rst.Connected || rst.Epoch != st.Epoch || rst.LSN != st.LSN {
+		t.Fatalf("replica status = %+v, want connected replica at %d/%d", rst, st.Epoch, st.LSN)
+	}
+	if rst.LagFrames != 0 {
+		t.Fatalf("replica lag = %d, want 0", rst.LagFrames)
+	}
+}

@@ -1,0 +1,269 @@
+package repl
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"perfbase/internal/failpoint"
+	"perfbase/internal/sqldb"
+	"perfbase/internal/sqldb/wire"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func countRows(t *testing.T, db *sqldb.DB, table string) int64 {
+	t.Helper()
+	res := mustExec(t, db, "SELECT count(*) FROM "+table)
+	return res.Rows[0][0].Int()
+}
+
+// TestReplTortureFailpointMatrix injects a persistent fault at every
+// replication stage — sender write, snapshot transfer, receiver
+// reconnect, receiver apply — keeps writing on the primary while the
+// fault is live, then lifts it and requires full convergence: the
+// replica dump byte-identical to the primary and every acknowledged
+// write present. Faults with preArm are sites on the connect/bootstrap
+// path, armed before the replica exists so its very first attempts
+// fail; the others are armed on an established stream.
+func TestReplTortureFailpointMatrix(t *testing.T) {
+	cases := []struct {
+		site   string
+		preArm bool
+	}{
+		{"repl/receiver/reconnect", true},
+		{"repl/snapshot/transfer", true},
+		{"repl/receiver/apply", false},
+		{"repl/sender/send", false},
+	}
+	for _, tc := range cases {
+		t.Run(strings.ReplaceAll(tc.site, "/", "_"), func(t *testing.T) {
+			defer failpoint.DisableAll()
+			p := startPrimary(t)
+			defer p.close()
+			mustExec(t, p.db, "CREATE TABLE runs (id integer, v string)")
+			acked := 0
+			insert := func(n int) {
+				for i := 0; i < n; i++ {
+					mustExec(t, p.db, fmt.Sprintf("INSERT INTO runs VALUES (%d, 'r%d')", acked, acked))
+					acked++
+				}
+			}
+			insert(50)
+
+			var r *node
+			if tc.preArm {
+				// Overrun the hub history so the fresh replica must take
+				// the snapshot-bootstrap path while the fault is live.
+				insert(defaultHistory)
+				if err := failpoint.Enable(tc.site, "error(injected fault)"); err != nil {
+					t.Fatal(err)
+				}
+				r = startReplica(t, p.addr())
+			} else {
+				r = startReplica(t, p.addr())
+				waitConverged(t, p, r)
+				if err := failpoint.Enable(tc.site, "error(injected fault)"); err != nil {
+					t.Fatal(err)
+				}
+			}
+			defer r.close()
+
+			// Keep committing while the stage is broken.
+			insert(100)
+			waitFor(t, 5*time.Second, "failpoint to bite", func() bool {
+				return r.replica.LastError() != nil
+			})
+			insert(25)
+
+			failpoint.DisableAll()
+			waitConverged(t, p, r)
+			assertIdentical(t, p, r)
+			if got := countRows(t, r.db, "runs"); got != int64(acked) {
+				t.Fatalf("replica has %d rows, primary acknowledged %d", got, acked)
+			}
+		})
+	}
+}
+
+// TestReplTorturePrimaryCrashMidStream crashes a durable primary while
+// a replica is mid-stream, reopens it from its WAL on the same
+// address, and requires the replica to reconnect (re-bootstrapping if
+// its position fell outside the new hub's window), converge
+// byte-identically, and retain every write the old primary
+// acknowledged — SyncAlways means acknowledged implies durable.
+func TestReplTorturePrimaryCrashMidStream(t *testing.T) {
+	dir := t.TempDir()
+	db, err := sqldb.OpenWithPolicy(dir, sqldb.SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := servePrimary(t, db)
+	mustExec(t, p.db, "CREATE TABLE runs (id integer)")
+	acked := 0
+	insert := func(on *sqldb.DB, n int) {
+		for i := 0; i < n; i++ {
+			mustExec(t, on, fmt.Sprintf("INSERT INTO runs VALUES (%d)", acked))
+			acked++
+		}
+	}
+	insert(db, 20)
+
+	r := startReplica(t, p.addr())
+	defer r.close()
+	waitConverged(t, p, r)
+
+	// More writes, then crash without waiting for the replica: it is
+	// mid-stream when the primary dies.
+	insert(db, 30)
+	addr := p.addr()
+	p.srv.Close()
+	p.hub.Close()
+	db.Crash()
+
+	// Recover the primary from its WAL and rebind the old address so
+	// the replica's reconnect loop finds it.
+	db2, err := sqldb.OpenWithPolicy(dir, sqldb.SyncAlways)
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	defer db2.Close()
+	p2 := servePrimaryAt(t, db2, addr)
+	defer p2.close()
+
+	insert(db2, 10)
+	waitConverged(t, p2, r)
+	assertIdentical(t, p2, r)
+	if got := countRows(t, r.db, "runs"); got != int64(acked) {
+		t.Fatalf("replica has %d rows after primary crash, acknowledged %d", got, acked)
+	}
+}
+
+// servePrimaryAt is servePrimary on a fixed address; the listener the
+// address was taken over from may still be releasing it, so binding
+// retries briefly.
+func servePrimaryAt(t *testing.T, db *sqldb.DB, addr string) *node {
+	t.Helper()
+	hub := NewHub(db)
+	srv := wire.NewServer(db)
+	srv.SetReplSource(hub)
+	var err error
+	for i := 0; i < 100; i++ {
+		if err = srv.Listen(addr); err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	srv.SetAdvertise(srv.Addr())
+	return &node{db: db, srv: srv, hub: hub}
+}
+
+// TestReplTortureReplicaRestart kills a replica outright and attaches
+// a brand-new one (fresh memory store, position zero) mid-workload: it
+// must bootstrap from scratch and converge.
+func TestReplTortureReplicaRestart(t *testing.T) {
+	p := startPrimary(t)
+	defer p.close()
+	mustExec(t, p.db, "CREATE TABLE runs (id integer)")
+	for i := 0; i < 30; i++ {
+		mustExec(t, p.db, fmt.Sprintf("INSERT INTO runs VALUES (%d)", i))
+	}
+
+	r := startReplica(t, p.addr())
+	waitConverged(t, p, r)
+	r.close() // replica dies; its memory state is gone with it
+
+	for i := 30; i < 60; i++ {
+		mustExec(t, p.db, fmt.Sprintf("INSERT INTO runs VALUES (%d)", i))
+	}
+
+	r2 := startReplica(t, p.addr())
+	defer r2.close()
+	waitConverged(t, p, r2)
+	assertIdentical(t, p, r2)
+	if got := countRows(t, r2.db, "runs"); got != 60 {
+		t.Fatalf("restarted replica has %d rows, want 60", got)
+	}
+}
+
+// TestReplTortureCheckpointRotation checkpoints a durable primary
+// mid-stream: the rotation frame must move the replica into the new
+// epoch without disturbing its state, and streaming must continue in
+// the fresh epoch.
+func TestReplTortureCheckpointRotation(t *testing.T) {
+	dir := t.TempDir()
+	db, err := sqldb.OpenWithPolicy(dir, sqldb.SyncOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	p := servePrimary(t, db)
+	defer p.close()
+	mustExec(t, p.db, "CREATE TABLE runs (id integer)")
+	for i := 0; i < 20; i++ {
+		mustExec(t, p.db, fmt.Sprintf("INSERT INTO runs VALUES (%d)", i))
+	}
+	r := startReplica(t, p.addr())
+	defer r.close()
+	waitConverged(t, p, r)
+
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	for i := 20; i < 40; i++ {
+		mustExec(t, p.db, fmt.Sprintf("INSERT INTO runs VALUES (%d)", i))
+	}
+	waitConverged(t, p, r)
+	assertIdentical(t, p, r)
+	if rp, pp := r.db.Pos(), p.db.Pos(); rp != pp {
+		t.Fatalf("replica pos %v, primary pos %v after rotation", rp, pp)
+	}
+	if p.db.Pos().Epoch == 0 {
+		t.Fatal("checkpoint did not advance the epoch")
+	}
+}
+
+// TestReadYourWritesUnderLag slows every replica apply down with an
+// injected delay and requires the router's wait-for-LSN bound to still
+// make each read observe the immediately preceding write.
+func TestReadYourWritesUnderLag(t *testing.T) {
+	defer failpoint.DisableAll()
+	p := startPrimary(t)
+	defer p.close()
+	mustExec(t, p.db, "CREATE TABLE runs (id integer)")
+	r := startReplica(t, p.addr())
+	defer r.close()
+	waitConverged(t, p, r)
+
+	if err := failpoint.Enable("repl/receiver/apply", "sleep(30ms)"); err != nil {
+		t.Fatal(err)
+	}
+	router, err := DialRouter(p.addr(), r.addr())
+	if err != nil {
+		t.Fatalf("dial router: %v", err)
+	}
+	defer router.Close()
+
+	for i := 1; i <= 5; i++ {
+		mustExec(t, router, fmt.Sprintf("INSERT INTO runs VALUES (%d)", i))
+		res := mustExec(t, router, "SELECT count(*) FROM runs")
+		if got := res.Rows[0][0].Int(); got != int64(i) {
+			t.Fatalf("lagging read-your-writes: after insert %d read %d", i, got)
+		}
+	}
+}

@@ -49,6 +49,18 @@ type DB struct {
 	walEpoch uint64
 	// recovery reports what the last Open found in the WAL.
 	recovery RecoveryInfo
+
+	// Replication state (see repl.go). pos is the current replication
+	// position (epoch + frames committed within it), written under wmu
+	// and read lock-free; commitHook observes committed frames for the
+	// streaming hub; role is a display label ("primary"/"replica").
+	pos        atomic.Pointer[ReplPos]
+	commitHook atomic.Pointer[CommitHook]
+	role       atomic.Pointer[string]
+	// lastDropTemp records, under wmu, whether the DROP TABLE just
+	// executed removed a temporary table — its CREATE was never logged,
+	// so the DROP must not be either.
+	lastDropTemp bool
 }
 
 // ErrTxnBusy is returned by BEGIN while another transaction is open.
@@ -198,12 +210,14 @@ func (db *DB) execMutation(ws *writeState, st Statement) (*Result, error) {
 		return res, err
 	case *DropTableStmt:
 		key := lower(s.Name)
-		if _, ok := ws.tab(key); !ok {
+		t, ok := ws.tab(key)
+		if !ok {
 			if s.IfExists {
 				return &Result{}, nil
 			}
 			return nil, errorf("no such table %q", s.Name)
 		}
+		db.lastDropTemp = t.temp
 		ws.drop(key)
 		ws.schemaChanged(key)
 		return &Result{}, nil
@@ -528,8 +542,9 @@ func (db *DB) InsertRows(tableName string, cols []string, rows []Row) (int, erro
 	nt.appendChunk(chunk)
 	ws.publish()
 	var seq uint64
-	if db.wal != nil && !nt.temp {
-		// Keep durability by logging an equivalent statement.
+	if db.replicates() && !nt.temp {
+		// Keep durability (and the replication stream) by logging an
+		// equivalent statement.
 		var sb strings.Builder
 		sb.WriteString("INSERT INTO " + nt.name + " (" + strings.Join(cols, ", ") + ") VALUES ")
 		for ri, in := range rows {
@@ -548,7 +563,7 @@ func (db *DB) InsertRows(tableName string, cols []string, rows []Row) (int, erro
 		if db.inTxn {
 			db.txnLog = append(db.txnLog, sb.String())
 		} else {
-			seq = db.wal.enqueue(sb.String())
+			seq = db.commitBatch([]string{sb.String()})
 		}
 	}
 	db.wmu.Unlock()

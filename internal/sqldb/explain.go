@@ -148,6 +148,9 @@ func (db *DB) execExplain(sn *snapshot, st *ExplainStmt) (*Result, error) {
 	if db.wal != nil {
 		policy = db.wal.policy.String()
 	}
+	rec := db.Recovery()
+	add("role=%s pos=%s recovery[frames=%d stmts=%d torn=%v stale=%v]",
+		db.Role(), db.Pos(), rec.Frames, rec.Statements, rec.TornTail, rec.StaleWAL)
 	add("snapshot %d [%s] wal sync=%s", sn.id, vb.String(), policy)
 
 	res := &Result{Columns: Schema{{Name: "plan", Type: value.String}}}

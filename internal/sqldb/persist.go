@@ -182,14 +182,12 @@ func openWAL(path string, policy SyncPolicy, epoch uint64, truncate bool) (*grou
 }
 
 // appendFrame appends one CRC-framed record carrying stmts to dst.
+// The payload encoding is shared with the replication stream (see
+// EncodeFramePayload in repl.go): a streamed frame is bit-compatible
+// with a WAL record.
 func appendFrame(dst []byte, stmts []string) []byte {
-	var payload []byte
+	payload := EncodeFramePayload(stmts)
 	var lenBuf [binary.MaxVarintLen64]byte
-	for _, s := range stmts {
-		n := binary.PutUvarint(lenBuf[:], uint64(len(s)))
-		payload = append(payload, lenBuf[:n]...)
-		payload = append(payload, s...)
-	}
 	n := binary.PutUvarint(lenBuf[:], uint64(len(payload)))
 	dst = append(dst, lenBuf[:n]...)
 	var crcBuf [4]byte
@@ -524,6 +522,7 @@ func OpenWithPolicy(dir string, policy SyncPolicy) (*DB, error) {
 		// are already inside the snapshot. Discard it and start a fresh
 		// log at the snapshot's epoch.
 		db.walEpoch = snapEpoch
+		db.setPos(ReplPos{Epoch: snapEpoch})
 		w, err := openWAL(walPath, policy, snapEpoch, true)
 		if err != nil {
 			return nil, err
@@ -543,6 +542,8 @@ func OpenWithPolicy(dir string, policy SyncPolicy) (*DB, error) {
 		epoch = snapEpoch
 	}
 	db.walEpoch = epoch
+	// The recovered LSN is the number of intact frames replayed.
+	db.setPos(ReplPos{Epoch: epoch, LSN: uint64(db.recovery.Frames)})
 	w, err := openWAL(walPath, policy, epoch, false)
 	if err != nil {
 		return nil, err
@@ -555,14 +556,16 @@ func OpenWithPolicy(dir string, policy SyncPolicy) (*DB, error) {
 // memory-only databases and clean opens.
 func (db *DB) Recovery() RecoveryInfo { return db.recovery }
 
-// logMutation records a committed mutation in the WAL and returns the
-// sequence number to wait on for durability (0 when nothing needs
-// waiting). Statements that only touch temporary tables are not
-// durable and are skipped. A transaction's statements are framed as a
-// single WAL record on COMMIT, so recovery applies the whole
-// transaction or none of it. The caller holds db.wmu.
+// logMutation records a committed mutation as a replication frame: it
+// assigns the next position, feeds the commit hook, and (for durable
+// databases) appends to the WAL, returning the sequence number to wait
+// on for durability (0 when nothing needs waiting). Statements that
+// only touch temporary tables are session-local and skipped. A
+// transaction's statements travel as ONE frame on COMMIT, so recovery
+// and replicas apply the whole transaction or none of it. The caller
+// holds db.wmu.
 func (db *DB) logMutation(st Statement, raw string) uint64 {
-	if db.wal == nil || raw == "" {
+	if !db.replicates() || raw == "" {
 		return 0
 	}
 	switch s := st.(type) {
@@ -574,7 +577,7 @@ func (db *DB) logMutation(st Statement, raw string) uint64 {
 		db.txnLog = nil
 		return 0
 	case *CommitStmt:
-		seq := db.wal.enqueue(db.txnLog...)
+		seq := db.commitBatch(db.txnLog)
 		db.txnLog = nil
 		return seq
 	case *CreateTableStmt:
@@ -598,15 +601,18 @@ func (db *DB) logMutation(st Statement, raw string) uint64 {
 			return 0
 		}
 	case *DropTableStmt:
-		// The table is already gone; a dropped temp table was never
-		// logged, so replaying DROP IF EXISTS is harmless. Logged
-		// conservatively below.
+		// The table is already gone, so its temp-ness was recorded by
+		// execMutation: a dropped temp table's CREATE was never logged,
+		// and replaying (or replicating) the bare DROP would error.
+		if db.lastDropTemp {
+			return 0
+		}
 	}
 	if db.inTxn {
 		db.txnLog = append(db.txnLog, raw)
 		return 0
 	}
-	return db.wal.enqueue(raw)
+	return db.commitBatch([]string{raw})
 }
 
 // waitDurable blocks until the WAL record with the given sequence
@@ -734,6 +740,13 @@ func (db *DB) Checkpoint() error {
 		return err
 	}
 	db.wal = w
+	// Advance the replication position to the fresh epoch and tell the
+	// stream hub: subscribers behind the rotation need a snapshot.
+	pos := ReplPos{Epoch: snap.Epoch}
+	db.setPos(pos)
+	if h := db.hook(); h != nil {
+		h(pos, nil)
+	}
 	return nil
 }
 

@@ -1,0 +1,192 @@
+package wire
+
+import (
+	"encoding/gob"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"perfbase/internal/sqldb"
+)
+
+// v1Request mirrors the protocol-v1 request struct (no Hello field) so
+// the tests can speak as a genuine old client/server: gob matches
+// fields by name, so these encode exactly what a v1 binary sent.
+type v1Request struct {
+	SQL   string
+	Bulk  bool
+	Table string
+	Cols  []string
+	Rows  []sqldb.Row
+	Batch []v1Request
+}
+
+// v1Response mirrors the protocol-v1 response struct.
+type v1Response struct {
+	Columns  sqldb.Schema
+	Rows     []sqldb.Row
+	Affected int
+	Err      string
+	Busy     bool
+	Batch    []v1Response
+}
+
+// TestOldClientAgainstNewServer verifies the downgrade path: a v1
+// client's first message has no Hello, so the server must answer one
+// typed version-error response and close the connection — no hang, no
+// garbage frame the old client would misparse.
+func TestOldClientAgainstNewServer(t *testing.T) {
+	db := sqldb.NewMemory()
+	srv := NewServer(db)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second)) // fail, don't hang
+
+	// A v1 client opens with a plain statement.
+	if err := gob.NewEncoder(conn).Encode(&v1Request{SQL: "SELECT 1"}); err != nil {
+		t.Fatalf("send v1 request: %v", err)
+	}
+	dec := gob.NewDecoder(conn)
+	var resp v1Response
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	if resp.Err == "" {
+		t.Fatalf("v1 request accepted by v2 server: %+v", resp)
+	}
+	if want := "protocol version mismatch"; !contains(resp.Err, want) {
+		t.Fatalf("error %q does not mention %q", resp.Err, want)
+	}
+	// The server must close the connection after the refusal.
+	if err := dec.Decode(&resp); err == nil {
+		t.Fatal("connection still open after version refusal")
+	}
+}
+
+// TestNewClientAgainstOldServer verifies the upgrade path: Dial
+// against a v1 server (which answers the handshake's empty statement
+// with a plain error and no ack) must fail with the typed
+// ErrVersionMismatch instead of hanging or returning a confusing SQL
+// error.
+func TestNewClientAgainstOldServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	db := sqldb.NewMemory()
+
+	// A faithful v1 server loop: decode request, execute, answer.
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				dec := gob.NewDecoder(conn)
+				enc := gob.NewEncoder(conn)
+				for {
+					var req v1Request
+					if err := dec.Decode(&req); err != nil {
+						return
+					}
+					var resp v1Response
+					res, err := db.Exec(req.SQL)
+					if err != nil {
+						resp.Err = err.Error()
+					} else {
+						resp.Columns = res.Columns
+						resp.Rows = res.Rows
+						resp.Affected = res.Affected
+					}
+					if err := enc.Encode(&resp); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	_, err = Dial(ln.Addr().String())
+	if err == nil {
+		t.Fatal("Dial succeeded against a v1 server")
+	}
+	if !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("Dial error = %v, want ErrVersionMismatch", err)
+	}
+}
+
+// TestWrongVersionHello covers a future v3 client dialing this server:
+// the Hello is present but the version differs, and the refusal must
+// be typed on both sides.
+func TestWrongVersionHello(t *testing.T) {
+	db := sqldb.NewMemory()
+	srv := NewServer(db)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+
+	if err := gob.NewEncoder(conn).Encode(&request{Hello: &Hello{Version: 3}}); err != nil {
+		t.Fatalf("send hello: %v", err)
+	}
+	var resp response
+	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if resp.Code != codeVersion {
+		t.Fatalf("response code = %q, want %q (err %q)", resp.Code, codeVersion, resp.Err)
+	}
+	if err := respError(&resp); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("respError = %v, want ErrVersionMismatch", err)
+	}
+}
+
+// TestHandshakeCarriesRoleAndPos verifies the ack metadata clients use
+// for routing decisions.
+func TestHandshakeCarriesRoleAndPos(t *testing.T) {
+	db := sqldb.NewMemory()
+	db.SetRole("replica")
+	srv := NewServer(db)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer srv.Close()
+	srv.SetAdvertise("node7:1234")
+
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	if c.Role() != "replica" {
+		t.Fatalf("handshake role = %q, want replica", c.Role())
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

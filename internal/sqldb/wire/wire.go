@@ -10,7 +10,13 @@
 // as a local database, so the layers above never care about placement.
 //
 // The protocol is a persistent gob stream per connection: the client
-// sends {SQL}, the server answers {Columns, Rows, Affected, Err}.
+// opens with a version handshake ({Hello} → {Hello ack}), then sends
+// {SQL}, and the server answers {Columns, Rows, Affected, Err}.
+// Protocol v2 adds replication verbs — SUBSCRIBE switches a connection
+// to a one-way WAL frame stream, SNAPSHOT transfers a full bootstrap
+// state, STATUS reports role/position/lag — and every response
+// piggybacks the server's replication position so clients can do
+// read-your-writes routing (see repl.go in this package).
 //
 // Concurrency inherits the engine's MVCC storage: every SELECT a
 // connection serves executes lock-free against an immutable snapshot,
@@ -44,6 +50,13 @@ var (
 // the sub-requests in order and answers with one response whose Batch
 // holds their individual results — a single encode/flush on each side
 // instead of one round trip per statement.
+//
+// Protocol v2 fields: Hello opens the connection (mandatory first
+// message); Verb selects a replication command ("subscribe",
+// "snapshot", "status") instead of SQL; From* positions a
+// subscription; Wait* ask the server to delay execution until its
+// replication position reaches at least the given point (the
+// read-your-writes staleness bound).
 type request struct {
 	SQL string
 
@@ -53,11 +66,23 @@ type request struct {
 	Rows  []sqldb.Row
 
 	Batch []request
+
+	Hello     *Hello
+	Verb      string
+	FromEpoch uint64
+	FromLSN   uint64
+	Wait      bool
+	WaitEpoch uint64
+	WaitLSN   uint64
+	WaitMS    int
 }
 
-// response carries the result (or error text) of one statement. Busy
-// marks the one retryable error class (sqldb.ErrTxnBusy) so the client
-// can reconstruct a typed error from the flattened text.
+// response carries the result (or error text) of one statement. Code
+// classifies the retryable/typed error classes so the client can
+// reconstruct a typed error from the flattened text (Busy is the v1
+// spelling of Code=="busy", kept for compatibility). Epoch/LSN carry
+// the server's replication position after executing the request, so
+// clients can track the last write they were acknowledged for.
 type response struct {
 	Columns  sqldb.Schema
 	Rows     []sqldb.Row
@@ -66,12 +91,29 @@ type response struct {
 	Busy     bool
 
 	Batch []response
+
+	Code   string
+	Hello  *HelloAck
+	Status *Status
+	State  *sqldb.StateExport
+	Epoch  uint64
+	LSN    uint64
 }
 
 // Server serves a database to remote clients.
 type Server struct {
 	db *sqldb.DB
 	ln net.Listener
+
+	// Replication configuration (see repl.go): source streams WAL
+	// frames on SUBSCRIBE (primaries only); replState answers STATUS
+	// and wait-for-LSN bounds on a replica; readOnly rejects mutations
+	// with sqldb.ErrReadOnly; advertise is the address reported in
+	// STATUS for client-side routing.
+	source    ReplSource
+	replState ReplState
+	readOnly  bool
+	advertise string
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -136,6 +178,34 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
+
+	// Version handshake: the first message must be a Hello carrying a
+	// protocol version we speak. A v1 client's first message has no
+	// Hello — it gets a typed "version" error response (which a v1
+	// client renders as a plain error) and the connection closes, so
+	// neither side hangs or misparses frames.
+	var hello request
+	if err := dec.Decode(&hello); err != nil {
+		return
+	}
+	if hello.Hello == nil || hello.Hello.Version != ProtocolVersion {
+		got := 1 // a request without Hello is the v1 protocol
+		if hello.Hello != nil {
+			got = hello.Hello.Version
+		}
+		resp := response{
+			Code: codeVersion,
+			Err:  fmt.Sprintf("wire: protocol version mismatch: server speaks v%d, client sent v%d", ProtocolVersion, got),
+		}
+		enc.Encode(&resp) //nolint:errcheck // closing anyway
+		return
+	}
+	ack := response{Hello: &HelloAck{Version: ProtocolVersion, Role: s.db.Role(), Advertise: s.advertise}}
+	s.stampPos(&ack)
+	if err := enc.Encode(&ack); err != nil {
+		return
+	}
+
 	for {
 		if fpServerRead.Inject() != nil {
 			return // injected disconnect before the next request
@@ -143,6 +213,12 @@ func (s *Server) serveConn(conn net.Conn) {
 		var req request
 		if err := dec.Decode(&req); err != nil {
 			return // client gone or protocol error
+		}
+		if req.Verb == verbSubscribe {
+			// The connection becomes a one-way frame stream; serveStream
+			// returns when the subscriber or subscription goes away.
+			s.serveStream(conn, enc, &req)
+			return
 		}
 		var resp response
 		if len(req.Batch) > 0 {
@@ -154,6 +230,7 @@ func (s *Server) serveConn(conn net.Conn) {
 					break // pipeline aborts at the first failure
 				}
 			}
+			s.stampPos(&resp)
 		} else {
 			resp = s.execOne(&req)
 		}
@@ -166,29 +243,99 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// execOne runs a single (non-batch) request against the database.
-func (s *Server) execOne(req *request) response {
-	var resp response
+// stampPos records the database's replication position on a response.
+func (s *Server) stampPos(resp *response) {
+	pos := s.db.Pos()
+	resp.Epoch, resp.LSN = pos.Epoch, pos.LSN
+}
+
+// execOne runs a single (non-batch) request against the database. The
+// named result matters: the deferred stamp must see the post-commit
+// position on the response actually returned.
+func (s *Server) execOne(req *request) (resp response) {
+	defer s.stampPos(&resp)
+	switch req.Verb {
+	case "":
+	case verbStatus:
+		st := s.status()
+		resp.Status = &st
+		return resp
+	case verbSnapshot:
+		if err := fpSnapshotTransfer.Inject(); err != nil {
+			fail(&resp, err)
+			return resp
+		}
+		resp.State = s.db.ExportState()
+		return resp
+	default:
+		resp.Code = codeBadVerb
+		resp.Err = fmt.Sprintf("wire: unknown verb %q", req.Verb)
+		return resp
+	}
+	if req.Wait {
+		if err := s.waitApplied(sqldb.ReplPos{Epoch: req.WaitEpoch, LSN: req.WaitLSN}, req.WaitMS); err != nil {
+			fail(&resp, err)
+			return resp
+		}
+	}
 	if req.Bulk {
+		if s.readOnly {
+			fail(&resp, sqldb.ErrReadOnly)
+			return resp
+		}
 		n, err := s.db.InsertRows(req.Table, req.Cols, req.Rows)
 		if err != nil {
-			resp.Err = err.Error()
-			resp.Busy = errors.Is(err, sqldb.ErrTxnBusy)
+			fail(&resp, err)
 		} else {
 			resp.Affected = n
 		}
 		return resp
 	}
+	if s.readOnly {
+		if err := checkReadOnly(req.SQL); err != nil {
+			fail(&resp, err)
+			return resp
+		}
+	}
 	res, err := s.db.Exec(req.SQL)
 	if err != nil {
-		resp.Err = err.Error()
-		resp.Busy = errors.Is(err, sqldb.ErrTxnBusy)
+		fail(&resp, err)
 	} else {
 		resp.Columns = res.Columns
 		resp.Rows = res.Rows
 		resp.Affected = res.Affected
 	}
 	return resp
+}
+
+// checkReadOnly parses sql and rejects anything but SELECT/EXPLAIN.
+func checkReadOnly(sql string) error {
+	st, err := sqldb.Parse(sql)
+	if err != nil {
+		return err
+	}
+	switch st.(type) {
+	case *sqldb.SelectStmt, *sqldb.ExplainStmt:
+		return nil
+	}
+	return sqldb.ErrReadOnly
+}
+
+// fail records err on resp, mapping the typed error classes to their
+// wire codes so the client can reconstruct them.
+func fail(resp *response, err error) {
+	resp.Err = err.Error()
+	switch {
+	case errors.Is(err, sqldb.ErrTxnBusy):
+		resp.Code = codeBusy
+		resp.Busy = true
+	case errors.Is(err, sqldb.ErrReadOnly):
+		resp.Code = codeReadOnly
+	case errors.Is(err, ErrSnapshotNeeded):
+		resp.Code = codeSnapshotNeeded
+	case errors.Is(err, ErrWaitTimeout):
+		resp.Code = codeWaitTimeout
+	}
 }
 
 // Close stops the listener and terminates all connections.
@@ -251,24 +398,70 @@ func (p RetryPolicy) backoff(n int) time.Duration {
 // sqldb.Querier; concurrent Exec calls are serialized on the single
 // connection.
 type Client struct {
-	mu    sync.Mutex
-	conn  net.Conn
-	enc   *gob.Encoder
-	dec   *gob.Decoder
-	retry RetryPolicy
+	mu        sync.Mutex
+	conn      net.Conn
+	enc       *gob.Encoder
+	dec       *gob.Decoder
+	retry     RetryPolicy
+	hello     HelloAck
+	streaming bool
+	// lastPos is the server replication position piggybacked on the
+	// most recent response — the client's read-your-writes watermark.
+	lastPos sqldb.ReplPos
 }
 
-// Dial connects to a server.
+// handshakeTimeout bounds the version handshake so dialing a
+// non-speaking peer fails instead of hanging.
+const handshakeTimeout = 5 * time.Second
+
+// Dial connects to a server and performs the protocol handshake. A
+// peer that does not speak this protocol version yields a typed
+// ErrVersionMismatch.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
-	return &Client{
+	c := &Client{
 		conn: conn,
 		enc:  gob.NewEncoder(conn),
 		dec:  gob.NewDecoder(conn),
-	}, nil
+	}
+	if err := c.handshake(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// handshake sends the Hello and validates the ack. A v1 server
+// ignores the unknown Hello field, sees an empty statement, and
+// answers a plain error response with no ack — which is exactly the
+// version-mismatch signal.
+func (c *Client) handshake() error {
+	c.conn.SetDeadline(time.Now().Add(handshakeTimeout)) //nolint:errcheck
+	defer c.conn.SetDeadline(time.Time{})                //nolint:errcheck
+	if err := c.enc.Encode(&request{Hello: &Hello{Version: ProtocolVersion}}); err != nil {
+		return fmt.Errorf("wire: handshake send: %w", err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		return fmt.Errorf("wire: handshake: %w", err)
+	}
+	if resp.Code == codeVersion {
+		return fmt.Errorf("%w: %s", ErrVersionMismatch, resp.Err)
+	}
+	if resp.Hello == nil {
+		return fmt.Errorf("%w: peer answered without a protocol ack (v1 server?): %s",
+			ErrVersionMismatch, resp.Err)
+	}
+	if resp.Hello.Version != ProtocolVersion {
+		return fmt.Errorf("%w: server speaks v%d, client v%d",
+			ErrVersionMismatch, resp.Hello.Version, ProtocolVersion)
+	}
+	c.hello = *resp.Hello
+	c.lastPos = sqldb.ReplPos{Epoch: resp.Epoch, LSN: resp.LSN}
+	return nil
 }
 
 // SetRetryPolicy enables (or, with the zero policy, disables)
@@ -305,29 +498,58 @@ func (c *Client) Exec(sql string) (*sqldb.Result, error) {
 
 // execOnce performs one request/response round trip.
 func (c *Client) execOnce(sql string) (*sqldb.Result, error) {
+	return c.roundTrip(&request{SQL: sql})
+}
+
+// roundTrip sends one request and decodes its response, tracking the
+// piggybacked replication position.
+func (c *Client) roundTrip(req *request) (*sqldb.Result, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn == nil {
 		return nil, errors.New("wire: client is closed")
 	}
-	if err := c.enc.Encode(&request{SQL: sql}); err != nil {
+	if c.streaming {
+		return nil, errors.New("wire: client is a subscription stream")
+	}
+	if err := c.enc.Encode(req); err != nil {
 		return nil, fmt.Errorf("wire: send: %w", err)
 	}
 	var resp response
 	if err := c.dec.Decode(&resp); err != nil {
 		return nil, fmt.Errorf("wire: receive: %w", err)
 	}
+	c.noteResp(&resp)
 	if resp.Err != "" {
 		return nil, respError(&resp)
 	}
 	return &sqldb.Result{Columns: resp.Columns, Rows: resp.Rows, Affected: resp.Affected}, nil
 }
 
-// respError reconstructs a typed error from a response: busy errors
-// wrap sqldb.ErrTxnBusy so errors.Is works across the wire.
+// noteResp updates the read-your-writes watermark; the caller holds
+// c.mu.
+func (c *Client) noteResp(resp *response) {
+	p := sqldb.ReplPos{Epoch: resp.Epoch, LSN: resp.LSN}
+	if c.lastPos.Before(p) {
+		c.lastPos = p
+	}
+}
+
+// respError reconstructs a typed error from a response, mapping the
+// wire error codes back to their sentinel errors so errors.Is works
+// across the wire.
 func respError(resp *response) error {
-	if resp.Busy {
+	switch {
+	case resp.Busy || resp.Code == codeBusy:
 		return fmt.Errorf("wire: %w", sqldb.ErrTxnBusy)
+	case resp.Code == codeReadOnly:
+		return fmt.Errorf("wire: %w", sqldb.ErrReadOnly)
+	case resp.Code == codeVersion:
+		return fmt.Errorf("%w: %s", ErrVersionMismatch, resp.Err)
+	case resp.Code == codeSnapshotNeeded:
+		return fmt.Errorf("wire: %w", ErrSnapshotNeeded)
+	case resp.Code == codeWaitTimeout:
+		return fmt.Errorf("wire: %w: %s", ErrWaitTimeout, resp.Err)
 	}
 	return errors.New(resp.Err)
 }
@@ -348,6 +570,7 @@ func (c *Client) InsertRows(table string, cols []string, rows []sqldb.Row) (int,
 	if err := c.dec.Decode(&resp); err != nil {
 		return 0, fmt.Errorf("wire: receive: %w", err)
 	}
+	c.noteResp(&resp)
 	if resp.Err != "" {
 		return 0, respError(&resp)
 	}
@@ -379,6 +602,7 @@ func (c *Client) ExecPipeline(reqs []sqldb.PipelineRequest) ([]*sqldb.Result, er
 	if err := c.dec.Decode(&resp); err != nil {
 		return nil, fmt.Errorf("wire: receive: %w", err)
 	}
+	c.noteResp(&resp)
 	if resp.Err != "" {
 		return nil, errors.New(resp.Err)
 	}
