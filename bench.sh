@@ -7,15 +7,22 @@
 # table); BENCH_PR4.json holds the replication read-scaling numbers
 # (aggregate SELECT throughput against 0/1/2/4 read replicas under a
 # steady primary write load — the ≥2.5× criterion compares the
-# 4-replica ns/op against primaryOnly). Re-run after engine changes
-# and compare the committed numbers in CHANGES.md.
+# 4-replica ns/op against primaryOnly); BENCH_PR5.json holds the
+# vectorized-executor numbers (row engine vs vectorized path for
+# group-by aggregation and filtered scans at GOMAXPROCS=1 — the ≥2×
+# criterion compares vec against row ns/op — plus morsel worker
+# scaling at GOMAXPROCS=4, where the ≥1.7× criterion compares
+# workers=4 against workers=1; those names carry Go's -4 proc
+# suffix). Re-run after engine changes and compare the committed
+# numbers in CHANGES.md.
 set -eu
 cd "$(dirname "$0")"
 
 TMP1=$(mktemp)
 TMP2=$(mktemp)
 TMP4=$(mktemp)
-trap 'rm -f "$TMP1" "$TMP2" "$TMP4"' EXIT
+TMP5=$(mktemp)
+trap 'rm -f "$TMP1" "$TMP2" "$TMP4" "$TMP5"' EXIT
 
 go test -run '^$' -bench \
   'BenchmarkExprDerived$|BenchmarkFig3_ParallelSpeedupTCP$' \
@@ -61,8 +68,19 @@ to_json() {
 go test -run '^$' -bench 'BenchmarkReplReadScaling' \
   -count=1 ./internal/repl | tee -a "$TMP4"
 
+# PR5: vectorized executor. Row engine vs vectorized path pinned to
+# one core, then morsel worker scaling at four procs (the benchmark
+# arms the sqldb/vector/morsel latency failpoint itself, so overlap is
+# measurable even when the host has fewer cores than workers).
+GOMAXPROCS=1 go test -run '^$' -bench \
+  'BenchmarkVectorGroupBy$|BenchmarkVectorFilterScan$|BenchmarkVectorTopK$' \
+  -benchmem -count=1 ./internal/sqldb | tee -a "$TMP5"
+GOMAXPROCS=4 go test -run '^$' -bench 'BenchmarkVectorMorselScan$' \
+  -benchmem -count=1 ./internal/sqldb | tee -a "$TMP5"
+
 to_json "$TMP1" BENCH_PR1.json
 to_json "$TMP2" BENCH_PR2.json
 to_json "$TMP4" BENCH_PR4.json
+to_json "$TMP5" BENCH_PR5.json
 
-echo "wrote BENCH_PR1.json, BENCH_PR2.json and BENCH_PR4.json"
+echo "wrote BENCH_PR1.json, BENCH_PR2.json, BENCH_PR4.json and BENCH_PR5.json"

@@ -1,0 +1,338 @@
+package sqldb
+
+// Columnar projection cache.
+//
+// The vectorized executor (vector.go) runs scan/filter/aggregate over
+// typed column vectors instead of boxed value.Value rows. Building a
+// vector — one []int64/[]float64/[]string plus a null bitmap per
+// (chunk, column) — costs one pass over the chunk, so vectors are
+// cached and shared across queries and snapshots.
+//
+// Correctness model: row chunks are immutable once their table version
+// is published (see schema.go), and a derived version shares its
+// parent's chunk prefix, so a vector keyed by *chunk identity* can
+// never go stale — an INSERT appends new chunks (new cache keys), a
+// compaction or UPDATE allocates fresh chunks, and the old versions'
+// vectors simply stop being requested. Lifetime, like the plan
+// cache's, is tied to the snapshot/table versions: every DDL that
+// bumps a table version and evicts its plans also purges its vectors
+// (writeState.publish → purge), and everything else ages out of a
+// bytes-capped LRU so a bulk-import-then-drop workload cannot pin
+// dead vectors (the entry's key would otherwise keep the chunk's rows
+// reachable forever).
+
+import (
+	"container/list"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"perfbase/internal/value"
+)
+
+// colCacheDefaultBytes caps the per-database columnar cache. The unit
+// is approximate heap bytes of the cached vectors (slice payloads plus
+// string headers; string bytes are shared with the stored rows and not
+// counted twice).
+const colCacheDefaultBytes = 64 << 20
+
+// execEnv is the per-database execution environment. Every snapshot
+// the database publishes carries a pointer to it, so the lock-free
+// read path (Snapshot.Exec, plan-cache hits) reaches the columnar
+// cache and the vectorized-execution knobs without a DB back-pointer.
+type execEnv struct {
+	cache colCache
+	// scanWorkers overrides the morsel worker count; 0 means
+	// min(GOMAXPROCS, morsels). See DB.SetScanWorkers.
+	scanWorkers atomic.Int32
+	// vecDisabled forces every SELECT through the row engine; used by
+	// the differential fuzzer and the ablation benchmarks to compare
+	// the two paths. See DB.SetVectorized.
+	vecDisabled atomic.Bool
+}
+
+func newExecEnv() *execEnv {
+	e := &execEnv{}
+	e.cache.limit = colCacheDefaultBytes
+	return e
+}
+
+// workerCount returns the morsel worker budget for one query.
+func (e *execEnv) workerCount() int {
+	if e == nil {
+		return 1
+	}
+	if n := int(e.scanWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// colVec is the typed columnar projection of one column of one chunk.
+// Exactly one of ints/floats/strs is populated, per the column type:
+// Integer and Boolean (as 0/1) use ints, Float uses floats, String and
+// Version use strs (the raw datum, not the display form). Timestamp
+// columns are never vectorized — queries touching one in a kernel
+// position fall back to the row engine. A colVec is immutable after
+// build and shared freely between concurrent readers.
+type colVec struct {
+	typ    value.Type
+	ints   []int64
+	floats []float64
+	strs   []string
+	// nulls is a bitmap, bit i set when row i is NULL; nil when the
+	// chunk column holds no NULLs (the overwhelmingly common case, and
+	// the branch kernels test first).
+	nulls []uint64
+	bytes int
+
+	// Lazily built dictionary encoding for string vectors used as group
+	// keys: dictCodes[i] indexes dictVals (-1 for NULL). See dict().
+	dictOnce  sync.Once
+	dictCodes []int32
+	dictVals  []string
+}
+
+// colDictMaxCard caps dictionary cardinality: past it a dictionary no
+// longer beats a hash table, and the cap also bounds the encoding at 4
+// bytes/row + 16 KiB of headers — well inside the 16 bytes/row the
+// string vector itself is accounted at, so the LRU byte count stays
+// honest without resizing entries after publication.
+const colDictMaxCard = 1024
+
+// dict returns the chunk-local dictionary encoding of a string vector,
+// building it on first use (sync.Once makes the build safe between
+// concurrent morsel workers). Group assignment over a dictionary is an
+// array read per row plus one hash lookup per DISTINCT value per
+// morsel, instead of one hash lookup per row. Returns nil codes when
+// the column's cardinality exceeds colDictMaxCard; callers fall back
+// to per-row hashing.
+func (v *colVec) dict() ([]int32, []string) {
+	v.dictOnce.Do(func() {
+		idx := make(map[string]int32, 64)
+		codes := make([]int32, len(v.strs))
+		var vals []string
+		for i, s := range v.strs {
+			if v.null(i) {
+				codes[i] = -1
+				continue
+			}
+			c, ok := idx[s]
+			if !ok {
+				if len(vals) >= colDictMaxCard {
+					return // high cardinality: dictionary not worth it
+				}
+				c = int32(len(vals))
+				vals = append(vals, s)
+				idx[s] = c
+			}
+			codes[i] = c
+		}
+		v.dictCodes, v.dictVals = codes, vals
+	})
+	return v.dictCodes, v.dictVals
+}
+
+// null reports whether row i of the vector is NULL.
+func (v *colVec) null(i int) bool {
+	return v.nulls != nil && v.nulls[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+func (v *colVec) setNull(i, n int) {
+	if v.nulls == nil {
+		v.nulls = make([]uint64, (n+63)/64)
+	}
+	v.nulls[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// buildColVec projects column ci of the chunk into a typed vector.
+func buildColVec(chunk []Row, ci int, typ value.Type) *colVec {
+	n := len(chunk)
+	v := &colVec{typ: typ}
+	switch typ {
+	case value.Integer, value.Boolean:
+		v.ints = make([]int64, n)
+		for i, row := range chunk {
+			c := &row[ci]
+			if c.IsNull() {
+				v.setNull(i, n)
+				continue
+			}
+			if typ == value.Boolean {
+				if c.Bool() {
+					v.ints[i] = 1
+				}
+			} else {
+				v.ints[i] = c.Int()
+			}
+		}
+		v.bytes = 8 * n
+	case value.Float:
+		v.floats = make([]float64, n)
+		for i, row := range chunk {
+			c := &row[ci]
+			if c.IsNull() {
+				v.setNull(i, n)
+				continue
+			}
+			v.floats[i] = c.Float()
+		}
+		v.bytes = 8 * n
+	case value.String, value.Version:
+		v.strs = make([]string, n)
+		for i, row := range chunk {
+			c := &row[ci]
+			if c.IsNull() {
+				v.setNull(i, n)
+				continue
+			}
+			v.strs[i] = c.Str()
+		}
+		// String headers only: the bytes are shared with the rows.
+		v.bytes = 16 * n
+	default:
+		return nil
+	}
+	v.bytes += 8 * len(v.nulls)
+	return v
+}
+
+// chunkColKey identifies one cached vector: the chunk (by the address
+// of its first row — chunks are never empty in the cache, never move,
+// and never mutate once published) and the column index.
+type chunkColKey struct {
+	chunk *Row
+	col   int
+}
+
+type colCacheEntry struct {
+	key   chunkColKey
+	table string // lower-cased owning table, for DDL purge
+	vec   *colVec
+}
+
+// colCache is a bytes-capped LRU over (chunk, column) vectors, shaped
+// like the plan cache and likeCache. Concurrent readers that miss the
+// same key may race to build the vector; the first put wins and later
+// builders adopt the shared copy.
+type colCache struct {
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used; holds *colCacheEntry
+	m     map[chunkColKey]*list.Element
+	bytes int
+	limit int
+}
+
+func (c *colCache) get(key chunkColKey) *colVec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*colCacheEntry).vec
+}
+
+// put inserts vec and returns the cached vector — vec itself, or the
+// copy a concurrent builder installed first.
+func (c *colCache) put(key chunkColKey, tableKey string, vec *colVec) *colVec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[chunkColKey]*list.Element)
+		c.ll = list.New()
+	}
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*colCacheEntry).vec
+	}
+	c.m[key] = c.ll.PushFront(&colCacheEntry{key: key, table: tableKey, vec: vec})
+	c.bytes += vec.bytes
+	for c.bytes > c.limit && c.ll.Len() > 1 {
+		oldest := c.ll.Back()
+		c.evict(oldest)
+	}
+	return vec
+}
+
+func (c *colCache) evict(el *list.Element) {
+	e := el.Value.(*colCacheEntry)
+	c.ll.Remove(el)
+	delete(c.m, e.key)
+	c.bytes -= e.vec.bytes
+}
+
+// purge drops every vector belonging to one of the given lower-cased
+// tables. Called alongside planCache.invalidate when a DDL bumps the
+// tables' versions, so cache lifetime follows the same snapshot/table
+// versioning as compiled plans.
+func (c *colCache) purge(tables map[string]bool) {
+	if len(tables) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ll == nil {
+		return
+	}
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		if tables[el.Value.(*colCacheEntry).table] {
+			c.evict(el)
+		}
+	}
+}
+
+// setLimit adjusts the byte cap, evicting immediately if over.
+func (c *colCache) setLimit(limit int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.limit = limit
+	if c.ll == nil {
+		return
+	}
+	for c.bytes > c.limit && c.ll.Len() > 0 {
+		c.evict(c.ll.Back())
+	}
+}
+
+// stats reports entry count and approximate bytes (used by tests).
+func (c *colCache) stats() (entries, bytes int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ll == nil {
+		return 0, 0
+	}
+	return c.ll.Len(), c.bytes
+}
+
+// colFor returns the vector for column ci of chunk, building and
+// caching it on miss.
+func (c *colCache) colFor(tableKey string, chunk []Row, ci int, typ value.Type) *colVec {
+	key := chunkColKey{chunk: &chunk[0], col: ci}
+	if v := c.get(key); v != nil {
+		return v
+	}
+	v := buildColVec(chunk, ci, typ)
+	if v == nil {
+		return nil
+	}
+	return c.put(key, tableKey, v)
+}
+
+// SetScanWorkers fixes the number of morsel workers a vectorized scan
+// may use; 0 (the default) means min(GOMAXPROCS, morsel count). The
+// scaling benchmarks use it to measure 1 vs 4 workers explicitly.
+func (db *DB) SetScanWorkers(n int) { db.env.scanWorkers.Store(int32(n)) }
+
+// SetVectorized enables or disables the vectorized execution path for
+// this database (default: enabled). With it disabled every SELECT runs
+// through the row-at-a-time engine; the differential fuzzer uses a
+// disabled twin database as a same-engine oracle for the batch path.
+func (db *DB) SetVectorized(on bool) { db.env.vecDisabled.Store(!on) }
+
+// ColumnCacheLimit adjusts the byte cap of the columnar projection
+// cache (default 64 MiB). Shrinking it evicts immediately.
+func (db *DB) ColumnCacheLimit(bytes int) { db.env.cache.setLimit(bytes) }

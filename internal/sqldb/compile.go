@@ -568,6 +568,11 @@ type compiledSelect struct {
 
 	orderOut []compiledExpr // ORDER BY keys against the output schema
 	orderSrc []compiledExpr // ORDER BY keys against the source schema
+
+	// vec is the vectorized form of this plan when the statement shape
+	// qualifies (see planVec in vector.go); nil means the row engine
+	// runs the scan. Cached and invalidated together with the plan.
+	vec *vecPlan
 }
 
 // planSelect compiles st against the snapshot's catalog. Snapshots
@@ -637,6 +642,7 @@ func (sn *snapshot) planSelect(st *SelectStmt) (*compiledSelect, error) {
 			p.orderSrc = append(p.orderSrc, compileExpr(ob.E, ec))
 		}
 	}
+	p.vec = sn.planVec(st, p)
 	return p, nil
 }
 

@@ -61,6 +61,11 @@ type DB struct {
 	// executed removed a temporary table — its CREATE was never logged,
 	// so the DROP must not be either.
 	lastDropTemp bool
+
+	// env is the execution environment shared by every snapshot this
+	// database publishes: the columnar projection cache and the
+	// vectorized-execution knobs. See colcache.go.
+	env *execEnv
 }
 
 // ErrTxnBusy is returned by BEGIN while another transaction is open.
@@ -70,8 +75,8 @@ var ErrTxnBusy = errors.New("sqldb: transaction already open")
 
 // NewMemory creates an empty in-memory database.
 func NewMemory() *DB {
-	db := &DB{}
-	db.state.Store(&snapshot{tables: map[string]*table{}, vers: map[string]int64{}})
+	db := &DB{env: newExecEnv()}
+	db.state.Store(&snapshot{tables: map[string]*table{}, vers: map[string]int64{}, env: db.env})
 	return db
 }
 

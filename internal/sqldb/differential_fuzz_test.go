@@ -2,16 +2,24 @@
 // but well-typed statement sequences and runs them against three
 // implementations at once —
 //
-//  1. the engine itself (compiled executor + plan cache),
-//  2. a naive test-side reference model (plain Go slices, no SQL), and
+//  1. the engine itself (compiled executor + plan cache, vectorized
+//     path enabled — qualifying SELECTs run through the batch
+//     kernels),
+//  2. a naive test-side reference model (plain Go slices, no SQL),
 //  3. a second engine behind the TCP wire protocol, fed the identical
 //     stream partly through single Execs and partly through pipelined
-//     batches.
+//     batches, and
+//  4. a row-engine twin: the same engine with SetVectorized(false),
+//     so every query the vectorized path serves is also answered by
+//     the row-at-a-time reference executor and must match it
+//     byte-for-byte.
 //
-// At every generated SELECT the three answers must agree exactly
-// (floats within 1e-9 for AVG). The package is sqldb_test rather than
-// sqldb because the wire package imports sqldb: an in-package test
-// would close an import cycle.
+// At every generated SELECT the four answers must agree exactly
+// (floats within 1e-9 for AVG against the model; engine-vs-engine
+// comparisons are byte-identical — the fuzz schema keeps aggregate
+// columns integer, where the vectorized kernels are exact). The
+// package is sqldb_test rather than sqldb because the wire package
+// imports sqldb: an in-package test would close an import cycle.
 package sqldb_test
 
 import (
@@ -37,7 +45,8 @@ type mrow struct {
 // diffState threads the generator through one fuzz input.
 type diffState struct {
 	t     *testing.T
-	db    *sqldb.DB    // oracle 1: in-process engine
+	db    *sqldb.DB    // oracle 1: in-process engine (vectorized)
+	rdb   *sqldb.DB    // oracle 4: same engine, row path forced
 	wc    *wire.Client // oracle 3: same statements over TCP
 	model []mrow       // oracle 2: naive reference
 	saved []mrow       // model backup for ROLLBACK
@@ -57,6 +66,9 @@ func (s *diffState) exec(sql string) {
 	s.t.Helper()
 	if _, err := s.db.Exec(sql); err != nil {
 		s.t.Fatalf("engine rejected generated statement %q: %v", sql, err)
+	}
+	if _, err := s.rdb.Exec(sql); err != nil {
+		s.t.Fatalf("row-path engine rejected generated statement %q: %v", sql, err)
 	}
 	s.pending = append(s.pending, sqldb.PipelineRequest{SQL: sql})
 }
@@ -117,6 +129,13 @@ func (s *diffState) query(sql string) *sqldb.Result {
 	res, err := s.db.Exec(sql)
 	if err != nil {
 		s.t.Fatalf("engine rejected generated query %q: %v", sql, err)
+	}
+	rres, err := s.rdb.Exec(sql)
+	if err != nil {
+		s.t.Fatalf("row-path engine rejected generated query %q: %v", sql, err)
+	}
+	if eng, row := resultString(res), resultString(rres); eng != row {
+		s.t.Fatalf("vectorized and row paths disagree on %q:\nvectorized:\n%srow:\n%s", sql, eng, row)
 	}
 	s.flush()
 	wres, err := s.wc.Exec(sql)
@@ -237,8 +256,37 @@ func (s *diffState) checkCountAvg() {
 	}
 }
 
+// checkTopK: bounded-heap ORDER BY ... LIMIT against the model's full
+// sort. The (v, k) key is total (k unique), so the prefix is exact.
+func (s *diffState) checkTopK(n int64) {
+	if n < 0 {
+		n = -n
+	}
+	n %= 9 // 0..8 rows, exercising k = 0 and k >= len
+	sql := fmt.Sprintf("SELECT k, v FROM m WHERE v >= -128 ORDER BY v, k LIMIT %d", n)
+	res := s.query(sql)
+	want := append([]mrow(nil), s.model...)
+	sort.Slice(want, func(i, j int) bool {
+		if want[i].v != want[j].v {
+			return want[i].v < want[j].v
+		}
+		return want[i].k < want[j].k
+	})
+	if int64(len(want)) > n {
+		want = want[:n]
+	}
+	if len(res.Rows) != len(want) {
+		s.fail(sql, res, "row count %d, want %d", len(res.Rows), len(want))
+	}
+	for i, w := range want {
+		if res.Rows[i][0].Int() != w.k || res.Rows[i][1].Int() != w.v {
+			s.fail(sql, res, "row %d = %v, want %+v", i, res.Rows[i], w)
+		}
+	}
+}
+
 // FuzzSQLDifferential interprets the fuzz input as a program over the
-// fixed schema and cross-checks every query against all three oracles.
+// fixed schema and cross-checks every query against all four oracles.
 func FuzzSQLDifferential(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
 	f.Add([]byte("insert update delete begin commit rollback select"))
@@ -257,7 +305,9 @@ func FuzzSQLDifferential(f *testing.F) {
 		}
 		defer wc.Close()
 
-		s := &diffState{t: t, db: db, wc: wc}
+		rdb := sqldb.NewMemory()
+		rdb.SetVectorized(false)
+		s := &diffState{t: t, db: db, rdb: rdb, wc: wc}
 		s.exec("CREATE TABLE m (k integer, grp string, v integer)")
 
 		// Each opcode consumes one selector byte plus up to two operand
@@ -322,7 +372,7 @@ func FuzzSQLDifferential(f *testing.F) {
 					s.model, s.saved, s.inTxn = s.saved, nil, false
 				}
 			case 7: // cross-checked SELECT
-				switch next() % 4 {
+				switch next() % 5 {
 				case 0:
 					s.checkFullScan()
 				case 1:
@@ -331,6 +381,8 @@ func FuzzSQLDifferential(f *testing.F) {
 					s.checkFilter(int64(int8(next())))
 				case 3:
 					s.checkCountAvg()
+				case 4:
+					s.checkTopK(int64(int8(next())))
 				}
 			}
 		}
@@ -338,5 +390,6 @@ func FuzzSQLDifferential(f *testing.F) {
 		s.checkFullScan()
 		s.checkGroupBy()
 		s.checkCountAvg()
+		s.checkTopK(5)
 	})
 }

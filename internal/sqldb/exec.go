@@ -331,7 +331,15 @@ func numGroupKey(v value.Value) uint64 {
 // runSelect executes a SELECT with an already-compiled plan. Scan,
 // filter and project/aggregate are fused into a single pass over the
 // source rows — no intermediate filtered relation is materialized.
+// Plans that qualified for the vectorized path (see vector.go) run
+// there instead; runVecSelect declines at runtime only when the
+// execution environment is missing or vectorization is disabled.
 func (sn *snapshot) runSelect(st *SelectStmt, p *compiledSelect) (*Result, error) {
+	if p.vec != nil {
+		if res, ok, err := sn.runVecSelect(st, p); ok || err != nil {
+			return res, err
+		}
+	}
 	rel, err := sn.sourceRelation(st)
 	if err != nil {
 		return nil, err
@@ -533,6 +541,15 @@ func (sn *snapshot) runSelect(st *SelectStmt, p *compiledSelect) (*Result, error
 		}
 	}
 
+	return p.finish(st, outRows, reps, aggVs)
+}
+
+// finish applies the statement tail — DISTINCT, ORDER BY, OFFSET and
+// LIMIT — to the rows a scan produced (row engine or vectorized path;
+// both funnel through here, so the tail semantics cannot diverge).
+// reps/aggVs, when non-nil, carry the source row and aggregate results
+// behind each output row for ORDER BY fallback resolution.
+func (p *compiledSelect) finish(st *SelectStmt, outRows []Row, reps []Row, aggVs []map[*aggExpr]value.Value) (*Result, error) {
 	// DISTINCT.
 	if st.Distinct {
 		seen := map[string]bool{}
@@ -569,13 +586,9 @@ func (sn *snapshot) runSelect(st *SelectStmt, p *compiledSelect) (*Result, error
 				keys[ri][oi] = v
 			}
 		}
-		idx := make([]int, len(outRows))
-		for i := range idx {
-			idx[i] = i
-		}
-		sort.SliceStable(idx, func(a, b int) bool {
+		less := func(a, b int) bool {
 			for oi, ob := range st.OrderBy {
-				c := value.Compare(keys[idx[a]][oi], keys[idx[b]][oi])
+				c := value.Compare(keys[a][oi], keys[b][oi])
 				if c == 0 {
 					continue
 				}
@@ -585,8 +598,22 @@ func (sn *snapshot) runSelect(st *SelectStmt, p *compiledSelect) (*Result, error
 				return c < 0
 			}
 			return false
-		})
-		sorted := make([]Row, len(outRows))
+		}
+		var idx []int
+		if k := st.Offset + st.Limit; st.Limit >= 0 && k < len(outRows) {
+			// Top-K: only the first Offset+Limit sorted rows survive the
+			// tail, so keep a bounded heap instead of sorting everything.
+			// topKIndices is tie-stable, so the kept prefix is identical
+			// to a full stable sort's.
+			idx = topKIndices(len(outRows), k, less)
+		} else {
+			idx = make([]int, len(outRows))
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.SliceStable(idx, func(a, b int) bool { return less(idx[a], idx[b]) })
+		}
+		sorted := make([]Row, len(idx))
 		for i, j := range idx {
 			sorted[i] = outRows[j]
 		}

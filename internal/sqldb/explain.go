@@ -43,7 +43,17 @@ func (db *DB) execExplain(sn *snapshot, st *ExplainStmt) (*Result, error) {
 		} else {
 			add("scan %s (full, %d rows)", fi.Table, t.nrows)
 		}
-		add("fused single pass: scan, filter, project/aggregate")
+		// Report which execution path the compiled plan will take; the
+		// same qualification (planVec) runs at plan time, so this is the
+		// decision, not a guess.
+		vec := false
+		if p, err := sn.planSelect(q); err == nil && p.vec != nil && db.env != nil && !db.env.vecDisabled.Load() {
+			vec = true
+			add("fused single pass: batch scan, filter, aggregate [vectorized] [morsels=%d]", vecMorselCount(t))
+		}
+		if !vec {
+			add("fused single pass: scan, filter, project/aggregate")
+		}
 	default:
 		// Track the accumulated left-side schema so the hash-join
 		// report matches what join() will actually do: a condition
@@ -128,7 +138,11 @@ func (db *DB) execExplain(sn *snapshot, st *ExplainStmt) (*Result, error) {
 		add("deduplicate rows (DISTINCT)")
 	}
 	if len(q.OrderBy) > 0 {
-		add("sort by %d key(s)", len(q.OrderBy))
+		if q.Limit >= 0 {
+			add("sort by %d key(s) [topk k=%d]", len(q.OrderBy), q.Limit+q.Offset)
+		} else {
+			add("sort by %d key(s)", len(q.OrderBy))
+		}
 	}
 	if q.Limit >= 0 || q.Offset > 0 {
 		add("limit/offset")

@@ -487,7 +487,7 @@ func OpenWithPolicy(dir string, policy SyncPolicy) (*DB, error) {
 			t.seal()
 			tables[lower(ts.Name)] = t
 		}
-		db.state.Store(&snapshot{tables: tables, vers: map[string]int64{}})
+		db.state.Store(&snapshot{tables: tables, vers: map[string]int64{}, env: db.env})
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, err
 	}

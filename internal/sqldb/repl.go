@@ -277,9 +277,10 @@ func (db *DB) ImportState(exp *StateExport) error {
 	for k := range touched {
 		vers[k]++
 	}
-	db.state.Store(&snapshot{id: old.id + 1, tables: tables, vers: vers})
+	db.state.Store(&snapshot{id: old.id + 1, tables: tables, vers: vers, env: db.env})
 	db.setPos(exp.Pos)
 	db.plans.invalidate(touched)
+	db.env.cache.purge(touched)
 	db.wmu.Unlock()
 	return nil
 }

@@ -45,6 +45,12 @@ type snapshot struct {
 	// name; cached plans record the versions they were compiled
 	// against and recompile on mismatch.
 	vers map[string]int64
+	// env points to the owning database's execution environment (column
+	// cache, parallelism knobs). Carried on every snapshot so the
+	// lock-free read path reaches it without a DB back-pointer; nil only
+	// in tests that construct snapshots by hand, which then simply run
+	// the row engine.
+	env *execEnv
 }
 
 func (sn *snapshot) table(name string) (*table, bool) {
@@ -205,7 +211,7 @@ func (ws *writeState) publish() {
 	if vers == nil {
 		vers = ws.base.vers
 	}
-	ws.db.state.Store(&snapshot{id: ws.base.id + 1, tables: ws.tables, vers: vers})
+	ws.db.state.Store(&snapshot{id: ws.base.id + 1, tables: ws.tables, vers: vers, env: ws.db.env})
 	if ws.db.inTxn {
 		for k := range ws.touched {
 			ws.db.txnTouched[k] = true
@@ -213,6 +219,9 @@ func (ws *writeState) publish() {
 	}
 	if len(ws.schema) > 0 {
 		ws.db.plans.invalidate(ws.schema)
+		// Column vectors share the plans' lifetime rule: a DDL that
+		// bumps a table's version also drops its cached vectors.
+		ws.db.env.cache.purge(ws.schema)
 	}
 }
 

@@ -1,0 +1,64 @@
+package sqldb
+
+import "sort"
+
+// topKIndices returns the indexes of the k smallest elements of
+// 0..n-1 under less, in sorted order. It produces exactly the prefix a
+// stable sort of all n elements would: ties are broken by original
+// index, which is what sort.SliceStable's stability guarantees. The
+// ORDER BY ... LIMIT k path uses this to keep a bounded heap of k
+// candidates instead of sorting the whole result — O(n log k) and k
+// retained indexes instead of O(n log n) and a full permutation.
+func topKIndices(n, k int, less func(a, b int) bool) []int {
+	if k <= 0 || n <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	// Total order: less, with the original index as tiebreak. This is
+	// the comparison a stable full sort effectively applies.
+	ord := func(a, b int) bool {
+		if less(a, b) {
+			return true
+		}
+		if less(b, a) {
+			return false
+		}
+		return a < b
+	}
+	// Max-heap of the k best so far; the root is the worst kept
+	// element, evicted whenever a better candidate arrives.
+	h := make([]int, k)
+	for i := 0; i < k; i++ {
+		h[i] = i
+	}
+	down := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			big := i
+			if l < k && ord(h[big], h[l]) {
+				big = l
+			}
+			if r < k && ord(h[big], h[r]) {
+				big = r
+			}
+			if big == i {
+				return
+			}
+			h[i], h[big] = h[big], h[i]
+			i = big
+		}
+	}
+	for i := k/2 - 1; i >= 0; i-- {
+		down(i)
+	}
+	for i := k; i < n; i++ {
+		if ord(i, h[0]) {
+			h[0] = i
+			down(0)
+		}
+	}
+	sort.Slice(h, func(a, b int) bool { return ord(h[a], h[b]) })
+	return h
+}

@@ -1,0 +1,1388 @@
+package sqldb
+
+// Vectorized execution path.
+//
+// When a SELECT has the right shape — one table, no joins, no usable
+// index probe, a WHERE clause built from column-vs-literal comparisons,
+// plain-column group keys and kernelizable aggregates — the planner
+// attaches a vecPlan to the compiled plan and runSelect executes it
+// over the columnar projections of colcache.go instead of boxed rows:
+// predicates evaluate into boolean masks over typed vectors, masks
+// compact into selection vectors, group assignment produces one group
+// id per selected row, and each aggregate runs as an unboxed kernel
+// loop over (vector, selection, group ids). Anything the plan cannot
+// express falls back to the row engine, which remains the semantic
+// reference; the differential fuzzer holds the two byte-for-byte equal.
+//
+// Parallelism is morsel-driven: every chunk is cut into fixed-size
+// morsels, a bounded worker pool pulls morsel indexes from an atomic
+// counter, and each morsel produces a partial (groups + accumulator
+// states, or filtered output rows). Partials are merged in MORSEL
+// index order — not worker order — so results are identical no matter
+// how many workers ran or how the scheduler interleaved them. For
+// integer columns the aggregates are exact (int64 accumulators); for
+// float columns SUM/AVG may differ from the row engine in the last ulp
+// on multi-morsel tables because float addition is reordered (this is
+// the one documented divergence, and the fuzzer's schema keeps its
+// aggregate columns integer so byte-for-byte comparison stays valid).
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"perfbase/internal/failpoint"
+	"perfbase/internal/value"
+)
+
+const (
+	// vecMorselRows is the morsel size. Chunks larger than this (bulk
+	// imports arrive as one chunk) are cut so a single big table still
+	// parallelizes; chunks smaller than this are one morsel each.
+	vecMorselRows = 4096
+	// vecParallelMinRows gates the worker pool: below this a query runs
+	// its morsels inline, because goroutine fan-out costs more than the
+	// scan.
+	vecParallelMinRows = 16384
+)
+
+// fpMorsel fires once per morsel before it is processed. The scaling
+// benchmarks arm it with a sleep spec to model per-morsel fetch
+// latency (as the replication benchmarks model per-node service time),
+// which lets worker overlap be measured even on a single-CPU host.
+var fpMorsel = failpoint.Site("sqldb/vector/morsel")
+
+// vecAgg is one aggregate in kernel form: the op, the source column
+// (-1 for COUNT(*), which is served by the per-group row count), and
+// the column's type, which picks the accumulator field and the result
+// boxing. Aligned index-for-index with compiledSelect.aggs.
+type vecAgg struct {
+	op  aggOp
+	col int
+	typ value.Type
+}
+
+// vecPredFn evaluates a predicate over rows [lo, lo+len(mask)) of one
+// chunk's vectors, writing the collapsed boolean (NULL → false, which
+// is exact at the top level of a WHERE) into mask.
+type vecPredFn func(cv []*colVec, lo int, mask []bool)
+
+// vecPlan is the vectorized form of a qualifying SELECT, attached to
+// its compiledSelect and cached/invalidated with it.
+type vecPlan struct {
+	tableKey string
+	cols     []int // distinct source columns needing vectors
+
+	pred vecPredFn // nil when no WHERE clause
+
+	grouped    bool
+	groupCols  []int
+	groupTypes []value.Type
+	// Single-column group keys bucket on the value directly, exactly
+	// like the row engine's fast keys: numeric/boolean keys on the
+	// value bits, string/version keys on the string datum.
+	singleNum bool
+	singleStr bool
+
+	aggs []vecAgg
+}
+
+// planVec decides whether st can run vectorized and compiles the plan
+// if so. Returns nil — meaning "use the row engine" — for any shape
+// outside the supported set; qualification must err on the side of
+// declining, never on the side of changing results.
+func (sn *snapshot) planVec(st *SelectStmt, p *compiledSelect) *vecPlan {
+	if len(st.From) != 1 || len(st.Joins) != 0 {
+		return nil
+	}
+	if _, ok := sn.table(st.From[0].Table); !ok {
+		return nil
+	}
+	// An available index probe beats a full vectorized scan; mirror the
+	// scan's decision (CREATE INDEX bumps the table version, so cached
+	// plans re-qualify).
+	if _, ok := sn.explainIndexProbe(st.From[0], st.Where); ok {
+		return nil
+	}
+	vp := &vecPlan{tableKey: lower(st.From[0].Table), grouped: p.grouped}
+	ec := newEvalCtx(p.srcSchema)
+	need := map[int]bool{}
+	if st.Where != nil {
+		vp.pred = compileVecPred(st.Where, ec, p.srcSchema, need)
+		if vp.pred == nil {
+			return nil
+		}
+	}
+	if p.grouped {
+		for _, g := range st.GroupBy {
+			ce, isCol := g.(*colExpr)
+			if !isCol {
+				return nil
+			}
+			ci, err := ec.lookup(ce.Table, ce.Name)
+			if err != nil {
+				return nil
+			}
+			typ := p.srcSchema[ci].Type
+			if typ == value.Timestamp {
+				return nil
+			}
+			vp.groupCols = append(vp.groupCols, ci)
+			vp.groupTypes = append(vp.groupTypes, typ)
+			need[ci] = true
+		}
+		if len(vp.groupCols) == 1 {
+			if t := vp.groupTypes[0]; t == value.String || t == value.Version {
+				vp.singleStr = true
+			} else {
+				vp.singleNum = true
+			}
+		}
+		for i, a := range p.aggs {
+			if a.Distinct {
+				return nil
+			}
+			op, known := aggOps[a.Name]
+			if !known {
+				return nil
+			}
+			if a.Star {
+				if op != opCount {
+					return nil
+				}
+				vp.aggs = append(vp.aggs, vecAgg{op: opCount, col: -1})
+				continue
+			}
+			ci := p.aggCols[i]
+			if ci < 0 {
+				return nil // argument is an expression, not a column
+			}
+			typ := p.srcSchema[ci].Type
+			switch op {
+			case opCount:
+				if typ == value.Timestamp {
+					return nil
+				}
+			case opSum, opAvg:
+				if typ != value.Integer && typ != value.Float {
+					return nil
+				}
+			case opMin, opMax:
+				// Version compares component-wise, not bytewise; leave
+				// it (and Boolean/Timestamp) to the row engine.
+				if typ != value.Integer && typ != value.Float && typ != value.String {
+					return nil
+				}
+			default:
+				return nil
+			}
+			need[ci] = true
+			vp.aggs = append(vp.aggs, vecAgg{op: op, col: ci, typ: typ})
+		}
+	} else if vp.pred == nil {
+		// An unfiltered, ungrouped scan is pure row materialization;
+		// vectors add nothing.
+		return nil
+	}
+	for ci := range need {
+		vp.cols = append(vp.cols, ci)
+	}
+	return vp
+}
+
+// ------------------------------------------------------ predicates
+
+// compileVecPred lowers a WHERE clause into a mask kernel, recording
+// the columns it reads in need. Returns nil for any unsupported shape:
+// NOT and LIKE (whose three-valued semantics do not collapse to a
+// boolean mask), expressions over non-columns, comparisons across
+// value classes, and Version/Timestamp operands.
+func compileVecPred(e sqlExpr, ec *evalCtx, src Schema, need map[int]bool) vecPredFn {
+	switch t := e.(type) {
+	case *litExpr:
+		keep := boolTrue(t.v)
+		return func(_ []*colVec, _ int, mask []bool) {
+			for i := range mask {
+				mask[i] = keep
+			}
+		}
+	case *colExpr:
+		ci, err := ec.lookup(t.Table, t.Name)
+		if err != nil || src[ci].Type != value.Boolean {
+			return nil
+		}
+		need[ci] = true
+		return func(cv []*colVec, lo int, mask []bool) {
+			v := cv[ci]
+			for i := range mask {
+				mask[i] = v.ints[lo+i] != 0 && !v.null(lo+i)
+			}
+		}
+	case *binExpr:
+		switch t.Op {
+		case "and":
+			l := compileVecPred(t.L, ec, src, need)
+			r := compileVecPred(t.R, ec, src, need)
+			if l == nil || r == nil {
+				return nil
+			}
+			return func(cv []*colVec, lo int, mask []bool) {
+				l(cv, lo, mask)
+				tmp := make([]bool, len(mask))
+				r(cv, lo, tmp)
+				for i := range mask {
+					mask[i] = mask[i] && tmp[i]
+				}
+			}
+		case "or":
+			l := compileVecPred(t.L, ec, src, need)
+			r := compileVecPred(t.R, ec, src, need)
+			if l == nil || r == nil {
+				return nil
+			}
+			return func(cv []*colVec, lo int, mask []bool) {
+				l(cv, lo, mask)
+				tmp := make([]bool, len(mask))
+				r(cv, lo, tmp)
+				for i := range mask {
+					mask[i] = mask[i] || tmp[i]
+				}
+			}
+		case "=", "<>", "<", "<=", ">", ">=":
+			ok := cmpOutcome(t.Op)
+			if ce, isCol := t.L.(*colExpr); isCol {
+				if le, isLit := t.R.(*litExpr); isLit {
+					return compileVecCmp(ce, le.v, ok, false, ec, src, need)
+				}
+			}
+			if ce, isCol := t.R.(*colExpr); isCol {
+				if le, isLit := t.L.(*litExpr); isLit {
+					return compileVecCmp(ce, le.v, ok, true, ec, src, need)
+				}
+			}
+		}
+		return nil
+	case *isNullExpr:
+		ce, isCol := t.E.(*colExpr)
+		if !isCol {
+			return nil
+		}
+		ci, err := ec.lookup(ce.Table, ce.Name)
+		if err != nil || src[ci].Type == value.Timestamp {
+			return nil
+		}
+		need[ci] = true
+		negate := t.Negate
+		return func(cv []*colVec, lo int, mask []bool) {
+			v := cv[ci]
+			for i := range mask {
+				mask[i] = v.null(lo+i) != negate
+			}
+		}
+	case *betweenExpr:
+		return compileVecBetween(t, ec, src, need)
+	case *inExpr:
+		return compileVecIn(t, ec, src, need)
+	}
+	return nil
+}
+
+func cmpOutcome(op string) func(int) bool {
+	switch op {
+	case "=":
+		return func(c int) bool { return c == 0 }
+	case "<>":
+		return func(c int) bool { return c != 0 }
+	case "<":
+		return func(c int) bool { return c < 0 }
+	case "<=":
+		return func(c int) bool { return c <= 0 }
+	case ">":
+		return func(c int) bool { return c > 0 }
+	}
+	return func(c int) bool { return c >= 0 }
+}
+
+func vecFalse(_ []*colVec, _ int, mask []bool) {
+	for i := range mask {
+		mask[i] = false
+	}
+}
+
+// compileVecCmp builds the column-vs-literal comparison kernel. The
+// comparison classes mirror value.ComparePtr exactly: int/int compares
+// integers, any other numeric pair compares as float64 (so NaN
+// compares "equal" to everything, matching the row engine's quirk),
+// booleans order false < true, strings compare bytewise. Cross-class
+// shapes (which ComparePtr resolves via display forms) decline.
+func compileVecCmp(ce *colExpr, lit value.Value, ok func(int) bool, swapped bool, ec *evalCtx, src Schema, need map[int]bool) vecPredFn {
+	ci, err := ec.lookup(ce.Table, ce.Name)
+	if err != nil {
+		return nil
+	}
+	typ := src[ci].Type
+	var okLUT [3]bool
+	for c := -1; c <= 1; c++ {
+		r := c
+		if swapped {
+			r = -r
+		}
+		okLUT[c+1] = ok(r)
+	}
+	supported := func() bool {
+		switch typ {
+		case value.Integer, value.Float:
+			return lit.Type().Numeric() || lit.IsNull()
+		case value.Boolean:
+			return lit.Type() == value.Boolean || lit.IsNull()
+		case value.String:
+			return lit.Type() == value.String || lit.IsNull()
+		}
+		return false
+	}
+	if !supported() {
+		return nil
+	}
+	need[ci] = true
+	if lit.IsNull() {
+		return vecFalse
+	}
+	switch {
+	case typ == value.Integer && lit.Type() == value.Integer,
+		typ == value.Boolean:
+		litI := lit.Int()
+		return func(cv []*colVec, lo int, mask []bool) {
+			v := cv[ci]
+			ints := v.ints[lo : lo+len(mask)]
+			if v.nulls == nil {
+				for i, x := range ints {
+					c := 1
+					if x < litI {
+						c = -1
+					} else if x == litI {
+						c = 0
+					}
+					mask[i] = okLUT[c+1]
+				}
+				return
+			}
+			for i, x := range ints {
+				if v.null(lo + i) {
+					mask[i] = false
+					continue
+				}
+				c := 1
+				if x < litI {
+					c = -1
+				} else if x == litI {
+					c = 0
+				}
+				mask[i] = okLUT[c+1]
+			}
+		}
+	case typ == value.Integer: // float literal
+		litF := lit.Float()
+		return func(cv []*colVec, lo int, mask []bool) {
+			v := cv[ci]
+			ints := v.ints[lo : lo+len(mask)]
+			for i, x := range ints {
+				if v.nulls != nil && v.null(lo+i) {
+					mask[i] = false
+					continue
+				}
+				cf := float64(x)
+				c := 0
+				if cf < litF {
+					c = -1
+				} else if cf > litF {
+					c = 1
+				}
+				mask[i] = okLUT[c+1]
+			}
+		}
+	case typ == value.Float:
+		litF := lit.Float()
+		return func(cv []*colVec, lo int, mask []bool) {
+			v := cv[ci]
+			floats := v.floats[lo : lo+len(mask)]
+			if v.nulls == nil {
+				for i, x := range floats {
+					c := 0
+					if x < litF {
+						c = -1
+					} else if x > litF {
+						c = 1
+					}
+					mask[i] = okLUT[c+1]
+				}
+				return
+			}
+			for i, x := range floats {
+				if v.null(lo + i) {
+					mask[i] = false
+					continue
+				}
+				c := 0
+				if x < litF {
+					c = -1
+				} else if x > litF {
+					c = 1
+				}
+				mask[i] = okLUT[c+1]
+			}
+		}
+	default: // String vs String
+		litS := lit.Str()
+		return func(cv []*colVec, lo int, mask []bool) {
+			v := cv[ci]
+			strs := v.strs[lo : lo+len(mask)]
+			for i, x := range strs {
+				if v.nulls != nil && v.null(lo+i) {
+					mask[i] = false
+					continue
+				}
+				c := 0
+				if x < litS {
+					c = -1
+				} else if x > litS {
+					c = 1
+				}
+				mask[i] = okLUT[c+1]
+			}
+		}
+	}
+}
+
+// compileVecBetween handles col BETWEEN lit AND lit. The row engine
+// computes Compare(v,lo) >= 0 && Compare(v,hi) <= 0, each bound
+// comparing int/int as integers and any other numeric pair as floats;
+// the kernel reproduces that bound-by-bound.
+func compileVecBetween(t *betweenExpr, ec *evalCtx, src Schema, need map[int]bool) vecPredFn {
+	ce, isCol := t.E.(*colExpr)
+	if !isCol {
+		return nil
+	}
+	loL, loOK := t.Lo.(*litExpr)
+	hiL, hiOK := t.Hi.(*litExpr)
+	if !loOK || !hiOK {
+		return nil
+	}
+	ci, err := ec.lookup(ce.Table, ce.Name)
+	if err != nil {
+		return nil
+	}
+	typ := src[ci].Type
+	negate := t.Negate
+	lo, hi := loL.v, hiL.v
+	switch typ {
+	case value.Integer, value.Float:
+		if !lo.Type().Numeric() && !lo.IsNull() || !hi.Type().Numeric() && !hi.IsNull() {
+			return nil
+		}
+	case value.String:
+		if lo.Type() != value.String && !lo.IsNull() || hi.Type() != value.String && !hi.IsNull() {
+			return nil
+		}
+	default:
+		return nil
+	}
+	need[ci] = true
+	if lo.IsNull() || hi.IsNull() {
+		return vecFalse // NULL bound → NULL result → row excluded
+	}
+	if typ == value.String {
+		loS, hiS := lo.Str(), hi.Str()
+		return func(cv []*colVec, lo_ int, mask []bool) {
+			v := cv[ci]
+			for i := range mask {
+				if v.null(lo_ + i) {
+					mask[i] = false
+					continue
+				}
+				x := v.strs[lo_+i]
+				mask[i] = (x >= loS && x <= hiS) != negate
+			}
+		}
+	}
+	// Numeric: per-bound comparison class. ge means Compare(v, lo) >= 0,
+	// which for floats is !(v < lo) — this keeps the row engine's NaN
+	// behaviour (NaN is "between" anything).
+	intCol := typ == value.Integer
+	loInt := intCol && lo.Type() == value.Integer
+	hiInt := intCol && hi.Type() == value.Integer
+	loI, loF := lo.Int(), lo.Float()
+	hiI, hiF := hi.Int(), hi.Float()
+	return func(cv []*colVec, lo_ int, mask []bool) {
+		v := cv[ci]
+		for i := range mask {
+			if v.null(lo_ + i) {
+				mask[i] = false
+				continue
+			}
+			var ge, le bool
+			if intCol {
+				x := v.ints[lo_+i]
+				if loInt {
+					ge = x >= loI
+				} else {
+					ge = !(float64(x) < loF)
+				}
+				if hiInt {
+					le = x <= hiI
+				} else {
+					le = !(float64(x) > hiF)
+				}
+			} else {
+				x := v.floats[lo_+i]
+				ge = !(x < loF)
+				le = !(x > hiF)
+			}
+			mask[i] = (ge && le) != negate
+		}
+	}
+}
+
+// compileVecIn handles col IN (literals). NULL list items never match
+// (as in the row engine); a NULL probe value yields false.
+func compileVecIn(t *inExpr, ec *evalCtx, src Schema, need map[int]bool) vecPredFn {
+	ce, isCol := t.E.(*colExpr)
+	if !isCol {
+		return nil
+	}
+	ci, err := ec.lookup(ce.Table, ce.Name)
+	if err != nil {
+		return nil
+	}
+	typ := src[ci].Type
+	negate := t.Negate
+	var lits []value.Value
+	for _, item := range t.List {
+		le, isLit := item.(*litExpr)
+		if !isLit {
+			return nil
+		}
+		if le.v.IsNull() {
+			continue
+		}
+		lits = append(lits, le.v)
+	}
+	switch typ {
+	case value.Integer, value.Float, value.Boolean:
+		allInt := typ != value.Float
+		for _, l := range lits {
+			if typ == value.Boolean {
+				if l.Type() != value.Boolean {
+					return nil
+				}
+				continue
+			}
+			if !l.Type().Numeric() {
+				return nil
+			}
+			if l.Type() != value.Integer {
+				allInt = false
+			}
+		}
+		need[ci] = true
+		if typ != value.Float && allInt {
+			ints := make([]int64, len(lits))
+			for i, l := range lits {
+				ints[i] = l.Int()
+			}
+			return func(cv []*colVec, lo int, mask []bool) {
+				v := cv[ci]
+				for i := range mask {
+					if v.null(lo + i) {
+						mask[i] = false
+						continue
+					}
+					x := v.ints[lo+i]
+					found := false
+					for _, l := range ints {
+						if x == l {
+							found = true
+							break
+						}
+					}
+					mask[i] = found != negate
+				}
+			}
+		}
+		floats := make([]float64, len(lits))
+		for i, l := range lits {
+			floats[i] = l.Float()
+		}
+		intCol := typ == value.Integer
+		return func(cv []*colVec, lo int, mask []bool) {
+			v := cv[ci]
+			for i := range mask {
+				if v.null(lo + i) {
+					mask[i] = false
+					continue
+				}
+				var x float64
+				if intCol {
+					x = float64(v.ints[lo+i])
+				} else {
+					x = v.floats[lo+i]
+				}
+				found := false
+				for _, l := range floats {
+					// Compare-style equality (neither less nor greater),
+					// not ==: a NaN probe matches every list item, as it
+					// does in the row engine.
+					if !(x < l) && !(x > l) {
+						found = true
+						break
+					}
+				}
+				mask[i] = found != negate
+			}
+		}
+	case value.String:
+		for _, l := range lits {
+			if l.Type() != value.String {
+				return nil
+			}
+		}
+		need[ci] = true
+		strs := make([]string, len(lits))
+		for i, l := range lits {
+			strs[i] = l.Str()
+		}
+		return func(cv []*colVec, lo int, mask []bool) {
+			v := cv[ci]
+			for i := range mask {
+				if v.null(lo + i) {
+					mask[i] = false
+					continue
+				}
+				x := v.strs[lo+i]
+				found := false
+				for _, l := range strs {
+					if x == l {
+						found = true
+						break
+					}
+				}
+				mask[i] = found != negate
+			}
+		}
+	}
+	return nil
+}
+
+// ------------------------------------------------------ execution
+
+// vecAcc is one aggregate accumulator: non-NULL input count plus the
+// one field the (op, type) pair uses.
+type vecAcc struct {
+	n int64
+	i int64
+	f float64
+	s string
+}
+
+// vecGroup is one group's state in a partial: the representative row
+// (the group's first row in scan order), the row count (serves
+// COUNT(*)), the group key in whichever form the plan buckets on, and
+// one accumulator per aggregate. idx is the group's position in its
+// partial's first-seen order, so group-id assignment is O(1) per row.
+type vecGroup struct {
+	rep    Row
+	n      int64
+	idx    int32
+	knum   uint64
+	kstr   string
+	isNull bool
+	st     []vecAcc
+}
+
+// vecPartial accumulates one morsel's groups in first-seen order.
+// Accumulators live in one contiguous accs array (stride = number of
+// aggregates, group g's block at g.idx*stride) so the kernels index a
+// flat array instead of chasing a per-group slice; each group's st
+// view is carved out of accs once the morsel is done.
+type vecPartial struct {
+	groups []*vecGroup
+	accs   []vecAcc
+	num    map[uint64]*vecGroup
+	str    map[string]*vecGroup
+	nullG  *vecGroup
+}
+
+// morselBufs holds the per-morsel scratch (selection vector and group
+// ids, both capped at vecMorselRows) recycled across morsels to keep
+// the scan loop allocation-free.
+type morselBufs struct {
+	sel, gids []int32
+}
+
+var morselBufPool = sync.Pool{
+	New: func() any {
+		return &morselBufs{
+			sel:  make([]int32, 0, vecMorselRows),
+			gids: make([]int32, vecMorselRows),
+		}
+	},
+}
+
+func (vp *vecPlan) newPartial() *vecPartial {
+	p := &vecPartial{}
+	switch {
+	case len(vp.groupCols) == 0:
+		// implicit single group; no index needed
+	case vp.singleNum:
+		p.num = map[uint64]*vecGroup{}
+	default:
+		p.str = map[string]*vecGroup{}
+	}
+	return p
+}
+
+type chunkVecs struct {
+	rows []Row
+	cv   []*colVec
+}
+
+type vecMorsel struct {
+	chunk  int
+	lo, hi int
+}
+
+// runVecSelect executes a SELECT through the vectorized path. The
+// second return is false when the path declines at runtime (execution
+// environment missing or vectorization disabled) and the caller must
+// fall back to the row engine.
+func (sn *snapshot) runVecSelect(st *SelectStmt, p *compiledSelect) (*Result, bool, error) {
+	vp := p.vec
+	env := sn.env
+	if env == nil || env.vecDisabled.Load() {
+		return nil, false, nil
+	}
+	t, ok := sn.table(vp.tableKey)
+	if !ok {
+		return nil, false, nil
+	}
+	var chunks []chunkVecs
+	var morsels []vecMorsel
+	total := 0
+	for _, ch := range t.chunks {
+		if len(ch) == 0 {
+			continue
+		}
+		cvs := make([]*colVec, len(t.schema))
+		for _, ci := range vp.cols {
+			v := env.cache.colFor(vp.tableKey, ch, ci, t.schema[ci].Type)
+			if v == nil {
+				return nil, false, nil
+			}
+			cvs[ci] = v
+		}
+		idx := len(chunks)
+		chunks = append(chunks, chunkVecs{rows: ch, cv: cvs})
+		for lo := 0; lo < len(ch); lo += vecMorselRows {
+			hi := min(lo+vecMorselRows, len(ch))
+			morsels = append(morsels, vecMorsel{idx, lo, hi})
+		}
+		total += len(ch)
+	}
+
+	needReps := len(st.OrderBy) > 0 && !st.Distinct
+	var outRows, reps []Row
+	var aggVs []map[*aggExpr]value.Value
+
+	if vp.grouped {
+		parts := make([]*vecPartial, len(morsels))
+		err := runMorsels(env, len(morsels), total, func(mi int) error {
+			_ = fpMorsel.Inject() // latency-model site
+			m := morsels[mi]
+			parts[mi] = vp.processGroupMorsel(&chunks[m.chunk], m.lo, m.hi)
+			return nil
+		})
+		if err != nil {
+			return nil, true, err
+		}
+		merged := vp.mergePartials(parts)
+		buckets := merged.groups
+		if len(buckets) == 0 && len(st.GroupBy) == 0 {
+			// An aggregate query with no GROUP BY yields one group even
+			// over an empty input.
+			rep := make(Row, len(p.srcSchema))
+			for i := range rep {
+				rep[i] = value.Null(p.srcSchema[i].Type)
+			}
+			buckets = []*vecGroup{{rep: rep, st: make([]vecAcc, len(vp.aggs))}}
+		}
+		ctx := &execCtx{}
+		for _, g := range buckets {
+			aggV := make(map[*aggExpr]value.Value, len(p.aggs))
+			for i, a := range p.aggs {
+				if a.Star {
+					aggV[a] = value.NewInt(g.n)
+				} else {
+					aggV[a] = vp.aggs[i].result(&g.st[i])
+				}
+			}
+			ctx.row, ctx.aggs = g.rep, aggV
+			if p.having != nil {
+				v, err := p.having(ctx)
+				if err != nil {
+					return nil, true, err
+				}
+				if !boolTrue(v) {
+					continue
+				}
+			}
+			row, err := p.projectRow(ctx, g.rep)
+			if err != nil {
+				return nil, true, err
+			}
+			outRows = append(outRows, row)
+			if needReps {
+				reps = append(reps, g.rep)
+				aggVs = append(aggVs, aggV)
+			}
+		}
+	} else {
+		type morselOut struct {
+			rows []Row
+			reps []Row
+		}
+		outs := make([]morselOut, len(morsels))
+		err := runMorsels(env, len(morsels), total, func(mi int) error {
+			_ = fpMorsel.Inject()
+			m := morsels[mi]
+			ch := &chunks[m.chunk]
+			mask := make([]bool, m.hi-m.lo)
+			vp.pred(ch.cv, m.lo, mask)
+			ctx := &execCtx{}
+			var mo morselOut
+			for i, keep := range mask {
+				if !keep {
+					continue
+				}
+				row := ch.rows[m.lo+i]
+				ctx.row = row
+				out, err := p.projectRow(ctx, row)
+				if err != nil {
+					return err
+				}
+				mo.rows = append(mo.rows, out)
+				if needReps {
+					mo.reps = append(mo.reps, row)
+				}
+			}
+			outs[mi] = mo
+			return nil
+		})
+		if err != nil {
+			return nil, true, err
+		}
+		for _, mo := range outs {
+			outRows = append(outRows, mo.rows...)
+			if needReps {
+				reps = append(reps, mo.reps...)
+				for range mo.reps {
+					aggVs = append(aggVs, nil)
+				}
+			}
+		}
+	}
+	res, err := p.finish(st, outRows, reps, aggVs)
+	return res, true, err
+}
+
+// runMorsels executes fn(0..n-1), in parallel when the scan is big
+// enough and more than one worker is available. Workers pull morsel
+// indexes from a shared atomic counter (morsel-driven scheduling);
+// result determinism comes from the caller merging by morsel index,
+// never by worker or completion order.
+func runMorsels(env *execEnv, n, totalRows int, fn func(int) error) error {
+	workers := env.workerCount()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || totalRows < vecParallelMinRows {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var stop atomic.Bool
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// vecMorselCount reports how many morsels a table's current chunks cut
+// into; EXPLAIN shows it.
+func vecMorselCount(t *table) int {
+	n := 0
+	for _, ch := range t.chunks {
+		if len(ch) == 0 {
+			continue
+		}
+		n += (len(ch) + vecMorselRows - 1) / vecMorselRows
+	}
+	return n
+}
+
+// processGroupMorsel runs filter → group-assign → aggregate kernels
+// over rows [lo, hi) of one chunk.
+func (vp *vecPlan) processGroupMorsel(ch *chunkVecs, lo, hi int) *vecPartial {
+	part := vp.newPartial()
+	n := hi - lo
+	bufs := morselBufPool.Get().(*morselBufs)
+	defer morselBufPool.Put(bufs)
+	// Selection vector: absolute row indexes within the chunk.
+	sel := bufs.sel[:0]
+	if vp.pred == nil {
+		for i := lo; i < hi; i++ {
+			sel = append(sel, int32(i))
+		}
+	} else {
+		mask := make([]bool, n)
+		vp.pred(ch.cv, lo, mask)
+		for i, keep := range mask {
+			if keep {
+				sel = append(sel, int32(lo+i))
+			}
+		}
+	}
+	if len(sel) == 0 {
+		return part
+	}
+	stride := len(vp.aggs)
+	newGroup := func(rep Row) *vecGroup {
+		g := &vecGroup{rep: rep, idx: int32(len(part.groups))}
+		part.groups = append(part.groups, g)
+		for i := 0; i < stride; i++ {
+			part.accs = append(part.accs, vecAcc{})
+		}
+		return g
+	}
+	gids := bufs.gids[:len(sel)]
+	switch {
+	case len(vp.groupCols) == 0:
+		g := newGroup(ch.rows[sel[0]])
+		g.n = int64(len(sel))
+		for j := range gids {
+			gids[j] = 0
+		}
+	case vp.singleNum:
+		kc := vp.groupCols[0]
+		kv := ch.cv[kc]
+		isFloat := vp.groupTypes[0] == value.Float
+		for j, ri := range sel {
+			i := int(ri)
+			var g *vecGroup
+			if kv.null(i) {
+				if part.nullG == nil {
+					part.nullG = newGroup(ch.rows[i])
+					part.nullG.isNull = true
+				}
+				g = part.nullG
+			} else {
+				var k uint64
+				if isFloat {
+					k = math.Float64bits(kv.floats[i])
+				} else {
+					k = uint64(kv.ints[i])
+				}
+				var ok bool
+				g, ok = part.num[k]
+				if !ok {
+					g = newGroup(ch.rows[i])
+					g.knum = k
+					part.num[k] = g
+				}
+			}
+			g.n++
+			gids[j] = g.idx
+		}
+	case vp.singleStr:
+		kc := vp.groupCols[0]
+		kv := ch.cv[kc]
+		if codes, vals := kv.dict(); codes != nil {
+			// Dictionary path: one array read per row, one hash insert
+			// per distinct value per morsel. part.str is still filled so
+			// mergePartials buckets identically either way.
+			lut := make([]*vecGroup, len(vals))
+			for j, ri := range sel {
+				i := int(ri)
+				var g *vecGroup
+				if c := codes[i]; c < 0 {
+					if part.nullG == nil {
+						part.nullG = newGroup(ch.rows[i])
+						part.nullG.isNull = true
+					}
+					g = part.nullG
+				} else if g = lut[c]; g == nil {
+					g = newGroup(ch.rows[i])
+					g.kstr = vals[c]
+					part.str[g.kstr] = g
+					lut[c] = g
+				}
+				g.n++
+				gids[j] = g.idx
+			}
+			break
+		}
+		for j, ri := range sel {
+			i := int(ri)
+			var g *vecGroup
+			if kv.null(i) {
+				if part.nullG == nil {
+					part.nullG = newGroup(ch.rows[i])
+					part.nullG.isNull = true
+				}
+				g = part.nullG
+			} else {
+				k := kv.strs[i]
+				var ok bool
+				g, ok = part.str[k]
+				if !ok {
+					g = newGroup(ch.rows[i])
+					g.kstr = k
+					part.str[k] = g
+				}
+			}
+			g.n++
+			gids[j] = g.idx
+		}
+	default:
+		// Composite key, encoded exactly like appendValueKey so group
+		// identity matches the row engine byte-for-byte.
+		var kbuf []byte
+		for j, ri := range sel {
+			i := int(ri)
+			kbuf = kbuf[:0]
+			for gi, gc := range vp.groupCols {
+				v := ch.cv[gc]
+				if v.null(i) {
+					kbuf = append(kbuf, "\x00NULL"...)
+				} else {
+					switch vp.groupTypes[gi] {
+					case value.Integer:
+						kbuf = strconv.AppendInt(kbuf, v.ints[i], 10)
+					case value.Float:
+						kbuf = strconv.AppendFloat(kbuf, v.floats[i], 'g', -1, 64)
+					case value.Boolean:
+						kbuf = strconv.AppendBool(kbuf, v.ints[i] != 0)
+					default: // String, Version
+						kbuf = append(kbuf, v.strs[i]...)
+					}
+				}
+				kbuf = append(kbuf, '\x1f')
+			}
+			g, ok := part.str[string(kbuf)]
+			if !ok {
+				g = newGroup(ch.rows[i])
+				g.kstr = string(kbuf)
+				part.str[g.kstr] = g
+			}
+			g.n++
+			gids[j] = g.idx
+		}
+	}
+	for k := range vp.aggs {
+		a := &vp.aggs[k]
+		if a.col < 0 {
+			continue // COUNT(*): served by group row counts
+		}
+		runAggKernel(a, ch.cv[a.col], sel, gids, part.accs, stride, k)
+	}
+	// Carve each group's accumulator view out of the flat array only
+	// now: appends during group discovery may have moved it.
+	for i, g := range part.groups {
+		g.st = part.accs[i*stride : (i+1)*stride : (i+1)*stride]
+	}
+	return part
+}
+
+// runAggKernel feeds the selected rows of one column into accumulator
+// k of each row's group: slot accs[gid*stride+k] of the partial's flat
+// accumulator array. One tight loop per (op, type class), no Value
+// boxing anywhere.
+func runAggKernel(a *vecAgg, v *colVec, sel, gids []int32, accs []vecAcc, stride, k int) {
+	switch {
+	case a.op == opCount:
+		if v.nulls == nil {
+			for j := range sel {
+				accs[int(gids[j])*stride+k].n++
+			}
+			return
+		}
+		for j, ri := range sel {
+			if v.null(int(ri)) {
+				continue
+			}
+			accs[int(gids[j])*stride+k].n++
+		}
+	case (a.op == opSum || a.op == opAvg) && a.typ == value.Integer:
+		for j, ri := range sel {
+			i := int(ri)
+			if v.nulls != nil && v.null(i) {
+				continue
+			}
+			acc := &accs[int(gids[j])*stride+k]
+			acc.n++
+			acc.i += v.ints[i]
+		}
+	case a.op == opSum || a.op == opAvg: // Float
+		for j, ri := range sel {
+			i := int(ri)
+			if v.nulls != nil && v.null(i) {
+				continue
+			}
+			acc := &accs[int(gids[j])*stride+k]
+			acc.n++
+			acc.f += v.floats[i]
+		}
+	case a.op == opMin && a.typ == value.Integer:
+		for j, ri := range sel {
+			i := int(ri)
+			if v.nulls != nil && v.null(i) {
+				continue
+			}
+			acc := &accs[int(gids[j])*stride+k]
+			if x := v.ints[i]; acc.n == 0 || x < acc.i {
+				acc.i = x
+			}
+			acc.n++
+		}
+	case a.op == opMax && a.typ == value.Integer:
+		for j, ri := range sel {
+			i := int(ri)
+			if v.nulls != nil && v.null(i) {
+				continue
+			}
+			acc := &accs[int(gids[j])*stride+k]
+			if x := v.ints[i]; acc.n == 0 || x > acc.i {
+				acc.i = x
+			}
+			acc.n++
+		}
+	case a.op == opMin && a.typ == value.Float:
+		// NaN never compares less, so the earlier value wins — the same
+		// keep-first behaviour value.Compare gives the row engine.
+		for j, ri := range sel {
+			i := int(ri)
+			if v.nulls != nil && v.null(i) {
+				continue
+			}
+			acc := &accs[int(gids[j])*stride+k]
+			if x := v.floats[i]; acc.n == 0 {
+				acc.f = x
+			} else if x < acc.f {
+				acc.f = x
+			}
+			acc.n++
+		}
+	case a.op == opMax && a.typ == value.Float:
+		for j, ri := range sel {
+			i := int(ri)
+			if v.nulls != nil && v.null(i) {
+				continue
+			}
+			acc := &accs[int(gids[j])*stride+k]
+			if x := v.floats[i]; acc.n == 0 {
+				acc.f = x
+			} else if x > acc.f {
+				acc.f = x
+			}
+			acc.n++
+		}
+	case a.op == opMin: // String
+		for j, ri := range sel {
+			i := int(ri)
+			if v.nulls != nil && v.null(i) {
+				continue
+			}
+			acc := &accs[int(gids[j])*stride+k]
+			if x := v.strs[i]; acc.n == 0 || x < acc.s {
+				acc.s = x
+			}
+			acc.n++
+		}
+	default: // opMax, String
+		for j, ri := range sel {
+			i := int(ri)
+			if v.nulls != nil && v.null(i) {
+				continue
+			}
+			acc := &accs[int(gids[j])*stride+k]
+			if x := v.strs[i]; acc.n == 0 || x > acc.s {
+				acc.s = x
+			}
+			acc.n++
+		}
+	}
+}
+
+// mergePartials folds the per-morsel partials together in morsel index
+// order. First-seen group order across ordered morsels equals the row
+// engine's scan order, and ordered merging makes float results
+// independent of worker count.
+func (vp *vecPlan) mergePartials(parts []*vecPartial) *vecPartial {
+	out := vp.newPartial()
+	for _, part := range parts {
+		if part == nil {
+			continue
+		}
+		for _, g := range part.groups {
+			var tgt *vecGroup
+			switch {
+			case len(vp.groupCols) == 0:
+				if len(out.groups) > 0 {
+					tgt = out.groups[0]
+				}
+			case g.isNull:
+				tgt = out.nullG
+			case vp.singleNum:
+				tgt = out.num[g.knum]
+			default:
+				tgt = out.str[g.kstr]
+			}
+			if tgt == nil {
+				out.groups = append(out.groups, g)
+				switch {
+				case len(vp.groupCols) == 0:
+				case g.isNull:
+					out.nullG = g
+				case vp.singleNum:
+					out.num[g.knum] = g
+				default:
+					out.str[g.kstr] = g
+				}
+				continue
+			}
+			tgt.n += g.n
+			for k := range vp.aggs {
+				mergeAcc(&vp.aggs[k], &tgt.st[k], &g.st[k])
+			}
+		}
+	}
+	return out
+}
+
+// mergeAcc folds accumulator b (from a later morsel) into a.
+func mergeAcc(ag *vecAgg, a, b *vecAcc) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	switch ag.op {
+	case opCount:
+		a.n += b.n
+	case opSum, opAvg:
+		if ag.typ == value.Integer {
+			a.i += b.i
+		} else {
+			a.f += b.f
+		}
+		a.n += b.n
+	case opMin:
+		switch ag.typ {
+		case value.Integer:
+			if b.i < a.i {
+				a.i = b.i
+			}
+		case value.Float:
+			if b.f < a.f {
+				a.f = b.f
+			}
+		default:
+			if b.s < a.s {
+				a.s = b.s
+			}
+		}
+		a.n += b.n
+	case opMax:
+		switch ag.typ {
+		case value.Integer:
+			if b.i > a.i {
+				a.i = b.i
+			}
+		case value.Float:
+			if b.f > a.f {
+				a.f = b.f
+			}
+		default:
+			if b.s > a.s {
+				a.s = b.s
+			}
+		}
+		a.n += b.n
+	}
+}
+
+// result boxes a finalized accumulator, reproducing aggState.result
+// exactly: empty inputs yield NULL (typed Float, as the row engine
+// does), SUM over an integer column stays an integer, AVG divides the
+// exact integer sum.
+func (ag *vecAgg) result(acc *vecAcc) value.Value {
+	switch ag.op {
+	case opCount:
+		return value.NewInt(acc.n)
+	case opSum:
+		if acc.n == 0 {
+			return value.Null(value.Float)
+		}
+		if ag.typ == value.Integer {
+			return value.NewInt(acc.i)
+		}
+		return value.NewFloat(acc.f)
+	case opAvg:
+		if acc.n == 0 {
+			return value.Null(value.Float)
+		}
+		if ag.typ == value.Integer {
+			return value.NewFloat(float64(acc.i) / float64(acc.n))
+		}
+		return value.NewFloat(acc.f / float64(acc.n))
+	case opMin, opMax:
+		if acc.n == 0 {
+			return value.Null(value.Float)
+		}
+		switch ag.typ {
+		case value.Integer:
+			return value.NewInt(acc.i)
+		case value.Float:
+			return value.NewFloat(acc.f)
+		}
+		return value.NewString(acc.s)
+	}
+	return value.Null(value.Float)
+}

@@ -1,0 +1,443 @@
+package sqldb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"perfbase/internal/value"
+)
+
+// fmtResult renders a result canonically so two engines can be
+// compared byte-for-byte.
+func fmtResult(res *Result) string {
+	var b strings.Builder
+	for _, row := range res.Rows {
+		for j, v := range row {
+			if j > 0 {
+				b.WriteByte('\t')
+			}
+			b.WriteString(v.String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// vecTestDBs builds two databases with identical content: one with the
+// vectorized path enabled (the default), one forced onto the row
+// engine. Every query in the agreement tests runs on both.
+func vecTestDBs(t *testing.T, stmts []string) (*DB, *DB) {
+	t.Helper()
+	vdb, rdb := NewMemory(), NewMemory()
+	rdb.SetVectorized(false)
+	for _, sql := range stmts {
+		if _, err := vdb.Exec(sql); err != nil {
+			t.Fatalf("setup %q: %v", sql, err)
+		}
+		if _, err := rdb.Exec(sql); err != nil {
+			t.Fatalf("setup %q (row db): %v", sql, err)
+		}
+	}
+	return vdb, rdb
+}
+
+func checkAgree(t *testing.T, vdb, rdb *DB, queries []string) {
+	t.Helper()
+	for _, sql := range queries {
+		vres, verr := vdb.Exec(sql)
+		rres, rerr := rdb.Exec(sql)
+		if (verr == nil) != (rerr == nil) {
+			t.Fatalf("%q: vectorized err=%v, row err=%v", sql, verr, rerr)
+		}
+		if verr != nil {
+			continue
+		}
+		if v, r := fmtResult(vres), fmtResult(rres); v != r {
+			t.Errorf("%q: paths disagree\nvectorized:\n%srow:\n%s", sql, v, r)
+		}
+	}
+}
+
+// TestVectorRowAgreement runs a battery of qualifying (and some
+// disqualifying) statements over a table covering every vectorizable
+// type, with NULLs and NaN, and requires the vectorized and row paths
+// to agree byte-for-byte.
+func TestVectorRowAgreement(t *testing.T) {
+	setup := []string{
+		"CREATE TABLE t (i integer, f float, s string, b boolean, ver version)",
+	}
+	vdb, rdb := vecTestDBs(t, setup)
+	// Rows go in through InsertRows so NaN and NULL land exactly.
+	cols := []string{"i", "f", "s", "b", "ver"}
+	var rows []Row
+	rng := rand.New(rand.NewSource(7))
+	for k := 0; k < 900; k++ {
+		var r Row
+		if k%17 == 0 {
+			r = Row{value.Null(value.Integer), value.Null(value.Float),
+				value.Null(value.String), value.Null(value.Boolean), value.Null(value.Version)}
+		} else {
+			f := float64(rng.Intn(64)) * 0.25
+			if k%23 == 0 {
+				f = math.NaN()
+			}
+			r = Row{
+				value.NewInt(int64(rng.Intn(40) - 20)),
+				value.NewFloat(f),
+				value.NewString(fmt.Sprintf("s%02d", rng.Intn(12))),
+				value.NewBool(k%3 == 0),
+				value.NewVersion(fmt.Sprintf("1.%d.%d", rng.Intn(3), rng.Intn(4))),
+			}
+		}
+		rows = append(rows, r)
+	}
+	for _, db := range []*DB{vdb, rdb} {
+		if _, err := db.InsertRows("t", cols, rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queries := []string{
+		// Comparison kernels, every operator and operand class.
+		"SELECT COUNT(*) FROM t WHERE i = 5",
+		"SELECT COUNT(*) FROM t WHERE i <> 5",
+		"SELECT COUNT(*) FROM t WHERE i < 0",
+		"SELECT COUNT(*) FROM t WHERE i <= -1",
+		"SELECT COUNT(*) FROM t WHERE i > 10",
+		"SELECT COUNT(*) FROM t WHERE i >= 10",
+		"SELECT COUNT(*) FROM t WHERE 3 < i",
+		"SELECT COUNT(*) FROM t WHERE i > 2.5",
+		"SELECT COUNT(*) FROM t WHERE f = 1.25",
+		"SELECT COUNT(*) FROM t WHERE f > 8",
+		"SELECT COUNT(*) FROM t WHERE s >= 's06'",
+		"SELECT COUNT(*) FROM t WHERE s = 's03'",
+		"SELECT COUNT(*) FROM t WHERE b = TRUE",
+		"SELECT COUNT(*) FROM t WHERE b",
+		// NULL tests, IN, BETWEEN, and/or composition.
+		"SELECT COUNT(*) FROM t WHERE i IS NULL",
+		"SELECT COUNT(*) FROM t WHERE f IS NOT NULL",
+		"SELECT COUNT(*) FROM t WHERE i IN (1, 2, 3)",
+		"SELECT COUNT(*) FROM t WHERE i NOT IN (1, 2, 3)",
+		"SELECT COUNT(*) FROM t WHERE i IN (1, 2.5, 3)",
+		"SELECT COUNT(*) FROM t WHERE s IN ('s01', 's05', 'zzz')",
+		"SELECT COUNT(*) FROM t WHERE i BETWEEN -3 AND 7",
+		"SELECT COUNT(*) FROM t WHERE i NOT BETWEEN -3 AND 7",
+		"SELECT COUNT(*) FROM t WHERE f BETWEEN 1.5 AND 9.75",
+		"SELECT COUNT(*) FROM t WHERE s BETWEEN 's02' AND 's08'",
+		"SELECT COUNT(*) FROM t WHERE i > 0 AND f < 10",
+		"SELECT COUNT(*) FROM t WHERE i > 15 OR i < -15",
+		"SELECT COUNT(*) FROM t WHERE (i > 0 AND b) OR s = 's00'",
+		// Non-grouped filtered projection.
+		"SELECT i, f, s FROM t WHERE i > 12",
+		"SELECT * FROM t WHERE i = 7",
+		"SELECT i + 1, s FROM t WHERE i > 17",
+		// Aggregate kernels, single/multi group keys, HAVING, tails.
+		"SELECT COUNT(*), COUNT(i), COUNT(f), COUNT(s) FROM t",
+		"SELECT SUM(i), MIN(i), MAX(i), AVG(i) FROM t",
+		"SELECT SUM(f), MIN(f), MAX(f) FROM t WHERE f < 100",
+		"SELECT MIN(s), MAX(s) FROM t",
+		"SELECT s, COUNT(*), SUM(i) FROM t GROUP BY s ORDER BY s",
+		"SELECT i, COUNT(*) FROM t GROUP BY i ORDER BY i",
+		"SELECT b, COUNT(*), AVG(i) FROM t GROUP BY b ORDER BY b",
+		"SELECT f, COUNT(*) FROM t GROUP BY f ORDER BY f",
+		"SELECT ver, COUNT(*) FROM t GROUP BY ver ORDER BY ver",
+		"SELECT s, b, COUNT(*), MAX(f) FROM t GROUP BY s, b ORDER BY s, b",
+		"SELECT s, SUM(i) FROM t GROUP BY s HAVING SUM(i) > 0 ORDER BY s",
+		"SELECT s, COUNT(*) FROM t WHERE i > 0 GROUP BY s ORDER BY s",
+		"SELECT s, COUNT(*) FROM t GROUP BY s ORDER BY COUNT(*) DESC, s LIMIT 4",
+		"SELECT i, f FROM t WHERE i > 5 ORDER BY i, f LIMIT 10 OFFSET 3",
+		// Aggregates over empty input (one NULL-rep group, no GROUP BY).
+		"SELECT COUNT(*), SUM(i), MIN(f), AVG(i) FROM t WHERE i > 1000",
+		"SELECT s, COUNT(*) FROM t WHERE i > 1000 GROUP BY s",
+		// Shapes that must fall back (NOT, LIKE, expression aggregates,
+		// DISTINCT aggregates) — agreement still required.
+		"SELECT COUNT(*) FROM t WHERE NOT (i > 0)",
+		"SELECT COUNT(*) FROM t WHERE s LIKE 's0%'",
+		"SELECT SUM(i + 1) FROM t",
+		"SELECT COUNT(DISTINCT s) FROM t",
+		"SELECT MEDIAN(i) FROM t",
+	}
+	checkAgree(t, vdb, rdb, queries)
+}
+
+// TestVectorAgreementAfterMutations checks the chunk-identity cache
+// keying: UPDATE/DELETE/INSERT produce fresh chunks whose vectors must
+// be rebuilt, never served stale.
+func TestVectorAgreementAfterMutations(t *testing.T) {
+	setup := []string{
+		"CREATE TABLE t (i integer, s string)",
+	}
+	vdb, rdb := vecTestDBs(t, setup)
+	step := func(sql string) {
+		t.Helper()
+		for _, db := range []*DB{vdb, rdb} {
+			if _, err := db.Exec(sql); err != nil {
+				t.Fatalf("%q: %v", sql, err)
+			}
+		}
+	}
+	queries := []string{
+		"SELECT s, COUNT(*), SUM(i) FROM t GROUP BY s ORDER BY s",
+		"SELECT i, s FROM t WHERE i >= 2 ORDER BY i",
+	}
+	for k := 0; k < 30; k++ {
+		step(fmt.Sprintf("INSERT INTO t VALUES (%d, 'g%d')", k, k%3))
+	}
+	checkAgree(t, vdb, rdb, queries) // populate the column cache
+	step("UPDATE t SET i = i + 100 WHERE s = 'g1'")
+	checkAgree(t, vdb, rdb, queries)
+	step("DELETE FROM t WHERE i < 5")
+	checkAgree(t, vdb, rdb, queries)
+	step("INSERT INTO t VALUES (7, 'g0'), (8, 'g1')")
+	checkAgree(t, vdb, rdb, queries)
+	step("DELETE FROM t WHERE i >= 0") // empty table, empty chunk
+	checkAgree(t, vdb, rdb, queries)
+}
+
+// TestVectorMorselDeterminism requires byte-identical results at any
+// worker count on a table large enough to engage the parallel path.
+func TestVectorMorselDeterminism(t *testing.T) {
+	db := NewMemory()
+	if _, err := db.Exec("CREATE TABLE big (k integer, g string, v integer)"); err != nil {
+		t.Fatal(err)
+	}
+	cols := []string{"k", "g", "v"}
+	var rows []Row
+	for k := 0; k < 3*vecParallelMinRows; k++ {
+		rows = append(rows, Row{
+			value.NewInt(int64(k)),
+			value.NewString(fmt.Sprintf("g%d", k%37)),
+			value.NewInt(int64(k%211 - 100)),
+		})
+	}
+	if _, err := db.InsertRows("big", cols, rows); err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"SELECT g, COUNT(*), SUM(v), MIN(v), MAX(v), AVG(v) FROM big GROUP BY g ORDER BY g",
+		"SELECT COUNT(*) FROM big WHERE v > 50",
+		"SELECT k, v FROM big WHERE v = 17 ORDER BY k",
+	}
+	var want []string
+	db.SetScanWorkers(1)
+	for _, q := range queries {
+		res, err := db.Exec(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, fmtResult(res))
+	}
+	for _, workers := range []int{2, 4, 8} {
+		db.SetScanWorkers(workers)
+		for i, q := range queries {
+			res, err := db.Exec(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := fmtResult(res); got != want[i] {
+				t.Errorf("workers=%d: %q differs from single-worker result", workers, q)
+			}
+		}
+	}
+}
+
+// TestColumnCacheEviction checks the bytes-capped LRU: the cache never
+// exceeds its limit, shrinking evicts immediately, and dropping a
+// table purges its vectors so dead chunks cannot stay pinned.
+func TestColumnCacheEviction(t *testing.T) {
+	db := NewMemory()
+	if _, err := db.Exec("CREATE TABLE t (a integer, b integer)"); err != nil {
+		t.Fatal(err)
+	}
+	var rows []Row
+	for k := 0; k < 10000; k++ {
+		rows = append(rows, Row{value.NewInt(int64(k)), value.NewInt(int64(k % 7))})
+	}
+	if _, err := db.InsertRows("t", []string{"a", "b"}, rows); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("SELECT b, COUNT(*), SUM(a) FROM t GROUP BY b"); err != nil {
+		t.Fatal(err)
+	}
+	entries, bytes := db.env.cache.stats()
+	if entries == 0 || bytes == 0 {
+		t.Fatalf("expected cached vectors after a vectorized query, got entries=%d bytes=%d", entries, bytes)
+	}
+	// Shrink below the current footprint: immediate eviction.
+	db.ColumnCacheLimit(bytes / 2)
+	if _, nb := db.env.cache.stats(); nb > bytes/2 {
+		t.Fatalf("cache holds %d bytes after limit set to %d", nb, bytes/2)
+	}
+	db.ColumnCacheLimit(colCacheDefaultBytes)
+	if _, err := db.Exec("SELECT b, COUNT(*), SUM(a) FROM t GROUP BY b"); err != nil {
+		t.Fatal(err)
+	}
+	// DROP TABLE must purge the table's vectors outright.
+	if _, err := db.Exec("DROP TABLE t"); err != nil {
+		t.Fatal(err)
+	}
+	if entries, _ := db.env.cache.stats(); entries != 0 {
+		t.Fatalf("cache still holds %d entries after DROP TABLE", entries)
+	}
+}
+
+// TestColumnCachePutRace exercises first-put-wins: concurrent builders
+// of the same vector must converge on one shared copy.
+func TestColumnCachePutRace(t *testing.T) {
+	c := &colCache{limit: 1 << 20}
+	chunk := []Row{{value.NewInt(1)}, {value.NewInt(2)}}
+	var wg sync.WaitGroup
+	got := make([]*colVec, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got[w] = c.colFor("t", chunk, 0, value.Integer)
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < 8; w++ {
+		if got[w] != got[0] {
+			t.Fatalf("builder %d got a different vector than builder 0", w)
+		}
+	}
+	if entries, _ := c.stats(); entries != 1 {
+		t.Fatalf("expected 1 cache entry, got %d", entries)
+	}
+}
+
+// TestVectorConcurrentReaders stress-builds the column cache from many
+// readers while bulk imports publish new snapshots — the -race CI job
+// runs this with the detector on.
+func TestVectorConcurrentReaders(t *testing.T) {
+	db := NewMemory()
+	if _, err := db.Exec("CREATE TABLE r (g string, v integer)"); err != nil {
+		t.Fatal(err)
+	}
+	db.ColumnCacheLimit(1 << 20) // force eviction churn too
+	cols := []string{"g", "v"}
+	batch := func(base int) []Row {
+		rows := make([]Row, 2000)
+		for k := range rows {
+			rows[k] = Row{value.NewString(fmt.Sprintf("g%d", (base+k)%11)), value.NewInt(int64(k))}
+		}
+		return rows
+	}
+	if _, err := db.InsertRows("r", cols, batch(0)); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := db.Exec("SELECT g, COUNT(*), SUM(v) FROM r GROUP BY g"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 1; i <= 8; i++ {
+		if _, err := db.InsertRows("r", cols, batch(i)); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	res, err := db.Exec("SELECT COUNT(*) FROM r WHERE v >= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.Rows[0][0].Int(); n != 9*2000 {
+		t.Fatalf("COUNT(*) = %d, want %d", n, 9*2000)
+	}
+}
+
+// TestTopKIndices compares the bounded heap against a full stable sort
+// across sizes and heavy ties; the kept prefix must be identical,
+// including tie order.
+func TestTopKIndices(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(60)
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = rng.Intn(7) // many duplicates → ties matter
+		}
+		less := func(a, b int) bool { return vals[a] < vals[b] }
+		full := make([]int, n)
+		for i := range full {
+			full[i] = i
+		}
+		sort.SliceStable(full, func(a, b int) bool { return less(full[a], full[b]) })
+		for _, k := range []int{0, 1, 2, n / 2, n, n + 3} {
+			got := topKIndices(n, k, less)
+			want := full
+			if k < n {
+				want = full[:k]
+			}
+			if len(got) != len(want) {
+				t.Fatalf("n=%d k=%d: got %d indexes, want %d", n, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d k=%d: index %d = %d, want %d (vals=%v)", n, k, i, got[i], want[i], vals)
+				}
+			}
+		}
+	}
+}
+
+// TestVectorExplain checks the plan labels: [vectorized]/[morsels=N]
+// on qualifying statements, the classic fused line otherwise, and
+// [topk k=N] on ORDER BY ... LIMIT.
+func TestVectorExplain(t *testing.T) {
+	db := NewMemory()
+	if _, err := db.Exec("CREATE TABLE e (g string, v integer)"); err != nil {
+		t.Fatal(err)
+	}
+	var rows []Row
+	for k := 0; k < 2*vecMorselRows; k++ {
+		rows = append(rows, Row{value.NewString("g"), value.NewInt(int64(k))})
+	}
+	if _, err := db.InsertRows("e", []string{"g", "v"}, rows); err != nil {
+		t.Fatal(err)
+	}
+	plan := func(sql string) string {
+		res, err := db.Exec(sql)
+		if err != nil {
+			t.Fatalf("%q: %v", sql, err)
+		}
+		return fmtResult(res)
+	}
+	vec := plan("EXPLAIN SELECT g, COUNT(*) FROM e GROUP BY g")
+	if !strings.Contains(vec, "[vectorized]") || !strings.Contains(vec, "[morsels=2]") {
+		t.Errorf("vectorized plan missing labels:\n%s", vec)
+	}
+	row := plan("EXPLAIN SELECT g FROM e WHERE g LIKE 'g%'")
+	if strings.Contains(row, "[vectorized]") {
+		t.Errorf("LIKE filter must not be labelled vectorized:\n%s", row)
+	}
+	topk := plan("EXPLAIN SELECT v FROM e WHERE v > 3 ORDER BY v LIMIT 5 OFFSET 2")
+	if !strings.Contains(topk, "[topk k=7]") {
+		t.Errorf("plan missing [topk k=7]:\n%s", topk)
+	}
+	db.SetVectorized(false)
+	off := plan("EXPLAIN SELECT g, COUNT(*) FROM e GROUP BY g")
+	if strings.Contains(off, "[vectorized]") {
+		t.Errorf("disabled path still labelled vectorized:\n%s", off)
+	}
+}
