@@ -13,8 +13,14 @@
 # criterion compares vec against row ns/op — plus morsel worker
 # scaling at GOMAXPROCS=4, where the ≥1.7× criterion compares
 # workers=4 against workers=1; those names carry Go's -4 proc
-# suffix). Re-run after engine changes and compare the committed
-# numbers in CHANGES.md.
+# suffix); BENCH_PR6.json holds the columnar block-storage numbers
+# (cold selective scan with zone maps vs disabled — the ≥3× criterion
+# compares nozone against zone ns/op — a skip-ratio sweep, cold
+# hydration from compressed blocks vs row rebuild, and the on-disk
+# size of columns.blk vs the gob row snapshot, where the ≥2×
+# criterion compares GobRowSnapshotBytes against BlockFileBytes).
+# Re-run after engine changes and compare the committed numbers in
+# CHANGES.md.
 set -eu
 cd "$(dirname "$0")"
 
@@ -22,7 +28,8 @@ TMP1=$(mktemp)
 TMP2=$(mktemp)
 TMP4=$(mktemp)
 TMP5=$(mktemp)
-trap 'rm -f "$TMP1" "$TMP2" "$TMP4" "$TMP5"' EXIT
+TMP6=$(mktemp)
+trap 'rm -f "$TMP1" "$TMP2" "$TMP4" "$TMP5" "$TMP6"' EXIT
 
 go test -run '^$' -bench \
   'BenchmarkExprDerived$|BenchmarkFig3_ParallelSpeedupTCP$' \
@@ -78,9 +85,21 @@ GOMAXPROCS=1 go test -run '^$' -bench \
 GOMAXPROCS=4 go test -run '^$' -bench 'BenchmarkVectorMorselScan$' \
   -benchmem -count=1 ./internal/sqldb | tee -a "$TMP5"
 
+# PR6: disk-backed compressed column blocks. Cold selective scan
+# (zone-map pruning vs disabled), the skip-ratio sweep, hydration from
+# compressed blocks vs row rebuild, and the compression gate
+# (TestBlockCompressionSizes prints both file sizes as
+# benchmark-format lines so the same parser captures them).
+go test -run '^$' -bench \
+  'BenchmarkColdScanSelective$|BenchmarkColdScanSkipRatio$|BenchmarkColdVectorHydration$' \
+  -benchmem -count=1 ./internal/sqldb | tee -a "$TMP6"
+go test -run 'TestBlockCompressionSizes$' -count=1 -v ./internal/sqldb \
+  | grep '^Benchmark' | tee -a "$TMP6"
+
 to_json "$TMP1" BENCH_PR1.json
 to_json "$TMP2" BENCH_PR2.json
 to_json "$TMP4" BENCH_PR4.json
 to_json "$TMP5" BENCH_PR5.json
+to_json "$TMP6" BENCH_PR6.json
 
-echo "wrote BENCH_PR1.json, BENCH_PR2.json, BENCH_PR4.json and BENCH_PR5.json"
+echo "wrote BENCH_PR1.json, BENCH_PR2.json, BENCH_PR4.json, BENCH_PR5.json and BENCH_PR6.json"

@@ -49,6 +49,17 @@ type execEnv struct {
 	// the differential fuzzer and the ablation benchmarks to compare
 	// the two paths. See DB.SetVectorized.
 	vecDisabled atomic.Bool
+	// blocks is the current columnar block store (colblock.go), swapped
+	// whole by Checkpoint and Open; nil when no block file is loaded.
+	blocks atomic.Pointer[blockStore]
+	// zoneOff disables zone-map block skipping (the ablation switch
+	// behind DB.SetZoneMaps); blocks still hydrate vectors.
+	zoneOff atomic.Bool
+	// blkScanned/blkSkipped count block-resident morsels that were
+	// decoded vs pruned by a zone map, for EXPLAIN-adjacent observability
+	// and the skipping tests. See DB.BlockStats.
+	blkScanned atomic.Int64
+	blkSkipped atomic.Int64
 }
 
 func newExecEnv() *execEnv {
@@ -197,11 +208,14 @@ func buildColVec(chunk []Row, ci int, typ value.Type) *colVec {
 	return v
 }
 
-// chunkColKey identifies one cached vector: the chunk (by the address
-// of its first row — chunks are never empty in the cache, never move,
-// and never mutate once published) and the column index.
+// chunkColKey identifies one cached vector: the chunk region (by the
+// address of its first row — chunks are never empty in the cache,
+// never move, and never mutate once published — plus its row count, so
+// a whole-chunk vector and a block vector starting at the same row get
+// distinct keys) and the column index.
 type chunkColKey struct {
 	chunk *Row
+	n     int
 	col   int
 }
 
@@ -311,7 +325,7 @@ func (c *colCache) stats() (entries, bytes int) {
 // colFor returns the vector for column ci of chunk, building and
 // caching it on miss.
 func (c *colCache) colFor(tableKey string, chunk []Row, ci int, typ value.Type) *colVec {
-	key := chunkColKey{chunk: &chunk[0], col: ci}
+	key := chunkColKey{chunk: &chunk[0], n: len(chunk), col: ci}
 	if v := c.get(key); v != nil {
 		return v
 	}
@@ -320,6 +334,26 @@ func (c *colCache) colFor(tableKey string, chunk []Row, ci int, typ value.Type) 
 		return nil
 	}
 	return c.put(key, tableKey, v)
+}
+
+// blockVec returns the vector for one block's rows (a sub-slice of a
+// chunk), hydrating from the block store's compressed column block
+// when possible and falling back to a row-chunk walk when the block
+// cannot be read (CRC mismatch, injected read failure, closed file
+// after a store swap). Results are cached under the block's own key.
+func (e *execEnv) blockVec(tableKey string, rows []Row, ci int, typ value.Type, st *blockStore, sc *storeChunk, bi int) *colVec {
+	key := chunkColKey{chunk: &rows[0], n: len(rows), col: ci}
+	if v := e.cache.get(key); v != nil {
+		return v
+	}
+	v, err := st.readBlock(sc, ci, bi)
+	if err != nil || v == nil {
+		v = buildColVec(rows, ci, typ)
+	}
+	if v == nil {
+		return nil
+	}
+	return e.cache.put(key, tableKey, v)
 }
 
 // SetScanWorkers fixes the number of morsel workers a vectorized scan
@@ -336,3 +370,27 @@ func (db *DB) SetVectorized(on bool) { db.env.vecDisabled.Store(!on) }
 // ColumnCacheLimit adjusts the byte cap of the columnar projection
 // cache (default 64 MiB). Shrinking it evicts immediately.
 func (db *DB) ColumnCacheLimit(bytes int) { db.env.cache.setLimit(bytes) }
+
+// SetZoneMaps enables or disables zone-map block skipping (default:
+// enabled). With it disabled every block-resident morsel is decoded
+// and scanned; block-backed vector hydration is unaffected. The
+// skip-ratio benchmarks use the disabled mode as the ablation
+// baseline.
+func (db *DB) SetZoneMaps(on bool) { db.env.zoneOff.Store(!on) }
+
+// BlockStats reports how many block-resident morsels the vectorized
+// scan path has decoded (scanned) and pruned via zone maps (skipped)
+// since the database was opened.
+func (db *DB) BlockStats() (scanned, skipped int64) {
+	return db.env.blkScanned.Load(), db.env.blkSkipped.Load()
+}
+
+// swapBlockStore atomically installs a new block store (nil to drop)
+// and closes the previous one's file handle. In-flight readers holding
+// the old store see read errors and fall back to row-chunk builds.
+func (db *DB) swapBlockStore(s *blockStore) {
+	old := db.env.blocks.Swap(s)
+	if old != nil {
+		old.close()
+	}
+}

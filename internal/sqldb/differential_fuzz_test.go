@@ -12,9 +12,13 @@
 //  4. a row-engine twin: the same engine with SetVectorized(false),
 //     so every query the vectorized path serves is also answered by
 //     the row-at-a-time reference executor and must match it
-//     byte-for-byte.
+//     byte-for-byte, and
+//  5. a block-backed twin: a durable engine whose column cache is
+//     capped at ~0 bytes and which checkpoints periodically, so its
+//     vectorized scans hydrate from compressed column blocks on disk
+//     (decode + zone-map pruning) instead of RAM-resident vectors.
 //
-// At every generated SELECT the four answers must agree exactly
+// At every generated SELECT the five answers must agree exactly
 // (floats within 1e-9 for AVG against the model; engine-vs-engine
 // comparisons are byte-identical — the fuzz schema keeps aggregate
 // columns integer, where the vectorized kernels are exact). The
@@ -47,11 +51,13 @@ type diffState struct {
 	t     *testing.T
 	db    *sqldb.DB    // oracle 1: in-process engine (vectorized)
 	rdb   *sqldb.DB    // oracle 4: same engine, row path forced
+	bdb   *sqldb.DB    // oracle 5: durable engine, cold block-backed scans
 	wc    *wire.Client // oracle 3: same statements over TCP
 	model []mrow       // oracle 2: naive reference
 	saved []mrow       // model backup for ROLLBACK
 	inTxn bool
 	nextK int64
+	muts  int // mutations since open, drives bdb checkpoints
 	// pending statements not yet applied to the wire mirror; flushed
 	// alternately via ExecPipeline and via per-statement Exec so both
 	// transports are exercised.
@@ -69,6 +75,19 @@ func (s *diffState) exec(sql string) {
 	}
 	if _, err := s.rdb.Exec(sql); err != nil {
 		s.t.Fatalf("row-path engine rejected generated statement %q: %v", sql, err)
+	}
+	if _, err := s.bdb.Exec(sql); err != nil {
+		s.t.Fatalf("block-backed engine rejected generated statement %q: %v", sql, err)
+	}
+	// Periodic checkpoints re-encode the table into compressed column
+	// blocks and install the new block store, so later SELECTs on the
+	// cold-cache twin decode from disk. Never inside a transaction: the
+	// checkpoint would fold an uncommitted overlay into the snapshot.
+	s.muts++
+	if !s.inTxn && sql != "BEGIN" && s.muts%7 == 0 {
+		if err := s.bdb.Checkpoint(); err != nil {
+			s.t.Fatalf("block-backed engine checkpoint: %v", err)
+		}
 	}
 	s.pending = append(s.pending, sqldb.PipelineRequest{SQL: sql})
 }
@@ -136,6 +155,13 @@ func (s *diffState) query(sql string) *sqldb.Result {
 	}
 	if eng, row := resultString(res), resultString(rres); eng != row {
 		s.t.Fatalf("vectorized and row paths disagree on %q:\nvectorized:\n%srow:\n%s", sql, eng, row)
+	}
+	bres, err := s.bdb.Exec(sql)
+	if err != nil {
+		s.t.Fatalf("block-backed engine rejected generated query %q: %v", sql, err)
+	}
+	if eng, blk := resultString(res), resultString(bres); eng != blk {
+		s.t.Fatalf("RAM-resident and block-backed scans disagree on %q:\nRAM:\n%sblocks:\n%s", sql, eng, blk)
 	}
 	s.flush()
 	wres, err := s.wc.Exec(sql)
@@ -307,7 +333,13 @@ func FuzzSQLDifferential(f *testing.F) {
 
 		rdb := sqldb.NewMemory()
 		rdb.SetVectorized(false)
-		s := &diffState{t: t, db: db, rdb: rdb, wc: wc}
+		bdb, err := sqldb.OpenWithPolicy(t.TempDir(), sqldb.SyncOff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer bdb.Close()
+		bdb.ColumnCacheLimit(0) // every vector hydration decodes from disk
+		s := &diffState{t: t, db: db, rdb: rdb, bdb: bdb, wc: wc}
 		s.exec("CREATE TABLE m (k integer, grp string, v integer)")
 
 		// Each opcode consumes one selector byte plus up to two operand

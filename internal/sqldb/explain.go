@@ -50,6 +50,9 @@ func (db *DB) execExplain(sn *snapshot, st *ExplainStmt) (*Result, error) {
 		if p, err := sn.planSelect(q); err == nil && p.vec != nil && db.env != nil && !db.env.vecDisabled.Load() {
 			vec = true
 			add("fused single pass: batch scan, filter, aggregate [vectorized] [morsels=%d]", vecMorselCount(t))
+			if line := db.explainBlocks(t, p.vec); line != "" {
+				add("%s", line)
+			}
 		}
 		if !vec {
 			add("fused single pass: scan, filter, project/aggregate")
@@ -172,6 +175,66 @@ func (db *DB) execExplain(sn *snapshot, st *ExplainStmt) (*Result, error) {
 		res.Rows = append(res.Rows, Row{value.NewString(l)})
 	}
 	return res, nil
+}
+
+// explainBlocks reports how the columnar block store would serve the
+// vectorized scan: how many blocks would be decoded vs pruned by the
+// plan's zone predicate (evaluated statically against the block
+// index's zone maps, no data touched), plus the dominant encoding of
+// each column the plan reads. Empty when no chunk of the table is
+// block-resident.
+func (db *DB) explainBlocks(t *table, vp *vecPlan) string {
+	store := db.env.blocks.Load()
+	if store == nil {
+		return ""
+	}
+	zoneOn := vp.zone != nil && !db.env.zoneOff.Load()
+	scanned, skipped := 0, 0
+	resident := false
+	for _, ch := range t.chunks {
+		sc := store.chunkFor(ch)
+		if sc == nil {
+			continue
+		}
+		resident = true
+		for lo := 0; lo < len(ch); lo += vecMorselRows {
+			bi := lo / vecMorselRows
+			nrows := min(lo+vecMorselRows, len(ch)) - lo
+			if zoneOn {
+				meta := func(ci int) *blockMeta {
+					if ci >= len(sc.cols) || bi >= len(sc.cols[ci].Blocks) {
+						return nil
+					}
+					b := &sc.cols[ci].Blocks[bi]
+					if b.Rows != nrows {
+						return nil
+					}
+					return b
+				}
+				if vp.zone(meta) {
+					skipped++
+					continue
+				}
+			}
+			scanned++
+		}
+	}
+	if !resident {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "column blocks [blocks=%d/%d]", scanned, skipped)
+	if labels := store.encs[vp.tableKey]; labels != nil {
+		cols := append([]int(nil), vp.cols...)
+		sort.Ints(cols)
+		b.WriteString(" enc")
+		for _, ci := range cols {
+			if ci < len(labels) && ci < len(t.schema) {
+				fmt.Fprintf(&b, " %s=%s", t.schema[ci].Name, labels[ci])
+			}
+		}
+	}
+	return b.String()
 }
 
 // explainIndexProbe mirrors indexedScan's decision without touching

@@ -91,3 +91,43 @@ func TestExplainErrors(t *testing.T) {
 		t.Errorf("table-less plan:\n%s", p)
 	}
 }
+
+// TestExplainBlockSkipping: EXPLAIN on a block-resident table reports
+// the zone-map pruning decision — how many blocks the scan would
+// decode vs skip — plus the dominant encoding of each plan column.
+func TestExplainBlockSkipping(t *testing.T) {
+	dir := t.TempDir()
+	db := blockTestDB(t, dir, 3*vecMorselRows) // 3 blocks per column
+	defer db.Close()
+
+	// k is increasing, so k < 100 touches only the first block.
+	p := plan(t, db, "EXPLAIN SELECT COUNT(*), SUM(v) FROM bench WHERE k < 100")
+	if !strings.Contains(p, "column blocks [blocks=1/2]") {
+		t.Errorf("plan missing block-skip report:\n%s", p)
+	}
+	if !strings.Contains(p, "k=delta") {
+		t.Errorf("plan missing the k column's delta encoding label:\n%s", p)
+	}
+
+	// With zone maps disabled every block is decoded.
+	db.SetZoneMaps(false)
+	p = plan(t, db, "EXPLAIN SELECT COUNT(*), SUM(v) FROM bench WHERE k < 100")
+	if !strings.Contains(p, "column blocks [blocks=3/0]") {
+		t.Errorf("zone-disabled plan should decode all blocks:\n%s", p)
+	}
+	db.SetZoneMaps(true)
+
+	// An unselective predicate prunes nothing.
+	p = plan(t, db, "EXPLAIN SELECT COUNT(*) FROM bench WHERE k >= 0")
+	if !strings.Contains(p, "column blocks [blocks=3/0]") {
+		t.Errorf("unselective plan should decode all blocks:\n%s", p)
+	}
+
+	// A memory database has no block store and no report line.
+	mem := NewMemory()
+	mustExec(t, mem, "CREATE TABLE m (a integer)")
+	mustExec(t, mem, "INSERT INTO m VALUES (1)")
+	if p := plan(t, mem, "EXPLAIN SELECT COUNT(*) FROM m WHERE a < 5"); strings.Contains(p, "column blocks") {
+		t.Errorf("memory plan should not mention column blocks:\n%s", p)
+	}
+}

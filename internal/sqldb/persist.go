@@ -475,7 +475,19 @@ func OpenWithPolicy(dir string, policy SyncPolicy) (*DB, error) {
 				schema[i] = Column{Name: c.Name, Type: value.Type(c.Type)}
 			}
 			t := newTable(ts.Name, schema, ts.Temp)
-			t.replaceRows(ts.Rows)
+			if chunkLensValid(ts.ChunkLens, len(ts.Rows)) {
+				// Rebuild the checkpoint's exact chunk structure so the
+				// columnar block file (indexed per chunk) stays
+				// addressable. No compacting seal — merging chunks here
+				// would detach them from their block index entries.
+				off := 0
+				for _, n := range ts.ChunkLens {
+					t.appendChunk(ts.Rows[off : off+n : off+n])
+					off += n
+				}
+			} else {
+				t.replaceRows(ts.Rows)
+			}
 			for _, col := range ts.Indexes {
 				ci := schema.Index(col)
 				if ci >= 0 {
@@ -484,10 +496,17 @@ func OpenWithPolicy(dir string, policy SyncPolicy) (*DB, error) {
 					t.indexes[lower(col)] = idx
 				}
 			}
-			t.seal()
+			t.mutable = false
 			tables[lower(ts.Name)] = t
 		}
 		db.state.Store(&snapshot{tables: tables, vers: map[string]int64{}, env: db.env})
+		// Attach the columnar block mirror if one survives from the same
+		// checkpoint generation. openBlockStore validates magic, epoch,
+		// CRC and chunk shapes and returns nil on ANY problem — the block
+		// file is derived data and must never fail recovery.
+		if bs := openBlockStore(filepath.Join(dir, blockFile), snapEpoch, tables); bs != nil {
+			db.env.blocks.Store(bs)
+		}
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, err
 	}
@@ -550,6 +569,24 @@ func OpenWithPolicy(dir string, policy SyncPolicy) (*DB, error) {
 	}
 	db.wal = w
 	return db, nil
+}
+
+// chunkLensValid reports whether lens is a usable partition of nrows:
+// non-empty, all-positive, summing exactly to nrows. Anything else
+// (older snapshots without the field, or a damaged one) falls back to
+// single-chunk loading.
+func chunkLensValid(lens []int, nrows int) bool {
+	if len(lens) == 0 {
+		return false
+	}
+	sum := 0
+	for _, n := range lens {
+		if n <= 0 {
+			return false
+		}
+		sum += n
+	}
+	return sum == nrows
 }
 
 // Recovery returns what the last Open found in the WAL. Zero value for
@@ -645,6 +682,12 @@ type tableSnap struct {
 	Cols    []colSnap
 	Rows    [][]value.Value
 	Indexes []string
+	// ChunkLens records the table's non-empty chunk lengths in storage
+	// order (they partition Rows). Open rebuilds the exact chunk
+	// structure from it so the columnar block file — whose block index
+	// is laid out per chunk — stays addressable after recovery. Absent
+	// (older snapshots), Rows load as one chunk.
+	ChunkLens []int
 }
 
 type colSnap struct {
@@ -681,6 +724,11 @@ func (db *DB) Checkpoint() error {
 			continue
 		}
 		ts := tableSnap{Name: t.name, Temp: t.temp, Rows: t.flat()}
+		for _, ch := range t.chunks {
+			if len(ch) > 0 {
+				ts.ChunkLens = append(ts.ChunkLens, len(ch))
+			}
+		}
 		for _, c := range t.schema {
 			ts.Cols = append(ts.Cols, colSnap{Name: c.Name, Type: int(c.Type)})
 		}
@@ -719,6 +767,12 @@ func (db *DB) Checkpoint() error {
 	if err := os.Rename(tmp, filepath.Join(db.dir, snapshotFile)); err != nil {
 		return err
 	}
+	// Columnar mirror of the snapshot (colblock.go). Derived data: a
+	// write failure is swallowed — the row snapshot above is the
+	// durability contract — and only costs block-backed hydration until
+	// the next checkpoint. A crash in this window leaves a block file
+	// whose epoch disagrees with the new snapshot; reopen discards it.
+	db.writeColumnBlocks(sn, snap.Epoch)
 	// Rotate the WAL: stop the old writer, recreate at the new epoch.
 	// A crash anywhere in this window leaves snapshot epoch E+1 with a
 	// WAL at epoch E, which recovery discards as stale — never
@@ -750,6 +804,50 @@ func (db *DB) Checkpoint() error {
 	return nil
 }
 
+// writeColumnBlocks persists the columnar mirror of the snapshot's
+// non-temp tables and swaps the in-process block store to the new
+// generation, so cold scans hydrate from compressed blocks without a
+// reopen. Best-effort: on any write failure the block file is removed
+// (it would be stale at the new epoch anyway) and the store cleared.
+func (db *DB) writeColumnBlocks(sn *snapshot, epoch uint64) {
+	path := filepath.Join(db.dir, blockFile)
+	names := make([]string, 0, len(sn.tables))
+	for k := range sn.tables {
+		if !sn.tables[k].temp {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	wts := make([]blockWriteTable, 0, len(names))
+	for _, k := range names {
+		t := sn.tables[k]
+		wt := blockWriteTable{name: t.name, chunks: t.chunks}
+		for _, c := range t.schema {
+			wt.names = append(wt.names, c.Name)
+			wt.types = append(wt.types, c.Type)
+		}
+		wts = append(wts, wt)
+	}
+	idx, err := writeBlockFile(path, epoch, wts)
+	if err != nil {
+		os.Remove(path)
+		db.swapBlockStore(nil)
+		return
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		db.swapBlockStore(nil)
+		return
+	}
+	tables := make(map[string]*table, len(sn.tables))
+	for k, t := range sn.tables {
+		if !t.temp {
+			tables[k] = t
+		}
+	}
+	db.swapBlockStore(buildBlockStore(f, path, epoch, idx, tables))
+}
+
 // Close checkpoints (when durable) and releases the database.
 func (db *DB) Close() error {
 	if db.dir != "" {
@@ -759,6 +857,7 @@ func (db *DB) Close() error {
 	}
 	db.wmu.Lock()
 	defer db.wmu.Unlock()
+	db.swapBlockStore(nil)
 	if db.wal != nil {
 		err := db.wal.close()
 		db.wal = nil

@@ -10,6 +10,8 @@ import (
 	"os"
 	"sort"
 	"strings"
+
+	"perfbase/internal/value"
 )
 
 // This file is the engine side of WAL streaming replication (see
@@ -186,11 +188,34 @@ func FrameCRC(payload []byte) uint32 {
 // ------------------------------------------------ state export/import
 
 // TableExport is one table's full contents inside a StateExport.
+// Exactly one of Rows and Blocks is populated: Blocks is the
+// compressed columnar form (per-column blocks of ≤ vecMorselRows rows,
+// CRC-stamped), which is what a replica bootstrap normally transfers;
+// Rows is the uncompressed fallback.
 type TableExport struct {
 	Name    string
 	Cols    Schema
 	Rows    []Row
 	Indexes []string
+	Blocks  *TableBlocksExport
+}
+
+// ColumnBlockExport is one column's block sequence, positionally
+// aligned across the Cols of its table: block i of every column covers
+// the same rows.
+type ColumnBlockExport struct {
+	Enc  []uint8
+	Rows []int
+	CRC  []uint32
+	Data [][]byte
+}
+
+// TableBlocksExport is a table's contents as compressed column blocks
+// (the colblock.go encodings), typically several times smaller on the
+// wire than the row form gob produces.
+type TableBlocksExport struct {
+	NRows int
+	Cols  []ColumnBlockExport
 }
 
 // StateExport is a whole-database snapshot stamped with the
@@ -220,7 +245,8 @@ func (db *DB) ExportState() *StateExport {
 	sort.Strings(names)
 	for _, k := range names {
 		t := sn.tables[k]
-		te := TableExport{Name: t.name, Cols: t.schema.clone(), Rows: t.flat()}
+		te := TableExport{Name: t.name, Cols: t.schema.clone()}
+		te.Blocks = exportTableBlocks(t.flat(), t.schema)
 		for col := range t.indexes {
 			te.Indexes = append(te.Indexes, col)
 		}
@@ -228,6 +254,68 @@ func (db *DB) ExportState() *StateExport {
 		exp.Tables = append(exp.Tables, te)
 	}
 	return exp
+}
+
+// exportTableBlocks encodes a table's rows into compressed per-column
+// blocks for replica bootstrap. Every engine type encodes (timestamps
+// via the time encoding), so the row fallback in TableExport exists
+// only for forward compatibility.
+func exportTableBlocks(rows []Row, schema Schema) *TableBlocksExport {
+	tb := &TableBlocksExport{NRows: len(rows)}
+	tb.Cols = make([]ColumnBlockExport, len(schema))
+	for ci := range schema {
+		cb := &tb.Cols[ci]
+		for lo := 0; lo < len(rows); lo += vecMorselRows {
+			hi := min(lo+vecMorselRows, len(rows))
+			meta, payload := encodeColBlock(rows[lo:hi], ci, schema[ci].Type)
+			cb.Enc = append(cb.Enc, meta.Enc)
+			cb.Rows = append(cb.Rows, meta.Rows)
+			cb.CRC = append(cb.CRC, meta.CRC)
+			cb.Data = append(cb.Data, payload)
+		}
+	}
+	return tb
+}
+
+// importTableBlocks verifies and decodes a blocks export back into
+// rows, sharing one backing array across the table like InsertRows.
+func importTableBlocks(name string, tb *TableBlocksExport, schema Schema) ([]Row, error) {
+	if len(tb.Cols) != len(schema) {
+		return nil, errorf("ImportState: table %q: %d block columns for %d schema columns", name, len(tb.Cols), len(schema))
+	}
+	cols := make([][]value.Value, len(schema))
+	for ci := range schema {
+		cb := &tb.Cols[ci]
+		if len(cb.Enc) != len(cb.Rows) || len(cb.Enc) != len(cb.CRC) || len(cb.Enc) != len(cb.Data) {
+			return nil, errorf("ImportState: table %q column %d: ragged block metadata", name, ci)
+		}
+		vals := make([]value.Value, 0, tb.NRows)
+		for bi, payload := range cb.Data {
+			if FrameCRC(payload) != cb.CRC[bi] {
+				return nil, errorf("ImportState: table %q column %d block %d: CRC mismatch", name, ci, bi)
+			}
+			vs, err := decodeColValues(cb.Enc[bi], payload, schema[ci].Type, cb.Rows[bi])
+			if err != nil {
+				return nil, errorf("ImportState: table %q column %d block %d: %v", name, ci, bi, err)
+			}
+			vals = append(vals, vs...)
+		}
+		if len(vals) != tb.NRows {
+			return nil, errorf("ImportState: table %q column %d: %d rows decoded, want %d", name, ci, len(vals), tb.NRows)
+		}
+		cols[ci] = vals
+	}
+	width := len(schema)
+	backing := make([]value.Value, width*tb.NRows)
+	rows := make([]Row, tb.NRows)
+	for i := range rows {
+		row := backing[i*width : (i+1)*width : (i+1)*width]
+		for ci := range cols {
+			row[ci] = cols[ci][i]
+		}
+		rows[i] = row
+	}
+	return rows, nil
 }
 
 // ImportState replaces the database's entire committed state with the
@@ -243,8 +331,17 @@ func (db *DB) ImportState(exp *StateExport) error {
 	tables := make(map[string]*table, len(exp.Tables))
 	for _, te := range exp.Tables {
 		t := newTable(te.Name, te.Cols, false)
-		rows := make([]Row, len(te.Rows))
-		copy(rows, te.Rows)
+		var rows []Row
+		if te.Blocks != nil {
+			var err error
+			rows, err = importTableBlocks(te.Name, te.Blocks, t.schema)
+			if err != nil {
+				return err
+			}
+		} else {
+			rows = make([]Row, len(te.Rows))
+			copy(rows, te.Rows)
+		}
 		t.replaceRows(rows)
 		for _, col := range te.Indexes {
 			ci := t.schema.Index(col)

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"perfbase/internal/failpoint"
+	"perfbase/internal/value"
 )
 
 // Crash-recovery torture harness.
@@ -59,6 +60,9 @@ func tortureSites() []string {
 		"sqldb/persist/rename",
 		"sqldb/snapshot/publish",
 		"sqldb/table/compact",
+		"sqldb/colblk/write",
+		"sqldb/colblk/footer",
+		"sqldb/colblk/read",
 	}
 }
 
@@ -198,7 +202,15 @@ func verifyTortureRecovery(t *testing.T, dir string, policy SyncPolicy) int {
 	// with both halves.
 	res, err := db.Exec("SELECT seq, COUNT(*) FROM torture GROUP BY seq ORDER BY seq")
 	if err != nil {
-		t.Fatalf("recovery query: %v", err)
+		// Under SyncInterval/SyncOff even the CREATE TABLE may still be
+		// sitting in the WAL buffer when the crash lands: zero surviving
+		// state is a legal outcome (the empty prefix). SyncAlways acked
+		// the CREATE durably, so there it stays a finding.
+		if policy == SyncAlways || !strings.Contains(err.Error(), "no such table") {
+			t.Fatalf("recovery query: %v", err)
+		}
+		mustExec(t, db, "CREATE TABLE torture (seq integer, half string)")
+		res = &Result{}
 	}
 	k := 0
 	for i, row := range res.Rows {
@@ -563,6 +575,169 @@ func TestCheckpointCrashWindowNoDoubleApply(t *testing.T) {
 	if res.Rows[0][0].Int() != 10 || res.Rows[0][1].Int() != 10 {
 		t.Errorf("double-applied WAL: %v rows, %v distinct (want 10, 10)", res.Rows[0][0], res.Rows[0][1])
 	}
+}
+
+// tortureBlockDB builds a durable database whose table spans several
+// column blocks, checkpoints so columns.blk exists, closes it cleanly,
+// and returns the directory plus the expected query answer.
+func tortureBlockDB(t *testing.T) (dir, want string) {
+	t.Helper()
+	dir = t.TempDir()
+	db, err := OpenWithPolicy(dir, SyncOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "CREATE TABLE bt (k integer, g string, v integer)")
+	const nrows = 3 * vecMorselRows
+	rows := make([]Row, nrows)
+	for i := range rows {
+		rows[i] = Row{
+			value.NewInt(int64(i)),
+			value.NewString(fmt.Sprintf("g%02d", (i*7)%64)),
+			value.NewInt(int64(i%1000 - 500)),
+		}
+	}
+	if _, err := db.InsertRows("bt", []string{"k", "g", "v"}, rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	res := mustExec(t, db, tortureBlockQuery)
+	want = fmt.Sprint(res.Rows)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, blockFile)); err != nil {
+		t.Fatalf("checkpoint did not write %s: %v", blockFile, err)
+	}
+	return dir, want
+}
+
+const tortureBlockQuery = "SELECT g, COUNT(*), SUM(v), MIN(k), MAX(k) FROM bt GROUP BY g ORDER BY g"
+
+// reopenAndCheck reopens the directory and asserts the query answer is
+// byte-identical to the pre-corruption baseline, whatever state
+// columns.blk is in.
+func reopenAndCheck(t *testing.T, dir, want string, wantStore bool) {
+	t.Helper()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after block corruption failed: %v", err)
+	}
+	defer db.Close()
+	if got := db.env.blocks.Load() != nil; got != wantStore {
+		t.Errorf("block store loaded = %v, want %v", got, wantStore)
+	}
+	res := mustExec(t, db, tortureBlockQuery)
+	if got := fmt.Sprint(res.Rows); got != want {
+		t.Errorf("query answer changed after block corruption:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestTortureBlockCorruption damages columns.blk in every way a crash
+// or bit-rot can — flipped payload byte, flipped index byte, truncated
+// footer, stale epoch, missing file — and asserts the derived-data
+// contract: the database always opens, and every query answer is
+// byte-identical to the row-chunk baseline. A damaged payload is
+// caught by its CRC at read time (the store still loads); damaged
+// metadata rejects the whole file at open time.
+func TestTortureBlockCorruption(t *testing.T) {
+	t.Run("payload_bitflip", func(t *testing.T) {
+		dir, want := tortureBlockDB(t)
+		path := filepath.Join(dir, blockFile)
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// First payload byte lives right after the 16-byte header.
+		buf[colHeaderSize+1] ^= 0xff
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		info, err := ScanBlockFile(path)
+		if err != nil {
+			t.Fatalf("index is intact, scan must succeed: %v", err)
+		}
+		bad := 0
+		for _, b := range info.Blocks {
+			if !b.CRCOK {
+				bad++
+			}
+		}
+		if bad == 0 {
+			t.Fatal("bit flip not detected by any block CRC")
+		}
+		// The index is intact so the store loads; the damaged block fails
+		// its CRC at read time and that column rebuilds from rows.
+		reopenAndCheck(t, dir, want, true)
+	})
+	t.Run("index_bitflip", func(t *testing.T) {
+		dir, want := tortureBlockDB(t)
+		path := filepath.Join(dir, blockFile)
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf[len(buf)-colTrailerSize-4] ^= 0x41 // inside the gob index
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		reopenAndCheck(t, dir, want, false)
+	})
+	t.Run("truncated_footer", func(t *testing.T) {
+		dir, want := tortureBlockDB(t)
+		path := filepath.Join(dir, blockFile)
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(path, fi.Size()-colTrailerSize+3); err != nil {
+			t.Fatal(err)
+		}
+		reopenAndCheck(t, dir, want, false)
+	})
+	t.Run("stale_epoch", func(t *testing.T) {
+		dir, want := tortureBlockDB(t)
+		path := filepath.Join(dir, blockFile)
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf[8] ^= 0xff // epoch field, bytes 8..16 of the header
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		reopenAndCheck(t, dir, want, false)
+	})
+	t.Run("missing_file", func(t *testing.T) {
+		dir, want := tortureBlockDB(t)
+		if err := os.Remove(filepath.Join(dir, blockFile)); err != nil {
+			t.Fatal(err)
+		}
+		reopenAndCheck(t, dir, want, false)
+	})
+	t.Run("read_failpoint", func(t *testing.T) {
+		// I/O errors at block-read time (not just corruption) must also
+		// fall back to row rebuilding mid-query.
+		dir, want := tortureBlockDB(t)
+		db, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		if db.env.blocks.Load() == nil {
+			t.Fatal("block store did not load from a clean file")
+		}
+		if err := failpoint.Enable("sqldb/colblk/read", "error(io fault)"); err != nil {
+			t.Fatal(err)
+		}
+		defer failpoint.DisableAll()
+		res := mustExec(t, db, tortureBlockQuery)
+		if got := fmt.Sprint(res.Rows); got != want {
+			t.Errorf("query answer changed under read faults:\n got %s\nwant %s", got, want)
+		}
+	})
 }
 
 // TestSyncAlwaysSurfacesWALFailure: under SyncAlways a WAL write

@@ -68,6 +68,12 @@ type vecAgg struct {
 // is exact at the top level of a WHERE) into mask.
 type vecPredFn func(cv []*colVec, lo int, mask []bool)
 
+// zoneFn decides from block zone maps alone whether a whole block can
+// be skipped: it returns true only when NO row of the block can pass
+// the predicate. meta returns the block's metadata for a column (nil
+// when unavailable, which must read as "cannot prune").
+type zoneFn func(meta func(ci int) *blockMeta) bool
+
 // vecPlan is the vectorized form of a qualifying SELECT, attached to
 // its compiledSelect and cached/invalidated with it.
 type vecPlan struct {
@@ -75,6 +81,11 @@ type vecPlan struct {
 	cols     []int // distinct source columns needing vectors
 
 	pred vecPredFn // nil when no WHERE clause
+	// zone is the zone-map form of pred: evaluated against a block's
+	// min/max/null-count before the block is decoded. nil when the
+	// predicate shape cannot be reasoned about from zone maps (which
+	// only costs skipping, never correctness).
+	zone zoneFn
 
 	grouped    bool
 	groupCols  []int
@@ -113,6 +124,7 @@ func (sn *snapshot) planVec(st *SelectStmt, p *compiledSelect) *vecPlan {
 		if vp.pred == nil {
 			return nil
 		}
+		vp.zone = compileZonePred(st.Where, ec, p.srcSchema)
 	}
 	if p.grouped {
 		for _, g := range st.GroupBy {
@@ -673,6 +685,441 @@ func compileVecIn(t *inExpr, ec *evalCtx, src Schema, need map[int]bool) vecPred
 	return nil
 }
 
+// ------------------------------------------------------ zone maps
+
+// compileZonePred lowers a WHERE clause into a block-skipping check
+// over zone maps, mirroring the mask kernels of compileVecPred leaf by
+// leaf. It is only ever compiled for predicates compileVecPred
+// accepted, and must be EXACT in one direction: returning true means
+// every row of the block evaluates to false under the mask semantics
+// (NULL rows always mask false at the top level; float NaN compares
+// "equal" to everything). Any leaf it cannot reason about compiles to
+// nil, which composes as "never prunes".
+func compileZonePred(e sqlExpr, ec *evalCtx, src Schema) zoneFn {
+	switch t := e.(type) {
+	case *litExpr:
+		if boolTrue(t.v) {
+			return zoneNever
+		}
+		return zoneAlways
+	case *colExpr:
+		ci, err := ec.lookup(t.Table, t.Name)
+		if err != nil || src[ci].Type != value.Boolean {
+			return nil
+		}
+		// mask = x != 0 && !null: prunable when the block has no non-null
+		// true value.
+		return func(meta func(int) *blockMeta) bool {
+			m := meta(ci)
+			if m == nil {
+				return false
+			}
+			return !m.HasMM || m.MaxI == 0
+		}
+	case *binExpr:
+		switch t.Op {
+		case "and":
+			l := compileZonePred(t.L, ec, src)
+			r := compileZonePred(t.R, ec, src)
+			// A conjunction is all-false when either side is: one pruning
+			// side suffices, and an unknown side drops out.
+			if l == nil {
+				return r
+			}
+			if r == nil {
+				return l
+			}
+			return func(meta func(int) *blockMeta) bool {
+				return l(meta) || r(meta)
+			}
+		case "or":
+			l := compileZonePred(t.L, ec, src)
+			r := compileZonePred(t.R, ec, src)
+			// A disjunction needs BOTH sides all-false; an unknown side
+			// makes the whole OR unknowable.
+			if l == nil || r == nil {
+				return nil
+			}
+			return func(meta func(int) *blockMeta) bool {
+				return l(meta) && r(meta)
+			}
+		case "=", "<>", "<", "<=", ">", ">=":
+			ok := cmpOutcome(t.Op)
+			if ce, isCol := t.L.(*colExpr); isCol {
+				if le, isLit := t.R.(*litExpr); isLit {
+					return compileZoneCmp(ce, le.v, ok, false, ec, src)
+				}
+			}
+			if ce, isCol := t.R.(*colExpr); isCol {
+				if le, isLit := t.L.(*litExpr); isLit {
+					return compileZoneCmp(ce, le.v, ok, true, ec, src)
+				}
+			}
+		}
+		return nil
+	case *isNullExpr:
+		ce, isCol := t.E.(*colExpr)
+		if !isCol {
+			return nil
+		}
+		ci, err := ec.lookup(ce.Table, ce.Name)
+		if err != nil || src[ci].Type == value.Timestamp {
+			return nil
+		}
+		negate := t.Negate
+		return func(meta func(int) *blockMeta) bool {
+			m := meta(ci)
+			if m == nil {
+				return false
+			}
+			if negate {
+				return m.Nulls == m.Rows // IS NOT NULL over an all-null block
+			}
+			return m.Nulls == 0 // IS NULL over a null-free block
+		}
+	case *betweenExpr:
+		return compileZoneBetween(t, ec, src)
+	case *inExpr:
+		return compileZoneIn(t, ec, src)
+	}
+	return nil
+}
+
+func zoneNever(func(int) *blockMeta) bool  { return false }
+func zoneAlways(func(int) *blockMeta) bool { return true }
+
+// compileZoneCmp is the zone form of compileVecCmp. canMatch asks: can
+// ANY non-null value in [min, max] produce an accepted comparison
+// outcome? The three outcomes map to range tests — "less than lit" is
+// achievable iff min < lit, "greater" iff max > lit, "equal" iff lit
+// lies inside [min, max] (an over-approximation for int columns vs
+// float literals, which only under-prunes).
+func compileZoneCmp(ce *colExpr, lit value.Value, ok func(int) bool, swapped bool, ec *evalCtx, src Schema) zoneFn {
+	ci, err := ec.lookup(ce.Table, ce.Name)
+	if err != nil {
+		return nil
+	}
+	typ := src[ci].Type
+	var okLUT [3]bool
+	for c := -1; c <= 1; c++ {
+		r := c
+		if swapped {
+			r = -r
+		}
+		okLUT[c+1] = ok(r)
+	}
+	if lit.IsNull() {
+		return zoneAlways // the kernel is vecFalse
+	}
+	switch {
+	case typ == value.Integer && lit.Type() == value.Integer,
+		typ == value.Boolean && lit.Type() == value.Boolean:
+		litI := lit.Int()
+		return func(meta func(int) *blockMeta) bool {
+			m := meta(ci)
+			if m == nil {
+				return false
+			}
+			if !m.HasMM {
+				return true // every row NULL → mask all false
+			}
+			can := okLUT[0] && m.MinI < litI ||
+				okLUT[2] && m.MaxI > litI ||
+				okLUT[1] && m.MinI <= litI && litI <= m.MaxI
+			return !can
+		}
+	case typ == value.Integer && lit.Type().Numeric(): // float literal
+		litF := lit.Float()
+		if math.IsNaN(litF) {
+			return nil
+		}
+		return func(meta func(int) *blockMeta) bool {
+			m := meta(ci)
+			if m == nil {
+				return false
+			}
+			if !m.HasMM {
+				return true
+			}
+			minF, maxF := float64(m.MinI), float64(m.MaxI)
+			can := okLUT[0] && minF < litF ||
+				okLUT[2] && maxF > litF ||
+				okLUT[1] && minF <= litF && litF <= maxF
+			return !can
+		}
+	case typ == value.Float && lit.Type().Numeric():
+		litF := lit.Float()
+		if math.IsNaN(litF) {
+			return nil
+		}
+		return func(meta func(int) *blockMeta) bool {
+			m := meta(ci)
+			if m == nil {
+				return false
+			}
+			// A NaN row compares "equal" to everything, so it matches
+			// whenever the equal outcome is accepted — and min/max never
+			// cover NaN.
+			if m.HasNaN && okLUT[1] {
+				return false
+			}
+			if !m.HasMM {
+				return true // all rows NULL or NaN, and NaN cannot match
+			}
+			can := okLUT[0] && m.MinF < litF ||
+				okLUT[2] && m.MaxF > litF ||
+				okLUT[1] && m.MinF <= litF && litF <= m.MaxF
+			return !can
+		}
+	case typ == value.String && lit.Type() == value.String:
+		litS := lit.Str()
+		return func(meta func(int) *blockMeta) bool {
+			m := meta(ci)
+			if m == nil {
+				return false
+			}
+			if !m.HasMM {
+				return true
+			}
+			can := okLUT[0] && m.MinS < litS ||
+				okLUT[2] && m.MaxS > litS ||
+				okLUT[1] && m.MinS <= litS && litS <= m.MaxS
+			return !can
+		}
+	}
+	return nil
+}
+
+// compileZoneBetween is the zone form of compileVecBetween. ge is
+// monotone non-decreasing in the column value and le monotone
+// non-increasing, so a non-negated BETWEEN is satisfiable within the
+// block iff ge(max) && le(min), and a negated one is unsatisfiable iff
+// ge(min) && le(max) (every row inside the bounds).
+func compileZoneBetween(t *betweenExpr, ec *evalCtx, src Schema) zoneFn {
+	ce, isCol := t.E.(*colExpr)
+	if !isCol {
+		return nil
+	}
+	loL, loOK := t.Lo.(*litExpr)
+	hiL, hiOK := t.Hi.(*litExpr)
+	if !loOK || !hiOK {
+		return nil
+	}
+	ci, err := ec.lookup(ce.Table, ce.Name)
+	if err != nil {
+		return nil
+	}
+	typ := src[ci].Type
+	negate := t.Negate
+	lo, hi := loL.v, hiL.v
+	if lo.IsNull() || hi.IsNull() {
+		return zoneAlways // the kernel is vecFalse
+	}
+	if typ == value.String {
+		if lo.Type() != value.String || hi.Type() != value.String {
+			return nil
+		}
+		loS, hiS := lo.Str(), hi.Str()
+		return func(meta func(int) *blockMeta) bool {
+			m := meta(ci)
+			if m == nil {
+				return false
+			}
+			if !m.HasMM {
+				return true
+			}
+			if negate {
+				return m.MinS >= loS && m.MaxS <= hiS
+			}
+			return m.MaxS < loS || m.MinS > hiS
+		}
+	}
+	if typ != value.Integer && typ != value.Float {
+		return nil
+	}
+	if !lo.Type().Numeric() || !hi.Type().Numeric() {
+		return nil
+	}
+	intCol := typ == value.Integer
+	loInt := intCol && lo.Type() == value.Integer
+	hiInt := intCol && hi.Type() == value.Integer
+	loI, loF := lo.Int(), lo.Float()
+	hiI, hiF := hi.Int(), hi.Float()
+	if intCol {
+		ge := func(x int64) bool {
+			if loInt {
+				return x >= loI
+			}
+			return !(float64(x) < loF)
+		}
+		le := func(x int64) bool {
+			if hiInt {
+				return x <= hiI
+			}
+			return !(float64(x) > hiF)
+		}
+		return func(meta func(int) *blockMeta) bool {
+			m := meta(ci)
+			if m == nil {
+				return false
+			}
+			if !m.HasMM {
+				return true
+			}
+			if negate {
+				return ge(m.MinI) && le(m.MaxI)
+			}
+			return !(ge(m.MaxI) && le(m.MinI))
+		}
+	}
+	return func(meta func(int) *blockMeta) bool {
+		m := meta(ci)
+		if m == nil {
+			return false
+		}
+		if !negate && m.HasNaN {
+			// NaN is "between" anything (ge = !(NaN < lo) = true), so a
+			// NaN row always matches a non-negated BETWEEN.
+			return false
+		}
+		if !m.HasMM {
+			// All rows NULL or NaN. Negated: NaN rows are inside the
+			// bounds, so they mask false too — prunable either way.
+			return true
+		}
+		ge := func(x float64) bool { return !(x < loF) }
+		le := func(x float64) bool { return !(x > hiF) }
+		if negate {
+			return ge(m.MinF) && le(m.MaxF)
+		}
+		return !(ge(m.MaxF) && le(m.MinF))
+	}
+}
+
+// compileZoneIn is the zone form of compileVecIn: a non-negated IN can
+// match only if some list item lies within [min, max]. NOT IN cannot
+// be refuted from a range alone, so it never prunes.
+func compileZoneIn(t *inExpr, ec *evalCtx, src Schema) zoneFn {
+	ce, isCol := t.E.(*colExpr)
+	if !isCol || t.Negate {
+		return nil
+	}
+	ci, err := ec.lookup(ce.Table, ce.Name)
+	if err != nil {
+		return nil
+	}
+	typ := src[ci].Type
+	var lits []value.Value
+	for _, item := range t.List {
+		le, isLit := item.(*litExpr)
+		if !isLit {
+			return nil
+		}
+		if le.v.IsNull() {
+			continue
+		}
+		lits = append(lits, le.v)
+	}
+	if len(lits) == 0 {
+		return zoneAlways // nothing can match an all-NULL list
+	}
+	switch typ {
+	case value.Integer, value.Float, value.Boolean:
+		allInt := typ != value.Float
+		for _, l := range lits {
+			if typ == value.Boolean {
+				if l.Type() != value.Boolean {
+					return nil
+				}
+				continue
+			}
+			if !l.Type().Numeric() {
+				return nil
+			}
+			if l.Type() != value.Integer {
+				allInt = false
+			}
+		}
+		if typ != value.Float && allInt {
+			ints := make([]int64, len(lits))
+			for i, l := range lits {
+				ints[i] = l.Int()
+			}
+			return func(meta func(int) *blockMeta) bool {
+				m := meta(ci)
+				if m == nil {
+					return false
+				}
+				if !m.HasMM {
+					return true
+				}
+				for _, l := range ints {
+					if m.MinI <= l && l <= m.MaxI {
+						return false
+					}
+				}
+				return true
+			}
+		}
+		floats := make([]float64, len(lits))
+		for i, l := range lits {
+			floats[i] = l.Float()
+			if math.IsNaN(floats[i]) {
+				return nil // a NaN list item matches every row
+			}
+		}
+		intCol := typ == value.Integer
+		return func(meta func(int) *blockMeta) bool {
+			m := meta(ci)
+			if m == nil {
+				return false
+			}
+			if m.HasNaN {
+				return false // a NaN row matches every list item
+			}
+			if !m.HasMM {
+				return true
+			}
+			minF, maxF := m.MinF, m.MaxF
+			if intCol {
+				minF, maxF = float64(m.MinI), float64(m.MaxI)
+			}
+			for _, l := range floats {
+				if minF <= l && l <= maxF {
+					return false
+				}
+			}
+			return true
+		}
+	case value.String:
+		for _, l := range lits {
+			if l.Type() != value.String {
+				return nil
+			}
+		}
+		strs := make([]string, len(lits))
+		for i, l := range lits {
+			strs[i] = l.Str()
+		}
+		return func(meta func(int) *blockMeta) bool {
+			m := meta(ci)
+			if m == nil {
+				return false
+			}
+			if !m.HasMM {
+				return true
+			}
+			for _, l := range strs {
+				if m.MinS <= l && l <= m.MaxS {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	return nil
+}
+
 // ------------------------------------------------------ execution
 
 // vecAcc is one aggregate accumulator: non-NULL input count plus the
@@ -746,9 +1193,17 @@ type chunkVecs struct {
 	cv   []*colVec
 }
 
+// vecMorsel is one unit of scan work. Row-resident morsels (sc == nil)
+// index into a pre-hydrated whole-chunk chunkVecs with chunk-absolute
+// [lo, hi); block-resident morsels carry their row window and block
+// coordinates and hydrate lazily — after the zone-map check — with
+// morsel-local vectors (so the kernels run with lo = 0).
 type vecMorsel struct {
 	chunk  int
 	lo, hi int
+	rows   []Row
+	sc     *storeChunk
+	bi     int
 }
 
 // runVecSelect executes a SELECT through the vectorized path. The
@@ -765,11 +1220,27 @@ func (sn *snapshot) runVecSelect(st *SelectStmt, p *compiledSelect) (*Result, bo
 	if !ok {
 		return nil, false, nil
 	}
+	store := env.blocks.Load()
+	zoneOn := vp.zone != nil && !env.zoneOff.Load()
 	var chunks []chunkVecs
 	var morsels []vecMorsel
 	total := 0
 	for _, ch := range t.chunks {
 		if len(ch) == 0 {
+			continue
+		}
+		if sc := store.chunkFor(ch); sc != nil {
+			// Block-resident chunk: defer hydration to the morsel worker,
+			// after its zone-map check — a pruned block is never decoded
+			// (and never built from rows).
+			for lo := 0; lo < len(ch); lo += vecMorselRows {
+				hi := min(lo+vecMorselRows, len(ch))
+				morsels = append(morsels, vecMorsel{
+					chunk: -1, lo: lo, hi: hi,
+					rows: ch[lo:hi], sc: sc, bi: lo / vecMorselRows,
+				})
+			}
+			total += len(ch)
 			continue
 		}
 		cvs := make([]*colVec, len(t.schema))
@@ -784,9 +1255,42 @@ func (sn *snapshot) runVecSelect(st *SelectStmt, p *compiledSelect) (*Result, bo
 		chunks = append(chunks, chunkVecs{rows: ch, cv: cvs})
 		for lo := 0; lo < len(ch); lo += vecMorselRows {
 			hi := min(lo+vecMorselRows, len(ch))
-			morsels = append(morsels, vecMorsel{idx, lo, hi})
+			morsels = append(morsels, vecMorsel{chunk: idx, lo: lo, hi: hi})
 		}
 		total += len(ch)
+	}
+
+	// hydrate resolves one morsel to (vectors, window): row-resident
+	// morsels return the shared whole-chunk vectors and their absolute
+	// window; block-resident morsels first consult the zone maps, then
+	// decode (or cache-hit) per-block vectors over a zero-based window.
+	// skip=true means the zone maps proved no row can match.
+	hydrate := func(m *vecMorsel) (ch chunkVecs, lo, hi int, skip bool) {
+		if m.sc == nil {
+			return chunks[m.chunk], m.lo, m.hi, false
+		}
+		if zoneOn {
+			meta := func(ci int) *blockMeta {
+				if ci >= len(m.sc.cols) || m.bi >= len(m.sc.cols[ci].Blocks) {
+					return nil
+				}
+				b := &m.sc.cols[ci].Blocks[m.bi]
+				if b.Rows != len(m.rows) {
+					return nil
+				}
+				return b
+			}
+			if vp.zone(meta) {
+				env.blkSkipped.Add(1)
+				return chunkVecs{}, 0, 0, true
+			}
+		}
+		env.blkScanned.Add(1)
+		cvs := make([]*colVec, len(t.schema))
+		for _, ci := range vp.cols {
+			cvs[ci] = env.blockVec(vp.tableKey, m.rows, ci, t.schema[ci].Type, store, m.sc, m.bi)
+		}
+		return chunkVecs{rows: m.rows, cv: cvs}, 0, len(m.rows), false
 	}
 
 	needReps := len(st.OrderBy) > 0 && !st.Distinct
@@ -797,8 +1301,11 @@ func (sn *snapshot) runVecSelect(st *SelectStmt, p *compiledSelect) (*Result, bo
 		parts := make([]*vecPartial, len(morsels))
 		err := runMorsels(env, len(morsels), total, func(mi int) error {
 			_ = fpMorsel.Inject() // latency-model site
-			m := morsels[mi]
-			parts[mi] = vp.processGroupMorsel(&chunks[m.chunk], m.lo, m.hi)
+			ch, lo, hi, skip := hydrate(&morsels[mi])
+			if skip {
+				return nil // pruned block: nil partial, mergePartials skips it
+			}
+			parts[mi] = vp.processGroupMorsel(&ch, lo, hi)
 			return nil
 		})
 		if err != nil {
@@ -853,17 +1360,19 @@ func (sn *snapshot) runVecSelect(st *SelectStmt, p *compiledSelect) (*Result, bo
 		outs := make([]morselOut, len(morsels))
 		err := runMorsels(env, len(morsels), total, func(mi int) error {
 			_ = fpMorsel.Inject()
-			m := morsels[mi]
-			ch := &chunks[m.chunk]
-			mask := make([]bool, m.hi-m.lo)
-			vp.pred(ch.cv, m.lo, mask)
+			ch, lo, hi, skip := hydrate(&morsels[mi])
+			if skip {
+				return nil // pruned block: empty morsel output
+			}
+			mask := make([]bool, hi-lo)
+			vp.pred(ch.cv, lo, mask)
 			ctx := &execCtx{}
 			var mo morselOut
 			for i, keep := range mask {
 				if !keep {
 					continue
 				}
-				row := ch.rows[m.lo+i]
+				row := ch.rows[lo+i]
 				ctx.row = row
 				out, err := p.projectRow(ctx, row)
 				if err != nil {
