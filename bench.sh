@@ -19,6 +19,12 @@
 # hydration from compressed blocks vs row rebuild, and the on-disk
 # size of columns.blk vs the gob row snapshot, where the ≥2×
 # criterion compares GobRowSnapshotBytes against BlockFileBytes).
+# BENCH_PR7.json holds the optimistic-concurrency numbers
+# (committed-txns/sec for 1/2/4/8 concurrent disjoint-table writers on
+# a durable SyncAlways database — the ≥2× criterion compares the
+# writers=4 ns/op against writers=1, with the fsyncs/txn metric
+# showing the group-commit cohort size — plus the conflict-rate sweep
+# on one shared table, where conflicts/op grows with writer count).
 # Re-run after engine changes and compare the committed numbers in
 # CHANGES.md.
 set -eu
@@ -29,7 +35,8 @@ TMP2=$(mktemp)
 TMP4=$(mktemp)
 TMP5=$(mktemp)
 TMP6=$(mktemp)
-trap 'rm -f "$TMP1" "$TMP2" "$TMP4" "$TMP5" "$TMP6"' EXIT
+TMP7=$(mktemp)
+trap 'rm -f "$TMP1" "$TMP2" "$TMP4" "$TMP5" "$TMP6" "$TMP7"' EXIT
 
 go test -run '^$' -bench \
   'BenchmarkExprDerived$|BenchmarkFig3_ParallelSpeedupTCP$' \
@@ -58,15 +65,21 @@ to_json() {
     BEGIN { print "[" ; first = 1 }
     /^Benchmark/ {
         name = $1; iters = $2; ns = $3
-        bytes = "null"; allocs = "null"
+        bytes = "null"; allocs = "null"; extra = ""
         for (i = 4; i <= NF; i++) {
             if ($i == "B/op") bytes = $(i-1)
-            if ($i == "allocs/op") allocs = $(i-1)
+            else if ($i == "allocs/op") allocs = $(i-1)
+            else if ($i ~ /^[a-z]+\/(sec|op|txn)$/ && $i != "ns/op") {
+                # Custom b.ReportMetric units (txns/sec, conflicts/op,
+                # fsyncs/txn, ...) become extra keys.
+                key = $i; gsub(/\//, "_per_", key)
+                extra = extra sprintf(", \"%s\": %s", key, $(i-1))
+            }
         }
         if (!first) print ","
         first = 0
-        printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
-            name, iters, ns, bytes, allocs
+        printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s%s}", \
+            name, iters, ns, bytes, allocs, extra
     }
     END { print "\n]" }
     ' "$1" > "$2"
@@ -96,10 +109,19 @@ go test -run '^$' -bench \
 go test -run 'TestBlockCompressionSizes$' -count=1 -v ./internal/sqldb \
   | grep '^Benchmark' | tee -a "$TMP6"
 
+# PR7: optimistic concurrent transactions. Disjoint-table commit
+# scaling on a durable database (group-commit fsync amortization is
+# the mechanism — watch fsyncs/txn drop as writers rise), then the
+# conflict-rate sweep against one shared table.
+go test -run '^$' -bench \
+  'BenchmarkTxnCommitDisjointWriters$|BenchmarkTxnConflictRateShared$' \
+  -benchtime=1000x -count=1 ./internal/sqldb | tee -a "$TMP7"
+
 to_json "$TMP1" BENCH_PR1.json
 to_json "$TMP2" BENCH_PR2.json
 to_json "$TMP4" BENCH_PR4.json
 to_json "$TMP5" BENCH_PR5.json
 to_json "$TMP6" BENCH_PR6.json
+to_json "$TMP7" BENCH_PR7.json
 
-echo "wrote BENCH_PR1.json, BENCH_PR2.json, BENCH_PR4.json, BENCH_PR5.json and BENCH_PR6.json"
+echo "wrote BENCH_PR1.json, BENCH_PR2.json, BENCH_PR4.json, BENCH_PR5.json, BENCH_PR6.json and BENCH_PR7.json"

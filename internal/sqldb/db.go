@@ -33,17 +33,21 @@ type DB struct {
 	// SQL text. It has its own lock; see plancache.go.
 	plans planCache
 
-	// Transaction state, guarded by wmu. txnBase is the snapshot at
-	// BEGIN: its table pointers are the undo log, so ROLLBACK is a
-	// pointer swap. txnTouched records every table the transaction
-	// mutated, for the monotonic version bumps on abort.
-	inTxn      bool
-	txnBase    *snapshot
-	txnTouched map[string]bool
-	txnLog     []string
+	// def is the default session backing the sessionless DB.Exec API:
+	// BEGIN/COMMIT/ROLLBACK through DB.Exec run one transaction on it,
+	// preserving the historical single-transaction-slot behaviour of
+	// the embedded interface. Concurrent transactions use NewSession.
+	// See session.go for the optimistic-concurrency machinery.
+	def *Session
 
 	wal *groupWAL // nil for a memory-only database
 	dir string
+	// commitArrivals counts committers that have entered the commit
+	// path but not yet enqueued (or abandoned) their WAL frame. The
+	// flusher reads it to gather a whole cohort of concurrent
+	// committers into one group fsync; see announceCommit and
+	// groupWAL.flush.
+	commitArrivals atomic.Int32
 	// walEpoch is the checkpoint generation the current WAL extends;
 	// recovery discards a WAL older than the snapshot. Guarded by wmu.
 	walEpoch uint64
@@ -57,10 +61,6 @@ type DB struct {
 	pos        atomic.Pointer[ReplPos]
 	commitHook atomic.Pointer[CommitHook]
 	role       atomic.Pointer[string]
-	// lastDropTemp records, under wmu, whether the DROP TABLE just
-	// executed removed a temporary table — its CREATE was never logged,
-	// so the DROP must not be either.
-	lastDropTemp bool
 
 	// env is the execution environment shared by every snapshot this
 	// database publishes: the columnar projection cache and the
@@ -68,25 +68,38 @@ type DB struct {
 	env *execEnv
 }
 
-// ErrTxnBusy is returned by BEGIN while another transaction is open.
-// The database has one transaction slot; concurrent transactional
-// writers treat this like SQLITE_BUSY and retry.
+// ErrTxnBusy is returned by BEGIN when the session (or, for the
+// sessionless DB.Exec API, the default session) already has an open
+// transaction. Like SQLITE_BUSY it is retryable at statement
+// granularity. Contrast ErrTxnConflict (session.go), which reports a
+// commit-time validation failure and requires re-running the whole
+// transaction.
 var ErrTxnBusy = errors.New("sqldb: transaction already open")
 
 // NewMemory creates an empty in-memory database.
 func NewMemory() *DB {
 	db := &DB{env: newExecEnv()}
+	db.def = &Session{db: db}
 	db.state.Store(&snapshot{tables: map[string]*table{}, vers: map[string]int64{}, env: db.env})
 	return db
 }
 
-// Exec parses and executes one SQL statement. Statements are cached
-// by their text: a repeated Exec of the same SQL skips the lexer and
-// parser, and repeated SELECTs also reuse the compiled plan (see
-// plancache.go for the invalidation rules).
-func (db *DB) Exec(sql string) (*Result, error) {
+// readSnapshot returns the snapshot reads through the sessionless API
+// observe: the default session's private overlay while it has a
+// transaction open (the legacy contract — DB.Exec sees the
+// transaction's own uncommitted writes), else the committed state.
+func (db *DB) readSnapshot() *snapshot {
+	if tx := db.def.tx.Load(); tx != nil {
+		return tx.over.Load()
+	}
+	return db.state.Load()
+}
+
+// sharedPlan returns the shared plan-cache entry for sql, parsing and
+// inserting it on miss.
+func (db *DB) sharedPlan(sql string) (*cachedPlan, error) {
 	if cp := db.plans.get(sql); cp != nil {
-		return db.execCached(cp, sql)
+		return cp, nil
 	}
 	st, err := Parse(sql)
 	if err != nil {
@@ -94,7 +107,24 @@ func (db *DB) Exec(sql string) (*Result, error) {
 	}
 	cp := &cachedPlan{st: st, tables: referencedTables(st)}
 	db.plans.put(sql, cp)
-	return db.execCached(cp, sql)
+	return cp, nil
+}
+
+// Exec parses and executes one SQL statement. Statements are cached
+// by their text: a repeated Exec of the same SQL skips the lexer and
+// parser, and repeated SELECTs also reuse the compiled plan (see
+// plancache.go for the invalidation rules). Transaction control
+// statements operate on the default session.
+func (db *DB) Exec(sql string) (*Result, error) {
+	cp, err := db.sharedPlan(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch cp.st.(type) {
+	case *SelectStmt, *ExplainStmt:
+		return db.execCached(cp, sql)
+	}
+	return db.def.execStmt(cp, sql)
 }
 
 // ExecArgs executes a statement with '?' placeholders bound to args.
@@ -140,73 +170,54 @@ func BindArgs(sql string, args ...value.Value) (string, error) {
 // used for durability logging; pass "" to skip logging (used during
 // WAL replay).
 func (db *DB) ExecParsed(st Statement, raw string) (*Result, error) {
-	// Pure reads run lock-free against the current snapshot.
+	// Pure reads run lock-free against the current read snapshot.
 	if sel, ok := st.(*SelectStmt); ok {
-		return db.state.Load().execSelect(sel)
+		return db.readSnapshot().execSelect(sel)
 	}
 	if ex, ok := st.(*ExplainStmt); ok {
-		return db.execExplain(db.state.Load(), ex)
+		return db.execExplain(db.readSnapshot(), ex)
 	}
+	return db.def.execStmt(&cachedPlan{st: st, tables: referencedTables(st)}, raw)
+}
+
+// autocommit executes one mutation statement as its own transaction:
+// build, publish, log, then wait for durability outside the writer
+// lock so concurrent committers share one group fsync instead of
+// serializing on the disk. Under SyncAlways a WAL failure fails the
+// commit: the caller must never treat a lost record as durable.
+func (db *DB) autocommit(st Statement, raw string) (*Result, error) {
+	db.announceCommit()
 	db.wmu.Lock()
 	ws := db.beginWrite()
 	res, err := db.execMutation(ws, st)
 	if err != nil {
+		db.retireCommit()
 		db.wmu.Unlock()
 		return nil, err
 	}
 	ws.publish()
-	seq := db.logMutation(st, raw)
+	seq := db.logMutation(st, raw, ws.dropTemp)
+	db.retireCommit()
 	db.wmu.Unlock()
-	// Durability waits happen outside the writer lock so that
-	// concurrent committers share one group fsync instead of
-	// serializing on the disk. Under SyncAlways a WAL failure fails the
-	// commit: the caller must never treat a lost record as durable.
 	if err := db.waitDurable(seq); err != nil {
 		return nil, err
 	}
 	return res, nil
 }
 
+// announceCommit and retireCommit bracket the window between a
+// committer entering the commit path (possibly queued on wmu) and its
+// frame reaching the WAL buffer — or the commit aborting. While any
+// committer is inside the window, the WAL flusher briefly yields
+// before fsyncing so the whole cohort lands in one group fsync instead
+// of a fragment syncing while the rest still validate (see
+// groupWAL.flush). Every announceCommit must be retired on every exit
+// path that can no longer enqueue a frame.
+func (db *DB) announceCommit() { db.commitArrivals.Add(1) }
+func (db *DB) retireCommit()   { db.commitArrivals.Add(-1) }
+
 func (db *DB) execMutation(ws *writeState, st Statement) (*Result, error) {
 	switch s := st.(type) {
-	case *BeginStmt:
-		if db.inTxn {
-			// The database has a single transaction slot (there is no
-			// session concept to scope nested transactions to). Like
-			// SQLITE_BUSY, this is retryable: the caller backs off until
-			// the open transaction commits or rolls back.
-			return nil, ErrTxnBusy
-		}
-		db.inTxn = true
-		db.txnBase = ws.base
-		db.txnTouched = make(map[string]bool)
-		db.txnLog = nil
-		return &Result{}, nil
-	case *CommitStmt:
-		if !db.inTxn {
-			return nil, errorf("no open transaction")
-		}
-		db.inTxn = false
-		db.txnBase = nil
-		db.txnTouched = nil
-		return &Result{}, nil
-	case *RollbackStmt:
-		if !db.inTxn {
-			return nil, errorf("no open transaction")
-		}
-		// Overlay rollback: republish the pre-transaction table
-		// pointers (no row copies), bumping the version of every table
-		// the transaction touched. The bump is monotonic — versions
-		// are never restored to their pre-transaction values — so a
-		// plan compiled against a table that existed only inside the
-		// aborted transaction can never be mistaken for current.
-		ws.restore(db.txnBase, db.txnTouched)
-		ws.schemaChanged(sortedKeys(db.txnTouched)...)
-		db.inTxn = false
-		db.txnBase = nil
-		db.txnTouched = nil
-		db.txnLog = nil
-		return &Result{}, nil
 	case *CreateTableStmt:
 		res, err := db.execCreateTable(ws, s)
 		if err == nil {
@@ -222,7 +233,7 @@ func (db *DB) execMutation(ws *writeState, st Statement) (*Result, error) {
 			}
 			return nil, errorf("no such table %q", s.Name)
 		}
-		db.lastDropTemp = t.temp
+		ws.dropTemp = t.temp
 		ws.drop(key)
 		ws.schemaChanged(key)
 		return &Result{}, nil
@@ -495,25 +506,57 @@ type BulkInserter interface {
 // InsertRows implements BulkInserter. For durable non-temporary tables
 // an equivalent INSERT statement is written to the WAL; temp-table
 // inserts (the overwhelmingly common case: query element vectors) skip
-// SQL entirely.
+// SQL entirely. While the default session has a transaction open, the
+// rows join it, as any DB.Exec mutation would.
 func (db *DB) InsertRows(tableName string, cols []string, rows []Row) (int, error) {
 	if len(rows) == 0 {
 		return 0, nil
 	}
+	if db.def.InTxn() {
+		return db.def.InsertRows(tableName, cols, rows)
+	}
+	return db.insertRowsAutocommit(tableName, cols, rows)
+}
+
+func (db *DB) insertRowsAutocommit(tableName string, cols []string, rows []Row) (int, error) {
+	db.announceCommit()
 	db.wmu.Lock()
 	ws := db.beginWrite()
+	nt, n, err := insertRowsWS(ws, tableName, cols, rows)
+	if err != nil {
+		db.retireCommit()
+		db.wmu.Unlock()
+		return 0, err
+	}
+	ws.publish()
+	var seq uint64
+	if db.replicates() && !nt.temp {
+		// Keep durability (and the replication stream) by logging an
+		// equivalent statement.
+		seq = db.commitBatch([]string{synthInsertSQL(nt.name, cols, rows)})
+	}
+	db.retireCommit()
+	db.wmu.Unlock()
+	if err := db.waitDurable(seq); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// insertRowsWS appends a typed row batch to a table inside a working
+// state (shared by the autocommit and transactional bulk paths). It
+// returns the derived table for temp-ness and name inspection.
+func insertRowsWS(ws *writeState, tableName string, cols []string, rows []Row) (*table, int, error) {
 	key := lower(tableName)
 	t, ok := ws.tab(key)
 	if !ok {
-		db.wmu.Unlock()
-		return 0, errorf("no such table %q", tableName)
+		return nil, 0, errorf("no such table %q", tableName)
 	}
 	colPos := make([]int, len(cols))
 	for i, c := range cols {
 		ci := t.schema.Index(c)
 		if ci < 0 {
-			db.wmu.Unlock()
-			return 0, errorf("no column %q in table %q", c, tableName)
+			return nil, 0, errorf("no column %q in table %q", c, tableName)
 		}
 		colPos[i] = ci
 	}
@@ -526,8 +569,7 @@ func (db *DB) InsertRows(tableName string, cols []string, rows []Row) (int, erro
 	chunk := make([]Row, len(rows))
 	for ri, in := range rows {
 		if len(in) != len(cols) {
-			db.wmu.Unlock()
-			return 0, errorf("InsertRows into %s: %d values for %d columns", tableName, len(in), len(cols))
+			return nil, 0, errorf("InsertRows into %s: %d values for %d columns", tableName, len(in), len(cols))
 		}
 		row := Row(backing[ri*ncols : (ri+1)*ncols : (ri+1)*ncols])
 		for i, c := range nt.schema {
@@ -537,45 +579,14 @@ func (db *DB) InsertRows(tableName string, cols []string, rows []Row) (int, erro
 			ci := colPos[i]
 			cv, err := v.Convert(nt.schema[ci].Type)
 			if err != nil {
-				db.wmu.Unlock()
-				return 0, errorf("column %q: %v", nt.schema[ci].Name, err)
+				return nil, 0, errorf("column %q: %v", nt.schema[ci].Name, err)
 			}
 			row[ci] = cv
 		}
 		chunk[ri] = row
 	}
 	nt.appendChunk(chunk)
-	ws.publish()
-	var seq uint64
-	if db.replicates() && !nt.temp {
-		// Keep durability (and the replication stream) by logging an
-		// equivalent statement.
-		var sb strings.Builder
-		sb.WriteString("INSERT INTO " + nt.name + " (" + strings.Join(cols, ", ") + ") VALUES ")
-		for ri, in := range rows {
-			if ri > 0 {
-				sb.WriteString(", ")
-			}
-			sb.WriteString("(")
-			for vi, v := range in {
-				if vi > 0 {
-					sb.WriteString(", ")
-				}
-				sb.WriteString(v.SQL())
-			}
-			sb.WriteString(")")
-		}
-		if db.inTxn {
-			db.txnLog = append(db.txnLog, sb.String())
-		} else {
-			seq = db.commitBatch([]string{sb.String()})
-		}
-	}
-	db.wmu.Unlock()
-	if err := db.waitDurable(seq); err != nil {
-		return 0, err
-	}
-	return len(rows), nil
+	return nt, len(rows), nil
 }
 
 // Tables returns the names of all tables, sorted.

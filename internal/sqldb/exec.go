@@ -56,11 +56,15 @@ func (sn *snapshot) scanSchema(fi fromItem) (Schema, error) {
 }
 
 // scan produces a relation from a stored table. The relation shares
-// the table version's (immutable) chunks — no row copying.
+// the table version's (immutable) chunks — no row copying. Inside a
+// read-tracked transaction the whole table joins the read set.
 func (sn *snapshot) scan(fi fromItem) (*relation, error) {
 	schema, err := sn.scanSchema(fi)
 	if err != nil {
 		return nil, err
+	}
+	if sn.reads != nil {
+		sn.reads.addFull(lower(fi.Table))
 	}
 	t, _ := sn.table(fi.Table)
 	return &relation{schema: schema, chunks: t.chunks, nrows: t.nrows}, nil
@@ -253,6 +257,13 @@ func (sn *snapshot) indexedScan(fi fromItem, where sqlExpr) (*relation, bool) {
 		for i, pos := range positions {
 			rows[i] = t.rowAt(pos)
 		}
+		if sn.reads != nil {
+			// A point read joins the read set as a probe, not a full
+			// scan: commit validation re-probes the key and passes if
+			// the matched rows are unchanged, so transactions touching
+			// different keys of the same table don't conflict.
+			sn.reads.addPoint(lower(fi.Table), pointRead{col: col, key: cv, fp: fingerprintRows(rows)})
+		}
 		return singleChunk(schema, rows), true
 	}
 	return nil, false
@@ -336,6 +347,18 @@ func numGroupKey(v value.Value) uint64 {
 // execution environment is missing or vectorization is disabled.
 func (sn *snapshot) runSelect(st *SelectStmt, p *compiledSelect) (*Result, error) {
 	if p.vec != nil {
+		if sn.reads != nil {
+			// The vectorized engine reads column projections without
+			// going through scan(), so record its inputs as full table
+			// reads up front (conservative if it declines and the row
+			// path then serves an index probe instead).
+			for _, fi := range st.From {
+				sn.reads.addFull(lower(fi.Table))
+			}
+			for _, jc := range st.Joins {
+				sn.reads.addFull(lower(jc.Right.Table))
+			}
+		}
 		if res, ok, err := sn.runVecSelect(st, p); ok || err != nil {
 			return res, err
 		}

@@ -1,0 +1,342 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// FuzzConcurrentTxnSchedules extends the differential-fuzz family
+// (differential_fuzz_test.go) to optimistic concurrency: the fuzz
+// input drives a deterministic interleaving of three transactional
+// sessions plus autocommit statements over two shared tables, and
+// every step is validated against a serializable reference model.
+//
+// The model is exact, not approximate. It predicts:
+//   - every in-transaction read (each session sees its begin snapshot
+//     plus its own buffered writes, never a concurrent committer's),
+//   - every commit verdict — a commit MUST conflict iff another
+//     transaction or autocommit statement changed a table in its
+//     read-or-write footprint since BEGIN, and MUST succeed otherwise,
+//   - the final committed state: buffered ops of successful commits
+//     applied in commit order (the serializable history), conflicted
+//     transactions contributing nothing.
+//
+// A lost update, dirty read, write skew on full scans, phantom commit
+// after conflict, or spurious conflict all surface as a divergence.
+func FuzzConcurrentTxnSchedules(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 3, 0, 5, 3, 1, 7, 1, 0, 0, 1, 1, 0})
+	f.Add([]byte("interleave commit conflict retry schedules"))
+	f.Add([]byte{
+		0, 0, 0, // s0 BEGIN
+		0, 1, 0, // s1 BEGIN
+		3, 0, 10, // s0 INSERT m0
+		3, 1, 20, // s1 INSERT m0  (overlapping write)
+		1, 0, 0, // s0 COMMIT (wins)
+		1, 1, 0, // s1 COMMIT (must conflict)
+	})
+	f.Add([]byte{
+		0, 0, 0, // s0 BEGIN
+		6, 0, 0, // s0 SELECT m0 (read set)
+		3, 3, 42, // autocommit INSERT m0
+		3, 0, 1, // s0 INSERT m1 (disjoint write)
+		1, 0, 0, // s0 COMMIT (read-set conflict)
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db := NewMemory()
+		tables := []string{"m0", "m1"}
+		for _, tb := range tables {
+			mustExec(t, db, fmt.Sprintf("CREATE TABLE %s (v integer)", tb))
+		}
+
+		// Reference model: committed rows per table, a change counter
+		// per table, and per-session transaction state.
+		committed := map[string][]int64{"m0": {}, "m1": {}}
+		commits := map[string]int64{}
+		type mtxn struct {
+			snap   map[string][]int64 // deep copy of committed at BEGIN
+			at     map[string]int64   // commits counter at BEGIN
+			ops    []func(map[string][]int64)
+			reads  map[string]bool
+			writes map[string]bool
+		}
+		const nsess = 3
+		sess := make([]*Session, nsess)
+		for i := range sess {
+			sess[i] = db.NewSession()
+			defer sess[i].Close()
+		}
+		open := make([]*mtxn, nsess)
+
+		view := func(tx *mtxn) map[string][]int64 {
+			v := map[string][]int64{}
+			for k, rows := range tx.snap {
+				v[k] = append([]int64(nil), rows...)
+			}
+			for _, op := range tx.ops {
+				op(v)
+			}
+			return v
+		}
+		readTable := func(q Querier, tb string) []int64 {
+			res, err := q.Exec("SELECT v FROM " + tb + " ORDER BY v")
+			if err != nil {
+				t.Fatalf("SELECT %s: %v", tb, err)
+			}
+			out := make([]int64, 0, len(res.Rows))
+			for _, r := range res.Rows {
+				out = append(out, r[0].Int())
+			}
+			return out
+		}
+		sorted := func(rows []int64) []int64 {
+			out := append([]int64(nil), rows...)
+			sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+			return out
+		}
+		equal := func(a, b []int64) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+			return true
+		}
+
+		steps := len(data) / 3
+		if steps > 200 {
+			steps = 200
+		}
+		for i := 0; i < steps; i++ {
+			op := data[i*3] % 7
+			si := int(data[i*3+1]) % (nsess + 1) // nsess == autocommit lane
+			arg := int64(data[i*3+2])
+			tb := tables[arg%2]
+			auto := si == nsess
+
+			switch op {
+			case 0: // BEGIN
+				if auto {
+					continue
+				}
+				_, err := sess[si].Exec("BEGIN")
+				if open[si] != nil {
+					if !errors.Is(err, ErrTxnBusy) {
+						t.Fatalf("step %d: nested BEGIN = %v, want ErrTxnBusy", i, err)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("step %d: BEGIN: %v", i, err)
+				}
+				tx := &mtxn{
+					snap:   map[string][]int64{},
+					at:     map[string]int64{},
+					reads:  map[string]bool{},
+					writes: map[string]bool{},
+				}
+				for k, rows := range committed {
+					tx.snap[k] = append([]int64(nil), rows...)
+					tx.at[k] = commits[k]
+				}
+				open[si] = tx
+			case 1: // COMMIT
+				if auto {
+					continue
+				}
+				_, err := sess[si].Exec("COMMIT")
+				tx := open[si]
+				open[si] = nil
+				if tx == nil {
+					if err == nil {
+						t.Fatalf("step %d: COMMIT without transaction succeeded", i)
+					}
+					continue
+				}
+				conflict := false
+				for k := range tx.reads {
+					if commits[k] != tx.at[k] {
+						conflict = true
+					}
+				}
+				for k := range tx.writes {
+					if commits[k] != tx.at[k] {
+						conflict = true
+					}
+				}
+				if conflict {
+					if !errors.Is(err, ErrTxnConflict) {
+						t.Fatalf("step %d: commit = %v, model demands ErrTxnConflict (reads %v writes %v)",
+							i, err, tx.reads, tx.writes)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("step %d: commit = %v, model demands success", i, err)
+				}
+				for _, mop := range tx.ops {
+					mop(committed)
+				}
+				for k := range tx.writes {
+					commits[k]++
+				}
+			case 2: // ROLLBACK
+				if auto {
+					continue
+				}
+				_, err := sess[si].Exec("ROLLBACK")
+				if open[si] == nil {
+					if err == nil {
+						t.Fatalf("step %d: ROLLBACK without transaction succeeded", i)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("step %d: ROLLBACK: %v", i, err)
+				}
+				open[si] = nil
+			case 3: // INSERT
+				sql := fmt.Sprintf("INSERT INTO %s VALUES (%d)", tb, arg)
+				if auto {
+					mustExec(t, db, sql)
+					committed[tb] = append(committed[tb], arg)
+					commits[tb]++
+					continue
+				}
+				if _, err := sess[si].Exec(sql); err != nil {
+					t.Fatalf("step %d: %s: %v", i, sql, err)
+				}
+				if tx := open[si]; tx != nil {
+					tx.writes[tb] = true
+					v := arg
+					k := tb
+					tx.ops = append(tx.ops, func(m map[string][]int64) { m[k] = append(m[k], v) })
+				} else {
+					committed[tb] = append(committed[tb], arg)
+					commits[tb]++
+				}
+			case 4: // UPDATE all rows
+				sql := fmt.Sprintf("UPDATE %s SET v = v + 1 WHERE v < %d", tb, arg)
+				apply := func(rows []int64) []int64 {
+					out := append([]int64(nil), rows...)
+					for j, v := range out {
+						if v < arg {
+							out[j] = v + 1
+						}
+					}
+					return out
+				}
+				affects := func(rows []int64) bool {
+					for _, v := range rows {
+						if v < arg {
+							return true
+						}
+					}
+					return false
+				}
+				if auto {
+					mustExec(t, db, sql)
+					if affects(committed[tb]) {
+						committed[tb] = apply(committed[tb])
+						commits[tb]++
+					}
+					continue
+				}
+				if _, err := sess[si].Exec(sql); err != nil {
+					t.Fatalf("step %d: %s: %v", i, sql, err)
+				}
+				if tx := open[si]; tx != nil {
+					// A zero-row UPDATE touches nothing in the engine:
+					// no derived table, no write-set entry. Mirror that.
+					if affects(view(tx)[tb]) {
+						tx.writes[tb] = true
+						k := tb
+						tx.ops = append(tx.ops, func(m map[string][]int64) { m[k] = apply(m[k]) })
+					}
+				} else if affects(committed[tb]) {
+					committed[tb] = apply(committed[tb])
+					commits[tb]++
+				}
+			case 5: // DELETE
+				sql := fmt.Sprintf("DELETE FROM %s WHERE v = %d", tb, arg)
+				apply := func(rows []int64) []int64 {
+					out := rows[:0:0]
+					for _, v := range rows {
+						if v != arg {
+							out = append(out, v)
+						}
+					}
+					return out
+				}
+				affects := func(rows []int64) bool {
+					for _, v := range rows {
+						if v == arg {
+							return true
+						}
+					}
+					return false
+				}
+				if auto {
+					mustExec(t, db, sql)
+					if affects(committed[tb]) {
+						committed[tb] = apply(committed[tb])
+						commits[tb]++
+					}
+					continue
+				}
+				if _, err := sess[si].Exec(sql); err != nil {
+					t.Fatalf("step %d: %s: %v", i, sql, err)
+				}
+				if tx := open[si]; tx != nil {
+					if affects(view(tx)[tb]) {
+						tx.writes[tb] = true
+						k := tb
+						tx.ops = append(tx.ops, func(m map[string][]int64) { m[k] = apply(m[k]) })
+					}
+				} else if affects(committed[tb]) {
+					committed[tb] = apply(committed[tb])
+					commits[tb]++
+				}
+			case 6: // SELECT and compare against the model's view
+				if auto {
+					got := readTable(db, tb)
+					if !equal(got, sorted(committed[tb])) {
+						t.Fatalf("step %d: autocommit read %s = %v, model %v", i, tb, got, sorted(committed[tb]))
+					}
+					continue
+				}
+				got := readTable(sess[si], tb)
+				var want []int64
+				if tx := open[si]; tx != nil {
+					tx.reads[tb] = true
+					want = sorted(view(tx)[tb])
+				} else {
+					want = sorted(committed[tb])
+				}
+				if !equal(got, want) {
+					t.Fatalf("step %d: session %d read %s = %v, model %v", i, si, tb, got, want)
+				}
+			}
+		}
+
+		// Discard whatever is still open, then the committed state must
+		// equal the serializable reference exactly.
+		for si, tx := range open {
+			if tx != nil {
+				if _, err := sess[si].Exec("ROLLBACK"); err != nil {
+					t.Fatalf("final ROLLBACK session %d: %v", si, err)
+				}
+			}
+		}
+		for _, tb := range tables {
+			got := readTable(db, tb)
+			if !equal(got, sorted(committed[tb])) {
+				t.Fatalf("final state %s = %v, serializable reference %v", tb, got, sorted(committed[tb]))
+			}
+		}
+	})
+}

@@ -1,0 +1,359 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"perfbase/internal/value"
+)
+
+// txnRetry re-runs fn (a whole BEGIN..COMMIT transaction) until it
+// commits without conflict. The embedded-API analogue of the wire
+// client's RunTxn.
+func txnRetry(t *testing.T, s *Session, fn func() error) int {
+	t.Helper()
+	for attempt := 1; ; attempt++ {
+		if _, err := s.Exec("BEGIN"); err != nil {
+			t.Fatalf("BEGIN: %v", err)
+		}
+		err := fn()
+		if err == nil {
+			_, err = s.Exec("COMMIT")
+			if err == nil {
+				return attempt
+			}
+		} else {
+			s.Exec("ROLLBACK") //nolint:errcheck
+		}
+		if !errors.Is(err, ErrTxnConflict) {
+			t.Fatalf("transaction failed non-retryably: %v", err)
+		}
+	}
+}
+
+// TestConcurrentDisjointTxnCommit: N sessions each run transactions
+// against their own table. Under optimistic concurrency none of them
+// may ever observe a conflict, and every commit must land.
+func TestConcurrentDisjointTxnCommit(t *testing.T) {
+	db := NewMemory()
+	const writers = 8
+	const rounds = 40
+	for w := 0; w < writers; w++ {
+		mustExec(t, db, fmt.Sprintf("CREATE TABLE w%d (round integer, v integer)", w))
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := db.NewSession()
+			defer s.Close()
+			for r := 0; r < rounds; r++ {
+				if _, err := s.Exec("BEGIN"); err != nil {
+					errs[w] = fmt.Errorf("round %d BEGIN: %w", r, err)
+					return
+				}
+				for i := 0; i < 3; i++ {
+					if _, err := s.Exec(fmt.Sprintf("INSERT INTO w%d VALUES (%d, %d)", w, r, i)); err != nil {
+						errs[w] = fmt.Errorf("round %d INSERT: %w", r, err)
+						return
+					}
+				}
+				if _, err := s.Exec("COMMIT"); err != nil {
+					// Disjoint write sets: a conflict here is a validation
+					// bug, not something to retry around.
+					errs[w] = fmt.Errorf("round %d COMMIT: %w", r, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", w, err)
+		}
+	}
+	for w := 0; w < writers; w++ {
+		n, ok := db.RowCount(fmt.Sprintf("w%d", w))
+		if !ok || n != rounds*3 {
+			t.Errorf("w%d rows = %d, want %d", w, n, rounds*3)
+		}
+	}
+}
+
+// TestSharedTableTxnConflictRetry: N sessions hammer one shared table
+// with read-modify-write transactions. Conflicts must surface as
+// ErrTxnConflict, retry must drive every transaction to completion,
+// and the final state must equal the serial oracle: if each committed
+// transaction read MAX(k) and inserted MAX+1, the table holds exactly
+// the dense sequence 1..commits — any lost update would leave a
+// duplicate and a hole.
+func TestSharedTableTxnConflictRetry(t *testing.T) {
+	db := NewMemory()
+	mustExec(t, db, "CREATE TABLE shared (k integer)")
+	const writers = 4
+	const commitsEach = 15
+	var attempts atomic.Int64
+	var wg sync.WaitGroup
+	fail := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := db.NewSession()
+			defer s.Close()
+			for c := 0; c < commitsEach; c++ {
+				n := txnRetry(t, s, func() error {
+					res, err := s.Exec("SELECT MAX(k) FROM shared")
+					if err != nil {
+						return err
+					}
+					next := int64(1)
+					if len(res.Rows) == 1 && !res.Rows[0][0].IsNull() {
+						next = res.Rows[0][0].Int() + 1
+					}
+					_, err = s.Exec(fmt.Sprintf("INSERT INTO shared VALUES (%d)", next))
+					return err
+				})
+				attempts.Add(int64(n))
+			}
+		}()
+	}
+	wg.Wait()
+	close(fail)
+	for err := range fail {
+		t.Fatal(err)
+	}
+
+	const total = writers * commitsEach
+	res := mustExec(t, db, "SELECT COUNT(*), COUNT(DISTINCT k), MIN(k), MAX(k) FROM shared")
+	row := res.Rows[0]
+	if row[0].Int() != total || row[1].Int() != total || row[2].Int() != 1 || row[3].Int() != int64(total) {
+		t.Fatalf("final state (count=%v distinct=%v min=%v max=%v) != serial oracle (%d dense keys)",
+			row[0], row[1], row[2], row[3], total)
+	}
+	t.Logf("%d commits took %d attempts (%.1f%% conflict rate)",
+		total, attempts.Load(), 100*float64(attempts.Load()-total)/float64(attempts.Load()))
+}
+
+// TestTxnIsolationAcrossSessions: a transaction's writes are invisible
+// to other sessions (and the committed state) until COMMIT, then
+// visible atomically.
+func TestTxnIsolationAcrossSessions(t *testing.T) {
+	db := NewMemory()
+	mustExec(t, db, "CREATE TABLE iso (a integer)")
+	a, b := db.NewSession(), db.NewSession()
+	defer a.Close()
+	defer b.Close()
+
+	if _, err := a.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Exec("INSERT INTO iso VALUES (1), (2)"); err != nil {
+		t.Fatal(err)
+	}
+	// The writer reads its own writes...
+	res, err := a.Exec("SELECT COUNT(*) FROM iso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 2 {
+		t.Fatalf("in-txn count = %v, want 2", res.Rows[0][0])
+	}
+	// ...but nobody else sees them.
+	for name, q := range map[string]Querier{"session": b, "db": db, "snapshot": db.Snapshot()} {
+		res, err := q.Exec("SELECT COUNT(*) FROM iso")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rows[0][0].Int() != 0 {
+			t.Fatalf("%s sees %v uncommitted rows, want 0", name, res.Rows[0][0])
+		}
+	}
+	if _, err := a.Exec("COMMIT"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = b.Exec("SELECT COUNT(*) FROM iso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 2 {
+		t.Fatalf("post-commit count = %v, want 2", res.Rows[0][0])
+	}
+}
+
+// TestReadWriteConflict: a transaction that read a table another
+// transaction then modified must fail validation, even though their
+// write sets are disjoint (the classic write skew shape).
+func TestReadWriteConflict(t *testing.T) {
+	db := NewMemory()
+	mustExec(t, db, "CREATE TABLE src (a integer)")
+	mustExec(t, db, "CREATE TABLE dst (a integer)")
+	mustExec(t, db, "INSERT INTO src VALUES (10)")
+
+	a, b := db.NewSession(), db.NewSession()
+	defer a.Close()
+	defer b.Close()
+	if _, err := a.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	// a reads src, writes dst.
+	if _, err := a.Exec("SELECT SUM(a) FROM src"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Exec("INSERT INTO dst VALUES (10)"); err != nil {
+		t.Fatal(err)
+	}
+	// b changes src and commits first.
+	if _, err := b.Exec("UPDATE src SET a = 99"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Exec("COMMIT"); !errors.Is(err, ErrTxnConflict) {
+		t.Fatalf("COMMIT after read-set invalidation = %v, want ErrTxnConflict", err)
+	}
+	if n, _ := db.RowCount("dst"); n != 0 {
+		t.Errorf("conflicted txn leaked %d rows into dst", n)
+	}
+}
+
+// TestPointReadNoFalseConflict: transactions that point-read different
+// indexed keys of a shared table must not conflict with a writer that
+// changed an unrelated key; a writer changing the probed key must
+// still conflict.
+func TestPointReadNoFalseConflict(t *testing.T) {
+	db := NewMemory()
+	mustExec(t, db, "CREATE TABLE kv (k integer, v integer)")
+	mustExec(t, db, "CREATE INDEX ON kv (k)")
+	mustExec(t, db, "INSERT INTO kv VALUES (1, 100), (2, 200), (3, 300)")
+	mustExec(t, db, "CREATE TABLE out (v integer)")
+
+	a, b := db.NewSession(), db.NewSession()
+	defer a.Close()
+	defer b.Close()
+
+	// a point-reads k=1, b rewrites k=3: no overlap, no conflict.
+	if _, err := a.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Exec("SELECT v FROM kv WHERE k = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 100 {
+		t.Fatalf("probe = %v", res.Rows)
+	}
+	if _, err := a.Exec("INSERT INTO out VALUES (100)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Exec("UPDATE kv SET v = 333 WHERE k = 3"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Exec("COMMIT"); err != nil {
+		t.Fatalf("disjoint point read conflicted: %v", err)
+	}
+
+	// Same shape, but b rewrites the key a probed: must conflict.
+	if _, err := a.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Exec("SELECT v FROM kv WHERE k = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Exec("INSERT INTO out VALUES (101)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Exec("UPDATE kv SET v = 111 WHERE k = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Exec("COMMIT"); !errors.Is(err, ErrTxnConflict) {
+		t.Fatalf("stale point read committed: %v, want ErrTxnConflict", err)
+	}
+}
+
+// TestAbortedTxnPlanNotShared: a plan compiled against DDL that only
+// ever existed inside an aborted transaction must not serve later
+// statements (the shared-LRU promotion happens at commit, never on
+// rollback). Covers both the explicit-session path and the legacy
+// sessionless path.
+func TestAbortedTxnPlanNotShared(t *testing.T) {
+	run := func(t *testing.T, exec func(string) (*Result, error)) {
+		const q = "SELECT a FROM ghost"
+		if _, err := exec("BEGIN"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := exec("CREATE TABLE ghost (a integer)"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := exec("INSERT INTO ghost VALUES (7)"); err != nil {
+			t.Fatal(err)
+		}
+		res, err := exec(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0].Int() != 7 {
+			t.Fatalf("in-txn read = %v", res.Rows)
+		}
+		if _, err := exec("ROLLBACK"); err != nil {
+			t.Fatal(err)
+		}
+		// Same SQL text, same table name — different schema. A lingering
+		// plan would project the wrong column.
+		if _, err := exec("CREATE TABLE ghost (pad string, a string)"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := exec("INSERT INTO ghost VALUES ('x', 'y')"); err != nil {
+			t.Fatal(err)
+		}
+		res, err = exec(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0] != value.NewString("y") {
+			t.Fatalf("post-abort read = %v, want [y] under the new schema", res.Rows)
+		}
+	}
+	t.Run("session", func(t *testing.T) {
+		s := NewMemory().NewSession()
+		defer s.Close()
+		run(t, s.Exec)
+	})
+	t.Run("sessionless", func(t *testing.T) {
+		run(t, NewMemory().Exec)
+	})
+}
+
+// TestCommittedTxnPlansPromoted: plans compiled inside a committed
+// transaction become shared-cache hits afterwards.
+func TestCommittedTxnPlansPromoted(t *testing.T) {
+	db := NewMemory()
+	mustExec(t, db, "CREATE TABLE p (a integer)")
+	mustExec(t, db, "INSERT INTO p VALUES (1)")
+	s := db.NewSession()
+	defer s.Close()
+	const q = "SELECT a FROM p WHERE a = 1"
+	if _, err := s.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("COMMIT"); err != nil {
+		t.Fatal(err)
+	}
+	cp := db.plans.get(q)
+	if cp == nil {
+		t.Fatal("committed transaction's plan was not promoted to the shared cache")
+	}
+	cp.mu.Lock()
+	compiled := cp.sel != nil && db.state.Load().versionsMatch(cp.vers)
+	cp.mu.Unlock()
+	if !compiled {
+		t.Fatal("promoted plan is not compiled against the committed versions")
+	}
+}

@@ -10,8 +10,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"perfbase/internal/failpoint"
@@ -137,7 +139,40 @@ type groupWAL struct {
 	flushReq chan struct{}
 	quit     chan struct{}
 	done     chan struct{}
+
+	// wrmu orders buffer drains: whoever grabs the buffer next writes
+	// next, so frames land in the file in enqueue (= LSN) order even
+	// with the flusher and a commit leader active at once.
+	wrmu sync.Mutex
+	// leader reports that a SyncAlways committer is currently draining
+	// the buffer and fsyncing on behalf of everyone parked in
+	// waitDurable — the leader/follower group-commit protocol.
+	leader bool
+
+	// arrivals, when set, reports how many committers are between
+	// entering the commit path and enqueueing their frame (see
+	// DB.announceCommit). flush yields while it is non-zero so one
+	// fsync covers the whole cohort.
+	arrivals func() int32
+	// bufFrames counts frames currently in buf; the gather loop in
+	// flush watches it to detect when a commit cohort has finished
+	// enqueueing. Written under mu, read lock-free.
+	bufFrames atomic.Int32
+	// syncs counts fsync calls — fsyncs-per-commit is the group-commit
+	// efficiency metric (see DB.WALSyncs and the occ benchmarks).
+	syncs atomic.Uint64
 }
+
+// maxGatherSpins bounds the pre-fsync yield loop: enough for a cohort
+// of committers to finish their serial validate/publish work and
+// enqueue, but a hard cap so a committer stalled behind a long wmu
+// hold (checkpoint) cannot wedge the drain. gatherStableSpins is how
+// many consecutive yields with no new frames and no announced
+// committers count as "the cohort is complete".
+const (
+	maxGatherSpins    = 128
+	gatherStableSpins = 8
+)
 
 // openWAL opens (or creates) the WAL for appending. A fresh or empty
 // file gets a header stamped with the given epoch; an existing file
@@ -218,11 +253,19 @@ func (w *groupWAL) enqueue(stmts ...string) uint64 {
 	w.buf = appendFrame(w.buf, stmts)
 	w.seq++
 	w.bufTop = w.seq
+	w.bufFrames.Add(1)
 	s := w.seq
 	w.mu.Unlock()
-	select {
-	case w.flushReq <- struct{}{}:
-	default: // a flush is already pending; it will pick this frame up
+	// Under SyncAlways the committer itself drives the write from
+	// waitDurable (leader/follower group commit): waking the flusher
+	// here would race it to a 1-frame fsync while the rest of the
+	// cohort is still enqueueing. Other policies keep the eager flush
+	// so the buffer stays small between interval syncs.
+	if w.policy != SyncAlways {
+		select {
+		case w.flushReq <- struct{}{}:
+		default: // a flush is already pending; it will pick this frame up
+		}
 	}
 	return s
 }
@@ -230,16 +273,38 @@ func (w *groupWAL) enqueue(stmts ...string) uint64 {
 // waitDurable blocks until the record with the given sequence number
 // is fsynced. Under SyncInterval and SyncOff commits do not wait and
 // it returns immediately.
+//
+// Under SyncAlways committers form leader/follower groups: the first
+// committer to arrive becomes the leader and drains the whole buffer
+// into one write+fsync; committers arriving while that fsync is in
+// flight enqueue their frames and park here. When the leader finishes
+// it hands off, and the next leader syncs the entire parked cohort in
+// a single fsync. N concurrent committers therefore cost ~1 fsync per
+// cohort instead of N — the mechanism behind multi-writer commit
+// scaling on a single disk.
 func (w *groupWAL) waitDurable(seq uint64) error {
 	if w.policy != SyncAlways || seq == 0 {
 		return nil
 	}
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	for w.synced < seq && w.err == nil {
-		w.cond.Wait()
+		if w.leader {
+			w.cond.Wait()
+			continue
+		}
+		w.leader = true
+		w.mu.Unlock()
+		w.flush(true)
+		w.mu.Lock()
+		w.leader = false
+		// flush broadcast the new durable horizon; this broadcast lets
+		// a parked committer whose frame arrived mid-fsync take over
+		// as the next leader.
+		w.cond.Broadcast()
 	}
-	return w.err
+	err := w.err
+	w.mu.Unlock()
+	return err
 }
 
 // run is the background flusher: it writes pending frames whenever
@@ -266,12 +331,38 @@ func (w *groupWAL) run() {
 }
 
 // flush writes all buffered frames to the file and optionally fsyncs.
-// Only the flusher goroutine calls it, so file writes never interleave.
+// Called by the flusher goroutine and by SyncAlways commit leaders
+// (waitDurable); wrmu keeps their file writes from interleaving.
 func (w *groupWAL) flush(sync bool) {
+	if sync && w.arrivals != nil {
+		// Gather the cohort: yield until the buffer stops growing and
+		// no committer is announced-but-not-yet-enqueued. On one core
+		// this runs the rest of a commit cohort to their enqueue before
+		// paying the fsync, turning N near-simultaneous commits into
+		// one fsync instead of a 1-frame sync followed by an
+		// (N-1)-frame sync — the difference between flat and scaling
+		// commit throughput. A lone committer exits after
+		// gatherStableSpins cheap yields.
+		frames, stable := w.bufFrames.Load(), 0
+		for spins := 0; spins < maxGatherSpins && stable < gatherStableSpins; spins++ {
+			runtime.Gosched()
+			if cur := w.bufFrames.Load(); cur != frames || w.arrivals() > 0 {
+				frames, stable = cur, 0
+				continue
+			}
+			stable++
+		}
+	}
+	// Drain-to-write ordering: wrmu is taken before the buffer grab and
+	// held across the write, so concurrent drains (flusher vs commit
+	// leader) write their frames in LSN order.
+	w.wrmu.Lock()
+	defer w.wrmu.Unlock()
 	w.mu.Lock()
 	buf := w.buf
 	top := w.bufTop
 	w.buf = nil
+	w.bufFrames.Store(0)
 	w.mu.Unlock()
 
 	var err error
@@ -285,6 +376,7 @@ func (w *groupWAL) flush(sync bool) {
 	}
 	if err == nil && sync {
 		if err = fpWALSync.Inject(); err == nil {
+			w.syncs.Add(1)
 			err = w.f.Sync()
 		}
 	}
@@ -546,6 +638,7 @@ func OpenWithPolicy(dir string, policy SyncPolicy) (*DB, error) {
 		if err != nil {
 			return nil, err
 		}
+		w.arrivals = db.commitArrivals.Load
 		db.wal = w
 		return db, nil
 	}
@@ -567,6 +660,7 @@ func OpenWithPolicy(dir string, policy SyncPolicy) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	w.arrivals = db.commitArrivals.Load
 	db.wal = w
 	return db, nil
 }
@@ -593,63 +687,63 @@ func chunkLensValid(lens []int, nrows int) bool {
 // memory-only databases and clean opens.
 func (db *DB) Recovery() RecoveryInfo { return db.recovery }
 
-// logMutation records a committed mutation as a replication frame: it
-// assigns the next position, feeds the commit hook, and (for durable
-// databases) appends to the WAL, returning the sequence number to wait
-// on for durability (0 when nothing needs waiting). Statements that
-// only touch temporary tables are session-local and skipped. A
-// transaction's statements travel as ONE frame on COMMIT, so recovery
-// and replicas apply the whole transaction or none of it. The caller
-// holds db.wmu.
-func (db *DB) logMutation(st Statement, raw string) uint64 {
+// WALSyncs reports how many fsyncs the current WAL has issued; the
+// ratio of commits to fsyncs measures group-commit batching. Zero for
+// memory-only databases. The counter resets on checkpoint rotation.
+func (db *DB) WALSyncs() uint64 {
+	if db.wal == nil {
+		return 0
+	}
+	return db.wal.syncs.Load()
+}
+
+// logMutation records a committed autocommit mutation as a
+// replication frame: it assigns the next position, feeds the commit
+// hook, and (for durable databases) appends to the WAL, returning the
+// sequence number to wait on for durability (0 when nothing needs
+// waiting). Statements that only touch temporary tables are
+// session-local and skipped. Transactions take a different path: their
+// statements buffer in the session and travel as ONE frame on COMMIT
+// (session.go), so recovery and replicas apply the whole transaction
+// or none of it. The caller holds db.wmu.
+func (db *DB) logMutation(st Statement, raw string, dropTemp bool) uint64 {
 	if !db.replicates() || raw == "" {
 		return 0
 	}
+	if stmtSkipsLog(st, db.isTemp, dropTemp) {
+		return 0
+	}
+	return db.commitBatch([]string{raw})
+}
+
+// stmtSkipsLog reports whether a statement is invisible to the WAL and
+// the replication stream: reads, transaction control, and anything
+// touching only temporary tables. isTemp resolves a table's temp-ness
+// in the state the statement executed against (the committed snapshot
+// for autocommit statements, the session overlay inside transactions);
+// dropTemp carries the verdict for an executed DROP TABLE, whose
+// target is already gone.
+func stmtSkipsLog(st Statement, isTemp func(string) bool, dropTemp bool) bool {
 	switch s := st.(type) {
-	case *SelectStmt:
-		return 0
-	case *BeginStmt:
-		return 0
-	case *RollbackStmt:
-		db.txnLog = nil
-		return 0
-	case *CommitStmt:
-		seq := db.commitBatch(db.txnLog)
-		db.txnLog = nil
-		return seq
+	case *SelectStmt, *ExplainStmt, *BeginStmt, *CommitStmt, *RollbackStmt:
+		return true
 	case *CreateTableStmt:
-		if s.Temp {
-			return 0
-		}
+		return s.Temp
 	case *InsertStmt:
-		if db.isTemp(s.Table) {
-			return 0
-		}
+		return isTemp(s.Table)
 	case *UpdateStmt:
-		if db.isTemp(s.Table) {
-			return 0
-		}
+		return isTemp(s.Table)
 	case *DeleteStmt:
-		if db.isTemp(s.Table) {
-			return 0
-		}
+		return isTemp(s.Table)
 	case *AlterTableStmt:
-		if db.isTemp(s.Table) || s.Rename != "" && db.isTemp(s.Rename) {
-			return 0
-		}
+		return isTemp(s.Table) || s.Rename != "" && isTemp(s.Rename)
 	case *DropTableStmt:
 		// The table is already gone, so its temp-ness was recorded by
 		// execMutation: a dropped temp table's CREATE was never logged,
 		// and replaying (or replicating) the bare DROP would error.
-		if db.lastDropTemp {
-			return 0
-		}
+		return dropTemp
 	}
-	if db.inTxn {
-		db.txnLog = append(db.txnLog, raw)
-		return 0
-	}
-	return db.commitBatch([]string{raw})
+	return false
 }
 
 // waitDurable blocks until the WAL record with the given sequence
@@ -671,6 +765,8 @@ func (db *DB) waitDurable(seq uint64) error {
 	return nil
 }
 
+// isTemp reports whether name is a temporary table in the committed
+// snapshot (the state autocommit statements execute against).
 func (db *DB) isTemp(name string) bool {
 	t, ok := db.state.Load().table(name)
 	return ok && t.temp
@@ -793,6 +889,7 @@ func (db *DB) Checkpoint() error {
 	if err != nil {
 		return err
 	}
+	w.arrivals = db.commitArrivals.Load
 	db.wal = w
 	// Advance the replication position to the fresh epoch and tell the
 	// stream hub: subscribers behind the rotation need a snapshot.

@@ -196,14 +196,15 @@ func (db *DB) selectPlanFor(sn *snapshot, cp *cachedPlan, sel *SelectStmt) (*com
 
 // execCached executes a statement from a cache entry. SELECTs reuse
 // the entry's compiled plan and run lock-free against the current
-// snapshot; everything else goes through the normal parsed-statement
-// path (the parse was still saved).
+// read snapshot (the default session's overlay while it has an open
+// transaction); everything else goes through the normal
+// parsed-statement path (the parse was still saved).
 func (db *DB) execCached(cp *cachedPlan, raw string) (*Result, error) {
 	sel, ok := cp.st.(*SelectStmt)
 	if !ok {
 		return db.ExecParsed(cp.st, raw)
 	}
-	sn := db.state.Load()
+	sn := db.readSnapshot()
 	p, err := db.selectPlanFor(sn, cp, sel)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,625 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"perfbase/internal/failpoint"
+	"perfbase/internal/value"
+)
+
+// This file implements optimistic concurrency control on top of the
+// MVCC overlay machinery in snapshot.go.
+//
+// Every Session owns at most one open transaction. BEGIN pins the
+// current committed snapshot as the transaction's base; each statement
+// inside the transaction builds a private overlay snapshot derived
+// from the previous one, so the session reads its own writes while the
+// committed state (and every other session) is completely unaffected.
+// As statements execute, the transaction records its write set (table
+// keys it mutated) and — for sessions created with NewSession — its
+// read set: tables it scanned, refined to index point-probes where the
+// scan was served by a hash index.
+//
+// COMMIT validates under the commit latch (DB.wmu, held briefly): the
+// transaction may publish iff no transaction committed since its base
+// changed any table in its read or write set. Point reads revalidate
+// by re-probing the index and comparing result fingerprints, so two
+// transactions touching different keys of a hot table don't conflict
+// just because they share it. On success the overlay merges into the
+// current committed snapshot and the transaction's statements enter
+// the group-commit WAL as one frame; the commit hook fires under the
+// latch, so replication frames are emitted in publish order. On
+// conflict every buffered change is discarded and the typed
+// ErrTxnConflict tells the caller to re-run the whole transaction.
+//
+// Disjoint-table writers therefore commit truly in parallel: each
+// builds its overlay outside the latch, validation touches only its
+// own keys, and the WAL flusher batches their frames into shared
+// fsyncs.
+
+// ErrTxnConflict is returned by COMMIT when another transaction
+// committed a conflicting change after this transaction began. The
+// transaction has been rolled back; the caller should re-run it from
+// BEGIN (wire clients can use Client.RunTxn for automatic retry).
+var ErrTxnConflict = errors.New("sqldb: transaction conflict")
+
+// Failpoints covering the commit protocol: a crash between validation
+// and publish, or between publish and the WAL enqueue, must never leak
+// a half-committed overlay into the reopened database.
+var (
+	fpTxnValidate = failpoint.Site("sqldb/txn/validate")
+	fpTxnPublish  = failpoint.Site("sqldb/txn/publish")
+	fpTxnWAL      = failpoint.Site("sqldb/txn/wal")
+)
+
+// Session is one transactional execution context. Sessions are cheap;
+// the wire server creates one per connection. Methods on a Session
+// serialize on its mutex, but any number of sessions run (and commit)
+// concurrently. A Session with no open transaction executes
+// statements exactly like DB.Exec in autocommit mode.
+type Session struct {
+	db *DB
+	// record enables read-set tracking. The DB's internal default
+	// session (the sessionless DB.Exec API) runs with record=false and
+	// validates only its write set: its reads can come from arbitrary
+	// goroutines sharing the DB handle, which would inflate the read
+	// set with bystander scans.
+	record bool
+
+	mu sync.Mutex
+	// tx is the open transaction, nil outside one. Atomic so the
+	// lock-free read path (DB.Exec SELECT routing) can peek at the
+	// default session's overlay without taking mu.
+	tx atomic.Pointer[sessionTxn]
+}
+
+// NewSession creates an independent transactional session with full
+// read-set tracking.
+func (db *DB) NewSession() *Session {
+	return &Session{db: db, record: true}
+}
+
+// sessionTxn is the state of one open transaction.
+type sessionTxn struct {
+	// base is the committed snapshot at BEGIN time.
+	base *snapshot
+	// over is the current private overlay: base plus every statement
+	// executed so far. Atomic so the default session's overlay is
+	// readable by concurrent DB.Exec SELECTs without the session lock.
+	over atomic.Pointer[snapshot]
+	// reads is the accumulated read set; nil when the session does not
+	// record reads.
+	reads *readTracker
+	// writes is the set of (lower-cased) table keys the transaction
+	// mutated; schema is the subset needing plan invalidation.
+	writes map[string]bool
+	schema map[string]bool
+	// log buffers the raw SQL of replicated statements; COMMIT emits
+	// them as one WAL frame.
+	log []string
+	// plans caches statements compiled inside the transaction. Entries
+	// are promoted to the shared LRU only on commit: an aborted DDL's
+	// plan shape must not linger in the shared cache.
+	plans map[string]*cachedPlan
+}
+
+// InTxn reports whether the session has an open transaction.
+func (s *Session) InTxn() bool { return s.tx.Load() != nil }
+
+// Exec parses and executes one SQL statement in this session,
+// honouring the session's open transaction if any.
+func (s *Session) Exec(sql string) (*Result, error) {
+	cp, err := s.db.sharedPlan(sql)
+	if err != nil {
+		return nil, err
+	}
+	if s.tx.Load() == nil {
+		// Reads outside a transaction are lock-free against the
+		// committed snapshot, same as DB.Exec.
+		switch st := cp.st.(type) {
+		case *SelectStmt:
+			sn := s.db.state.Load()
+			p, perr := s.db.selectPlanFor(sn, cp, st)
+			if perr != nil {
+				return nil, perr
+			}
+			return sn.runSelect(st, p)
+		case *ExplainStmt:
+			return s.db.execExplain(s.db.state.Load(), st)
+		}
+	}
+	return s.execStmt(cp, sql)
+}
+
+// ExecArgs executes a statement with '?' placeholders bound to args.
+func (s *Session) ExecArgs(sql string, args ...value.Value) (*Result, error) {
+	bound, err := BindArgs(sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	return s.Exec(bound)
+}
+
+// Close rolls back any open transaction. The wire server closes the
+// session when its connection drops, so a half-done interactive
+// transaction cannot hold its buffered state forever.
+func (s *Session) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if tx := s.tx.Load(); tx != nil {
+		s.rollbackLocked(tx) //nolint:errcheck // rollback of a discarded session
+	}
+}
+
+// execStmt executes a statement from a (shared) cache entry under the
+// session lock, routing to the transaction machinery as needed.
+func (s *Session) execStmt(cp *cachedPlan, raw string) (*Result, error) {
+	s.mu.Lock()
+	if tx := s.tx.Load(); tx != nil {
+		defer s.mu.Unlock()
+		return s.execTxn(tx, cp, raw)
+	}
+	switch cp.st.(type) {
+	case *BeginStmt:
+		defer s.mu.Unlock()
+		return s.beginLocked()
+	case *CommitStmt, *RollbackStmt:
+		s.mu.Unlock()
+		return nil, errorf("no open transaction")
+	case *SelectStmt, *ExplainStmt:
+		// Only reachable via ExecParsed-style callers; reads need no
+		// session state outside a transaction.
+		s.mu.Unlock()
+		return s.db.execCached(cp, "")
+	}
+	// Autocommit mutations run outside the session lock so concurrent
+	// sessions' durability waits share group fsyncs.
+	s.mu.Unlock()
+	return s.db.autocommit(cp.st, raw)
+}
+
+// beginLocked opens a transaction. The caller holds s.mu.
+func (s *Session) beginLocked() (*Result, error) {
+	base := s.db.state.Load()
+	tx := &sessionTxn{
+		base:   base,
+		writes: make(map[string]bool),
+		schema: make(map[string]bool),
+		plans:  make(map[string]*cachedPlan),
+	}
+	if s.record {
+		tx.reads = &readTracker{}
+	}
+	tx.over.Store(base)
+	s.tx.Store(tx)
+	return &Result{}, nil
+}
+
+// execTxn executes one statement inside an open transaction. The
+// caller holds s.mu.
+func (s *Session) execTxn(tx *sessionTxn, cp *cachedPlan, raw string) (*Result, error) {
+	switch st := cp.st.(type) {
+	case *BeginStmt:
+		// One transaction per session; like the pre-session engine this
+		// is the retryable busy error, kept distinct from a commit-time
+		// conflict.
+		return nil, ErrTxnBusy
+	case *CommitStmt:
+		return s.commitLocked(tx)
+	case *RollbackStmt:
+		return s.rollbackLocked(tx)
+	case *SelectStmt:
+		lcp := tx.localPlan(cp, raw)
+		tsn := tx.over.Load().withReads(tx.reads)
+		p, err := s.db.selectPlanFor(tsn, lcp, st)
+		if err != nil {
+			return nil, err
+		}
+		return tsn.runSelect(st, p)
+	case *ExplainStmt:
+		return s.db.execExplain(tx.over.Load().withReads(tx.reads), st)
+	}
+	over := tx.over.Load()
+	ws := newWriteState(s.db, over.withReads(tx.reads))
+	res, err := s.db.execMutation(ws, cp.st)
+	if err != nil {
+		// Statement atomicity inside the transaction: the failed
+		// statement's working state is discarded, the overlay keeps the
+		// last good state.
+		return nil, err
+	}
+	s.installOverlay(tx, over, ws)
+	s.logTxn(tx, cp.st, raw, ws)
+	return res, nil
+}
+
+// installOverlay publishes a statement's working state as the
+// transaction's next private overlay and folds its touched tables into
+// the transaction write set.
+func (s *Session) installOverlay(tx *sessionTxn, over *snapshot, ws *writeState) {
+	if !ws.changed {
+		return
+	}
+	for _, t := range ws.derived {
+		t.seal()
+	}
+	vers := ws.vers
+	if vers == nil {
+		vers = over.vers
+	}
+	tx.over.Store(&snapshot{id: over.id + 1, tables: ws.tables, vers: vers, env: s.db.env})
+	for k := range ws.touched {
+		tx.writes[k] = true
+	}
+	for k := range ws.schema {
+		tx.schema[k] = true
+	}
+}
+
+// logTxn buffers the raw SQL of a replicated statement for the commit
+// frame, applying the same temp-table filtering as the autocommit WAL
+// path — but resolving temp-ness against the transaction's overlay,
+// where a table created earlier in the transaction is visible.
+func (s *Session) logTxn(tx *sessionTxn, st Statement, raw string, ws *writeState) {
+	if !s.db.replicates() || raw == "" {
+		return
+	}
+	over := tx.over.Load()
+	lookup := func(name string) bool {
+		t, ok := over.table(name)
+		return ok && t.temp
+	}
+	if stmtSkipsLog(st, lookup, ws.dropTemp) {
+		return
+	}
+	tx.log = append(tx.log, raw)
+}
+
+// commitLocked validates and publishes the transaction. The caller
+// holds s.mu.
+func (s *Session) commitLocked(tx *sessionTxn) (*Result, error) {
+	db := s.db
+	over := tx.over.Load()
+	// Announce before queueing on the commit latch: committers waiting
+	// here are exactly the cohort the WAL flusher should gather into
+	// one group fsync.
+	db.announceCommit()
+	db.wmu.Lock()
+	if err := fpTxnValidate.Inject(); err != nil {
+		// An injected validation fault aborts the commit cleanly: the
+		// transaction is discarded, nothing was published.
+		db.retireCommit()
+		db.wmu.Unlock()
+		s.tx.Store(nil)
+		return nil, err
+	}
+	cur := db.state.Load()
+	if key, ok := validateTxn(cur, tx, over); !ok {
+		db.retireCommit()
+		db.wmu.Unlock()
+		s.tx.Store(nil)
+		return nil, fmt.Errorf("%w: table %q changed since BEGIN", ErrTxnConflict, key)
+	}
+	if len(tx.writes) > 0 {
+		_ = fpPublish.Inject()   // crash site shared with autocommit publish
+		_ = fpTxnPublish.Inject() // crash between validation and publish
+		db.state.Store(mergeCommit(db, cur, tx, over))
+		if len(tx.schema) > 0 {
+			db.plans.invalidate(tx.schema)
+			db.env.cache.purge(tx.schema)
+		}
+	}
+	var seq uint64
+	if len(tx.log) > 0 {
+		_ = fpTxnWAL.Inject() // crash between publish and the WAL enqueue
+		seq = db.commitBatch(tx.log)
+	}
+	db.retireCommit()
+	db.wmu.Unlock()
+	// Plans compiled inside the transaction become shared only now
+	// that the versions they were compiled against are the committed
+	// ones (validation pinned the read tables, publication installed
+	// the written ones).
+	for sql, cp := range tx.plans {
+		db.plans.put(sql, cp)
+	}
+	s.tx.Store(nil)
+	// The durability wait happens outside both locks so concurrent
+	// committers batch into one group fsync.
+	if err := db.waitDurable(seq); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+// rollbackLocked discards the transaction. Nothing was ever published,
+// so rollback is a pointer drop — except for the default session,
+// whose overlay is visible to the shared plan cache (DB.Exec SELECTs
+// during the open transaction compile into shared entries). For it, a
+// schema-changing abort bumps the committed versions of the touched
+// tables past anything the overlay used, so a plan compiled against a
+// table that existed only inside the aborted transaction can never be
+// mistaken for current. The caller holds s.mu.
+func (s *Session) rollbackLocked(tx *sessionTxn) (*Result, error) {
+	db := s.db
+	if s == db.def && len(tx.schema) > 0 {
+		over := tx.over.Load()
+		db.wmu.Lock()
+		cur := db.state.Load()
+		vers := make(map[string]int64, len(cur.vers)+len(tx.schema))
+		for k, v := range cur.vers {
+			vers[k] = v
+		}
+		for k := range tx.schema {
+			v := cur.vers[k]
+			if ov := over.vers[k]; ov > v {
+				v = ov
+			}
+			vers[k] = v + 1
+		}
+		db.state.Store(&snapshot{id: cur.id + 1, tables: cur.tables, vers: vers, env: db.env})
+		db.plans.invalidate(tx.schema)
+		db.env.cache.purge(tx.schema)
+		db.wmu.Unlock()
+	}
+	s.tx.Store(nil)
+	return &Result{}, nil
+}
+
+// validateTxn decides whether the transaction may commit against cur,
+// the committed snapshot under the latch. It returns the first
+// conflicting table key. The rule: every table in the write set and
+// the (full-scan) read set must be untouched since base — same version
+// pointer, same schema version. A table only point-read through an
+// index gets a second chance: the probes re-run against cur, and if
+// every probe still returns fingerprint-identical rows, the commit is
+// serializable even though the table changed.
+func validateTxn(cur *snapshot, tx *sessionTxn, over *snapshot) (string, bool) {
+	if cur == tx.base {
+		return "", true // nothing committed since BEGIN
+	}
+	unchanged := func(k string) bool {
+		return cur.tables[k] == tx.base.tables[k] && cur.vers[k] == tx.base.vers[k]
+	}
+	for k := range tx.writes {
+		if !unchanged(k) {
+			return k, false
+		}
+	}
+	if tx.reads == nil {
+		return "", true
+	}
+	for k := range tx.reads.full {
+		if tx.writes[k] {
+			continue
+		}
+		if !unchanged(k) {
+			return k, false
+		}
+	}
+	for k, probes := range tx.reads.points {
+		if tx.writes[k] || tx.reads.full[k] || unchanged(k) {
+			continue
+		}
+		ct, ok := cur.tables[k]
+		if !ok {
+			return k, false
+		}
+		for _, p := range probes {
+			if !p.verify(ct) {
+				return k, false
+			}
+		}
+	}
+	return "", true
+}
+
+// mergeCommit builds the published snapshot for a validated commit:
+// cur's tables, with every write-set key replaced by (or deleted per)
+// the transaction's overlay version. When nothing committed in
+// between, the overlay's maps are published wholesale with zero
+// copying — the single-writer fast path.
+func mergeCommit(db *DB, cur *snapshot, tx *sessionTxn, over *snapshot) *snapshot {
+	if cur == tx.base {
+		return &snapshot{id: cur.id + 1, tables: over.tables, vers: over.vers, env: db.env}
+	}
+	tables := make(map[string]*table, len(cur.tables)+len(tx.writes))
+	for k, t := range cur.tables {
+		tables[k] = t
+	}
+	for k := range tx.writes {
+		if t, ok := over.tables[k]; ok {
+			tables[k] = t
+		} else {
+			delete(tables, k)
+		}
+	}
+	vers := cur.vers
+	if len(tx.schema) > 0 {
+		vers = make(map[string]int64, len(cur.vers)+len(tx.schema))
+		for k, v := range cur.vers {
+			vers[k] = v
+		}
+		// Validation pinned the write-set tables at base versions, so
+		// the overlay's bumps are strictly ahead of cur's.
+		for k := range tx.schema {
+			vers[k] = over.vers[k]
+		}
+	}
+	return &snapshot{id: cur.id + 1, tables: tables, vers: vers, env: db.env}
+}
+
+// localPlan returns the transaction-private plan entry for a
+// statement, creating it from the shared entry's parse. Compiled
+// SELECT state lives only in the private copy until commit.
+func (tx *sessionTxn) localPlan(cp *cachedPlan, raw string) *cachedPlan {
+	if l, ok := tx.plans[raw]; ok {
+		return l
+	}
+	l := &cachedPlan{st: cp.st, tables: cp.tables}
+	if len(tx.plans) < planCacheSize {
+		tx.plans[raw] = l
+	}
+	return l
+}
+
+// InsertRows implements BulkInserter within the session: inside a
+// transaction the rows join the overlay (and the commit frame), else
+// this is the plain autocommit bulk path.
+func (s *Session) InsertRows(tableName string, cols []string, rows []Row) (int, error) {
+	if len(rows) == 0 {
+		return 0, nil
+	}
+	s.mu.Lock()
+	tx := s.tx.Load()
+	if tx == nil {
+		s.mu.Unlock()
+		return s.db.insertRowsAutocommit(tableName, cols, rows)
+	}
+	defer s.mu.Unlock()
+	over := tx.over.Load()
+	ws := newWriteState(s.db, over.withReads(tx.reads))
+	nt, n, err := insertRowsWS(ws, tableName, cols, rows)
+	if err != nil {
+		return 0, err
+	}
+	s.installOverlay(tx, over, ws)
+	if s.db.replicates() && !nt.temp {
+		tx.log = append(tx.log, synthInsertSQL(nt.name, cols, rows))
+	}
+	return n, nil
+}
+
+// ------------------------------------------------------ read tracking
+
+// readTracker accumulates one transaction's read set. Tables read by a
+// scan (or any join/vectorized input) are full reads; a single-table
+// SELECT served by a hash-index probe records the probe instead, so
+// validation can re-check just those keys.
+type readTracker struct {
+	mu     sync.Mutex
+	full   map[string]bool
+	points map[string][]pointRead
+}
+
+// pointReadLimit caps recorded probes per table; past it the table
+// escalates to a full read rather than growing without bound.
+const pointReadLimit = 64
+
+type pointRead struct {
+	col string      // lower-cased indexed column
+	key value.Value // probe key, already converted to the column type
+	fp  uint64      // fingerprint of the matched rows
+}
+
+func (tr *readTracker) addFull(key string) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.full == nil {
+		tr.full = make(map[string]bool)
+	}
+	tr.full[key] = true
+	delete(tr.points, key)
+}
+
+func (tr *readTracker) addPoint(key string, p pointRead) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.full[key] {
+		return
+	}
+	if len(tr.points[key]) >= pointReadLimit {
+		if tr.full == nil {
+			tr.full = make(map[string]bool)
+		}
+		tr.full[key] = true
+		delete(tr.points, key)
+		return
+	}
+	if tr.points == nil {
+		tr.points = make(map[string][]pointRead)
+	}
+	tr.points[key] = append(tr.points[key], p)
+}
+
+// verify re-runs the probe against a current table version and reports
+// whether it still matches the recorded fingerprint.
+func (p pointRead) verify(t *table) bool {
+	idx, ok := t.indexes[p.col]
+	if !ok {
+		return false
+	}
+	ci := t.schema.Index(p.col)
+	if ci < 0 {
+		return false
+	}
+	cv, err := p.key.Convert(t.schema[ci].Type)
+	if err != nil {
+		return false
+	}
+	positions := idx.lookup(cv)
+	rows := make([]Row, len(positions))
+	for i, pos := range positions {
+		rows[i] = t.rowAt(pos)
+	}
+	return fingerprintRows(rows) == p.fp
+}
+
+// fingerprintRows hashes a row set's contents (order-sensitively: an
+// index probe returns rows in insertion order, which is stable for an
+// unchanged table).
+func fingerprintRows(rows []Row) uint64 {
+	h := fnv.New64a()
+	var sep = [1]byte{0}
+	for _, row := range rows {
+		for _, v := range row {
+			h.Write([]byte(v.SQL())) //nolint:errcheck // hash.Hash never errors
+			h.Write(sep[:])          //nolint:errcheck
+		}
+		h.Write(sep[:]) //nolint:errcheck
+	}
+	return h.Sum64()
+}
+
+// withReads returns a shallow copy of the snapshot carrying the read
+// tracker, or the snapshot itself when tracking is off. Scans check
+// sn.reads, so only executions rooted at the tracked copy record.
+func (sn *snapshot) withReads(tr *readTracker) *snapshot {
+	if tr == nil {
+		return sn
+	}
+	c := *sn
+	c.reads = tr
+	return &c
+}
+
+// synthInsertSQL renders a bulk InsertRows batch as one INSERT
+// statement for the WAL and the replication stream.
+func synthInsertSQL(table string, cols []string, rows []Row) string {
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO " + table + " (" + strings.Join(cols, ", ") + ") VALUES ")
+	for ri, in := range rows {
+		if ri > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString("(")
+		for vi, v := range in {
+			if vi > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(v.SQL())
+		}
+		sb.WriteString(")")
+	}
+	return sb.String()
+}
+
+var (
+	_ Querier      = (*Session)(nil)
+	_ BulkInserter = (*Session)(nil)
+)

@@ -1,8 +1,6 @@
 package sqldb
 
 import (
-	"sort"
-
 	"perfbase/internal/failpoint"
 )
 
@@ -28,12 +26,11 @@ var fpPublish = failpoint.Site("sqldb/snapshot/publish")
 // snapshot; on error it is simply discarded, which makes every
 // statement atomic.
 //
-// Transactions are overlays: BEGIN records the current snapshot as
-// txnBase, and the pre-transaction table pointers inside it ARE the
-// undo log. ROLLBACK publishes a snapshot that reuses txnBase's tables
-// map wholesale — a pointer swap, no row copying — while bumping the
-// schema version of every table the transaction touched so cached
-// plans compiled mid-transaction can never survive the abort.
+// Transactions are private overlays built from the same writeState
+// machinery (see session.go): each statement inside a transaction
+// publishes into the session's overlay snapshot instead of the shared
+// state, and COMMIT merges the overlay after optimistic validation.
+// ROLLBACK simply drops the overlay — nothing was ever published.
 
 // snapshot is one immutable, published state of the database.
 type snapshot struct {
@@ -51,6 +48,11 @@ type snapshot struct {
 	// in tests that construct snapshots by hand, which then simply run
 	// the row engine.
 	env *execEnv
+	// reads, when non-nil, is a transaction's read tracker: scans and
+	// index probes rooted at this snapshot record themselves for
+	// commit-time validation. Published snapshots never carry one —
+	// only the ephemeral copies made by snapshot.withReads (session.go).
+	reads *readTracker
 }
 
 func (sn *snapshot) table(name string) (*table, bool) {
@@ -90,12 +92,16 @@ type writeState struct {
 	touched map[string]bool   // table keys mutated this statement
 	schema  map[string]bool   // keys needing plan invalidation
 	changed bool
+	// dropTemp records whether the DROP TABLE this statement executed
+	// removed a temporary table — its CREATE was never logged, so the
+	// DROP must not be either.
+	dropTemp bool
 }
 
-// beginWrite snapshots the current state into a working copy. The
-// caller holds db.wmu.
-func (db *DB) beginWrite() *writeState {
-	base := db.state.Load()
+// newWriteState builds a working copy over an arbitrary base snapshot
+// (the committed state for autocommit writers, a transaction's private
+// overlay for statements inside one).
+func newWriteState(db *DB, base *snapshot) *writeState {
 	ws := &writeState{
 		db:      db,
 		base:    base,
@@ -107,6 +113,12 @@ func (db *DB) beginWrite() *writeState {
 		ws.tables[k] = t
 	}
 	return ws
+}
+
+// beginWrite snapshots the current committed state into a working
+// copy. The caller holds db.wmu.
+func (db *DB) beginWrite() *writeState {
+	return newWriteState(db, db.state.Load())
 }
 
 // tab looks a table up in the working state.
@@ -172,33 +184,10 @@ func (ws *writeState) schemaChanged(keys ...string) {
 	ws.changed = true
 }
 
-// restore reverts every table the transaction touched to its version
-// in the BEGIN-time snapshot (transaction rollback). Only the touched
-// keys are reverted — tables mutated by non-transactional writers
-// while the transaction was open keep their current versions. Table
-// versions are shared pointers, not copied: published versions are
-// immutable, so this is safe — and it is what makes rollback a
-// pointer swap per table, independent of row counts.
-func (ws *writeState) restore(base *snapshot, touched map[string]bool) {
-	tables := make(map[string]*table, len(ws.tables))
-	for k, t := range ws.tables {
-		tables[k] = t
-	}
-	for k := range touched {
-		if t, ok := base.tables[k]; ok {
-			tables[k] = t
-		} else {
-			delete(tables, k)
-		}
-	}
-	ws.tables = tables
-	ws.derived = make(map[string]*table)
-	ws.changed = true
-}
-
 // publish seals every table version built this statement and installs
 // the working state as the next snapshot. No-op when nothing changed.
-// The caller holds db.wmu.
+// The caller holds db.wmu. Transactional statements never publish;
+// they install into the session overlay instead (session.go).
 func (ws *writeState) publish() {
 	if !ws.changed {
 		return
@@ -212,28 +201,12 @@ func (ws *writeState) publish() {
 		vers = ws.base.vers
 	}
 	ws.db.state.Store(&snapshot{id: ws.base.id + 1, tables: ws.tables, vers: vers, env: ws.db.env})
-	if ws.db.inTxn {
-		for k := range ws.touched {
-			ws.db.txnTouched[k] = true
-		}
-	}
 	if len(ws.schema) > 0 {
 		ws.db.plans.invalidate(ws.schema)
 		// Column vectors share the plans' lifetime rule: a DDL that
 		// bumps a table's version also drops its cached vectors.
 		ws.db.env.cache.purge(ws.schema)
 	}
-}
-
-// sortedKeys returns the keys of a string-keyed set, sorted (for
-// deterministic version bumps and tests).
-func sortedKeys(set map[string]bool) []string {
-	out := make([]string, 0, len(set))
-	for k := range set {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
 }
 
 // ------------------------------------------------------- exported API

@@ -52,6 +52,9 @@ const (
 // site rename cannot silently hollow the matrix out.
 func tortureSites() []string {
 	return []string{
+		"sqldb/txn/validate",
+		"sqldb/txn/publish",
+		"sqldb/txn/wal",
 		"sqldb/wal/append",
 		"sqldb/wal/write",
 		"sqldb/wal/fsync",

@@ -46,6 +46,7 @@ const (
 	verbStatus    = "status"
 
 	codeBusy           = "busy"
+	codeConflict       = "conflict"
 	codeReadOnly       = "readonly"
 	codeVersion        = "version"
 	codeSnapshotNeeded = "snapshot-needed"

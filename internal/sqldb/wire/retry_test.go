@@ -39,9 +39,10 @@ func TestBusyErrorTypedAcrossWire(t *testing.T) {
 }
 
 // TestRetryPolicyConcurrentCommit runs two clients that both insist on
-// a full BEGIN/INSERT/COMMIT transaction against the single
-// transaction slot. With auto-retry enabled, both must eventually
-// commit every round.
+// full BEGIN/INSERT/COMMIT transactions against one shared table.
+// Their transactions run concurrently and collide at commit
+// validation; RunTxn must retry the conflicted transaction until every
+// round lands.
 func TestRetryPolicyConcurrentCommit(t *testing.T) {
 	db := sqldb.NewMemory()
 	if _, err := db.Exec("CREATE TABLE hits (who integer, round integer)"); err != nil {
@@ -71,16 +72,12 @@ func TestRetryPolicyConcurrentCommit(t *testing.T) {
 		go func(who int, c *Client) {
 			defer wg.Done()
 			for round := 0; round < rounds; round++ {
-				if _, err := c.Exec("BEGIN"); err != nil {
-					errs[who] = fmt.Errorf("round %d BEGIN: %w", round, err)
-					return
-				}
-				if _, err := c.Exec(fmt.Sprintf("INSERT INTO hits VALUES (%d, %d)", who, round)); err != nil {
-					errs[who] = fmt.Errorf("round %d INSERT: %w", round, err)
-					return
-				}
-				if _, err := c.Exec("COMMIT"); err != nil {
-					errs[who] = fmt.Errorf("round %d COMMIT: %w", round, err)
+				err := c.RunTxn(func(c *Client) error {
+					_, err := c.Exec(fmt.Sprintf("INSERT INTO hits VALUES (%d, %d)", who, round))
+					return err
+				})
+				if err != nil {
+					errs[who] = fmt.Errorf("round %d: %w", round, err)
 					return
 				}
 			}
@@ -106,10 +103,16 @@ func TestRetryPolicyConcurrentCommit(t *testing.T) {
 	}
 }
 
-// TestRetryDisabledByDefault: without a policy, busy errors surface
-// immediately.
+// TestRetryDisabledByDefault: transactions on separate connections run
+// concurrently — the second BEGIN no longer blocks or errors — and
+// without a policy the loser's commit-time conflict surfaces
+// immediately as a typed, transaction-scoped ErrTxnConflict (distinct
+// from the statement-scoped ErrTxnBusy).
 func TestRetryDisabledByDefault(t *testing.T) {
 	db := sqldb.NewMemory()
+	if _, err := db.Exec("CREATE TABLE t (a integer)"); err != nil {
+		t.Fatal(err)
+	}
 	srv := NewServer(db)
 	if err := srv.Listen("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
@@ -129,12 +132,36 @@ func TestRetryDisabledByDefault(t *testing.T) {
 	if _, err := a.Exec("BEGIN"); err != nil {
 		t.Fatal(err)
 	}
+	if _, err := b.Exec("BEGIN"); err != nil {
+		t.Fatalf("concurrent BEGIN on second connection = %v, want success", err)
+	}
+	for _, c := range []*Client{a, b} {
+		if _, err := c.Exec("INSERT INTO t VALUES (1)"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.Exec("COMMIT"); err != nil {
+		t.Fatalf("first committer = %v, want success", err)
+	}
 	start := time.Now()
-	if _, err := b.Exec("BEGIN"); !errors.Is(err, sqldb.ErrTxnBusy) {
-		t.Fatalf("busy BEGIN = %v, want ErrTxnBusy", err)
+	_, err = b.Exec("COMMIT")
+	if !errors.Is(err, sqldb.ErrTxnConflict) {
+		t.Fatalf("second committer = %v, want ErrTxnConflict", err)
+	}
+	if errors.Is(err, sqldb.ErrTxnBusy) {
+		t.Fatal("conflict error must not satisfy errors.Is(ErrTxnBusy)")
 	}
 	if d := time.Since(start); d > 100*time.Millisecond {
-		t.Errorf("no-retry busy took %v; default policy should not back off", d)
+		t.Errorf("no-retry conflict took %v; default policy should not back off", d)
+	}
+	// The conflicted transaction is gone: its insert must not be
+	// visible, and the connection is back in autocommit mode.
+	res, err := b.Exec("SELECT COUNT(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 1 {
+		t.Errorf("rows after conflict = %v, want 1 (loser rolled back)", res.Rows[0][0])
 	}
 }
 

@@ -206,6 +206,13 @@ func (s *Server) serveConn(conn net.Conn) {
 		return
 	}
 
+	// Each connection is one transactional session: BEGIN scopes to
+	// this connection only, and concurrent connections' transactions
+	// validate optimistically at COMMIT. Closing the session rolls
+	// back whatever a dropped connection left open.
+	sess := s.db.NewSession()
+	defer sess.Close()
+
 	for {
 		if fpServerRead.Inject() != nil {
 			return // injected disconnect before the next request
@@ -224,7 +231,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if len(req.Batch) > 0 {
 			resp.Batch = make([]response, 0, len(req.Batch))
 			for i := range req.Batch {
-				sr := s.execOne(&req.Batch[i])
+				sr := s.execOne(sess, &req.Batch[i])
 				resp.Batch = append(resp.Batch, sr)
 				if sr.Err != "" {
 					break // pipeline aborts at the first failure
@@ -232,7 +239,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			s.stampPos(&resp)
 		} else {
-			resp = s.execOne(&req)
+			resp = s.execOne(sess, &req)
 		}
 		if fpServerWrite.Inject() != nil {
 			return // injected disconnect with a response in flight
@@ -249,10 +256,10 @@ func (s *Server) stampPos(resp *response) {
 	resp.Epoch, resp.LSN = pos.Epoch, pos.LSN
 }
 
-// execOne runs a single (non-batch) request against the database. The
-// named result matters: the deferred stamp must see the post-commit
-// position on the response actually returned.
-func (s *Server) execOne(req *request) (resp response) {
+// execOne runs a single (non-batch) request against the connection's
+// session. The named result matters: the deferred stamp must see the
+// post-commit position on the response actually returned.
+func (s *Server) execOne(sess *sqldb.Session, req *request) (resp response) {
 	defer s.stampPos(&resp)
 	switch req.Verb {
 	case "":
@@ -283,7 +290,7 @@ func (s *Server) execOne(req *request) (resp response) {
 			fail(&resp, sqldb.ErrReadOnly)
 			return resp
 		}
-		n, err := s.db.InsertRows(req.Table, req.Cols, req.Rows)
+		n, err := sess.InsertRows(req.Table, req.Cols, req.Rows)
 		if err != nil {
 			fail(&resp, err)
 		} else {
@@ -297,7 +304,7 @@ func (s *Server) execOne(req *request) (resp response) {
 			return resp
 		}
 	}
-	res, err := s.db.Exec(req.SQL)
+	res, err := sess.Exec(req.SQL)
 	if err != nil {
 		fail(&resp, err)
 	} else {
@@ -329,6 +336,8 @@ func fail(resp *response, err error) {
 	case errors.Is(err, sqldb.ErrTxnBusy):
 		resp.Code = codeBusy
 		resp.Busy = true
+	case errors.Is(err, sqldb.ErrTxnConflict):
+		resp.Code = codeConflict
 	case errors.Is(err, sqldb.ErrReadOnly):
 		resp.Code = codeReadOnly
 	case errors.Is(err, ErrSnapshotNeeded):
@@ -358,12 +367,21 @@ func (s *Server) Close() error {
 	return err
 }
 
-// RetryPolicy configures automatic retry of statements that fail with
-// sqldb.ErrTxnBusy (the engine's single transaction slot is taken,
-// like SQLITE_BUSY). Retry is opt-in via Client.SetRetryPolicy; the
-// zero policy disables it. Between attempts the client sleeps an
-// exponentially growing delay starting at BaseDelay and capped at
-// MaxDelay.
+// RetryPolicy configures automatic retry of the two retryable error
+// classes, which differ in scope:
+//
+//   - sqldb.ErrTxnBusy (this session already has an open transaction,
+//     like SQLITE_BUSY) is statement-retryable: Client.Exec re-sends
+//     the failed statement.
+//   - sqldb.ErrTxnConflict (optimistic validation failed at COMMIT;
+//     the transaction has been rolled back) is transaction-retryable:
+//     only Client.RunTxn can retry it, by re-running the whole
+//     transaction from BEGIN. Re-sending the COMMIT alone is
+//     meaningless — the transaction no longer exists.
+//
+// Retry is opt-in via Client.SetRetryPolicy; the zero policy disables
+// it. Between attempts the client sleeps an exponentially growing
+// delay starting at BaseDelay and capped at MaxDelay.
 type RetryPolicy struct {
 	// MaxAttempts bounds the total number of tries (the first attempt
 	// included). Zero or one disables retry.
@@ -501,6 +519,44 @@ func (c *Client) execOnce(sql string) (*sqldb.Result, error) {
 	return c.roundTrip(&request{SQL: sql})
 }
 
+// RunTxn runs fn inside a BEGIN/COMMIT pair on this connection. When
+// COMMIT fails with sqldb.ErrTxnConflict — another session committed
+// a conflicting change first — the whole transaction is re-run from
+// BEGIN, with the client's RetryPolicy governing attempts and backoff
+// (conflict retry must replay the transaction's reads and writes
+// against fresh state; re-sending COMMIT alone is impossible, the
+// conflicted transaction is already rolled back). Any error from fn
+// aborts the transaction with ROLLBACK and is returned as-is; fn may
+// therefore be re-invoked and must be safe to run multiple times.
+func (c *Client) RunTxn(fn func(c *Client) error) error {
+	c.mu.Lock()
+	policy := c.retry
+	c.mu.Unlock()
+	attempts := policy.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for attempt := 0; ; attempt++ {
+		if _, err := c.Exec("BEGIN"); err != nil {
+			return err
+		}
+		err := fn(c)
+		if err == nil {
+			if _, err = c.execOnce("COMMIT"); err == nil {
+				return nil
+			}
+		} else {
+			// Abort; the server also rolls back on disconnect, so a
+			// failed ROLLBACK (e.g. connection loss) is not fatal here.
+			c.execOnce("ROLLBACK") //nolint:errcheck
+		}
+		if !errors.Is(err, sqldb.ErrTxnConflict) || attempt+1 >= attempts {
+			return err
+		}
+		time.Sleep(policy.backoff(attempt))
+	}
+}
+
 // roundTrip sends one request and decodes its response, tracking the
 // piggybacked replication position.
 func (c *Client) roundTrip(req *request) (*sqldb.Result, error) {
@@ -542,6 +598,8 @@ func respError(resp *response) error {
 	switch {
 	case resp.Busy || resp.Code == codeBusy:
 		return fmt.Errorf("wire: %w", sqldb.ErrTxnBusy)
+	case resp.Code == codeConflict:
+		return fmt.Errorf("wire: %w: %s", sqldb.ErrTxnConflict, resp.Err)
 	case resp.Code == codeReadOnly:
 		return fmt.Errorf("wire: %w", sqldb.ErrReadOnly)
 	case resp.Code == codeVersion:
