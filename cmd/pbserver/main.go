@@ -12,10 +12,17 @@
 // serves a read-only replica instead: it bootstraps from the primary
 // (snapshot transfer), tails its frame stream, and rejects writes.
 //
+// With -shards (or -shard-addrs) it runs as a sharding coordinator
+// instead: writes are hash-partitioned across shard primaries by each
+// table's first column, queries scatter-gather, and cross-shard
+// statements commit through the coordinator's two-phase commit.
+//
 // Usage:
 //
 //	pbserver [-addr HOST:PORT] [-db DIR] [-mem]
 //	pbserver -replica-of HOST:PORT [-addr HOST:PORT] [-advertise HOST:PORT]
+//	pbserver -shards N [-db DIR] [-mem]
+//	pbserver -shard-addrs "primary[,replica...];primary[,replica...]"
 //	pbserver -waldump DIR
 //	pbserver -blockdump DIR
 package main
@@ -26,10 +33,12 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 
 	"perfbase/internal/failpoint"
 	"perfbase/internal/repl"
+	"perfbase/internal/shard"
 	"perfbase/internal/sqldb"
 	"perfbase/internal/sqldb/wire"
 )
@@ -40,6 +49,8 @@ func main() {
 	mem := flag.Bool("mem", false, "serve an in-memory database (worker node mode)")
 	replicaOf := flag.String("replica-of", "", "run as a read-only replica of the primary at this address")
 	advertise := flag.String("advertise", "", "address to report in STATUS (defaults to the listen address)")
+	shards := flag.Int("shards", 0, "run as a sharding coordinator over N local shard primaries under -db")
+	shardAddrs := flag.String("shard-addrs", "", `run as a sharding coordinator over remote shards ("primary[,replica...];primary[,replica...]")`)
 	waldump := flag.String("waldump", "", "print the WAL v2 frames of a database directory and exit")
 	blockdump := flag.String("blockdump", "", "print the columnar block index of a database directory and exit")
 	flag.Parse()
@@ -56,6 +67,10 @@ func main() {
 	if err := failpoint.SetFromEnv(); err != nil {
 		fmt.Fprintln(os.Stderr, "pbserver:", err)
 		os.Exit(1)
+	}
+
+	if *shards > 0 || *shardAddrs != "" {
+		os.Exit(runCoordinator(*addr, *advertise, *dbDir, *mem, *shards, *shardAddrs))
 	}
 
 	var db *sqldb.DB
@@ -116,6 +131,68 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pbserver:", err)
 		os.Exit(1)
 	}
+}
+
+// runCoordinator serves a sharded cluster over the wire protocol.
+// Local mode opens n durable shard primaries under dir (shard-0/,
+// shard-1/, ...) plus the cross-shard decision log; remote mode
+// connects to already-running pbservers, each optionally with read
+// replicas reached through a read router.
+func runCoordinator(addr, advertise, dir string, mem bool, n int, shardAddrs string) int {
+	var c *shard.Cluster
+	var err error
+	switch {
+	case shardAddrs != "":
+		var backends []shard.Backend
+		for _, grp := range strings.Split(shardAddrs, ";") {
+			grp = strings.TrimSpace(grp)
+			if grp == "" {
+				continue
+			}
+			parts := strings.Split(grp, ",")
+			for i := range parts {
+				parts[i] = strings.TrimSpace(parts[i])
+			}
+			b, berr := shard.Remote(parts[0], parts[1:]...)
+			if berr != nil {
+				fmt.Fprintln(os.Stderr, "pbserver: shard", parts[0], ":", berr)
+				return 1
+			}
+			backends = append(backends, b)
+		}
+		c, err = shard.New(backends)
+	case mem:
+		c = shard.NewLocal(n)
+	default:
+		c, err = shard.OpenLocal(dir, n, sqldb.SyncAlways)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pbserver:", err)
+		return 1
+	}
+
+	srv := wire.NewBackendServer(c)
+	if err := srv.Listen(addr); err != nil {
+		fmt.Fprintln(os.Stderr, "pbserver:", err)
+		return 1
+	}
+	if advertise != "" {
+		srv.SetAdvertise(advertise)
+	} else {
+		srv.SetAdvertise(srv.Addr())
+	}
+	fmt.Printf("pbserver: coordinator serving %d shard(s) on %s\n", c.NumShards(), srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("pbserver: shutting down")
+	srv.Close()
+	if err := c.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "pbserver:", err)
+		return 1
+	}
+	return 0
 }
 
 // dumpWAL prints the frames of a database directory's WAL — epoch,

@@ -70,7 +70,7 @@ func NewTCPPool(n int) (*Pool, error) {
 		if err == nil {
 			if ferr := fpWorkerDial.Inject(); ferr != nil {
 				client.Close()
-				err = ferr
+				err = fmt.Errorf("%w: %s: %v", wire.ErrDial, srv.Addr(), ferr)
 			}
 		}
 		if err != nil {

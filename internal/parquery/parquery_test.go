@@ -1,6 +1,7 @@
 package parquery
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"perfbase/internal/pbxml"
 	"perfbase/internal/query"
 	"perfbase/internal/sqldb"
+	"perfbase/internal/sqldb/wire"
 	"perfbase/internal/value"
 )
 
@@ -24,7 +26,14 @@ const expDoc = `
 
 func seed(t *testing.T) *core.Experiment {
 	t.Helper()
-	s := core.NewStore(sqldb.NewMemory())
+	return seedOn(t, sqldb.NewMemory())
+}
+
+// seedOn seeds the bench experiment on any Querier — a local DB or a
+// sharding coordinator.
+func seedOn(t *testing.T, q sqldb.Querier) *core.Experiment {
+	t.Helper()
+	s := core.NewStore(q)
 	if err := s.Init(); err != nil {
 		t.Fatal(err)
 	}
@@ -274,5 +283,24 @@ func TestTCPPoolDialFailureCleanup(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "node unreachable") {
 		t.Errorf("error = %v, want injected dial failure", err)
+	}
+}
+
+// TestTCPPoolDialFailureTyped: worker dial failures carry the typed
+// wire.ErrDial sentinel so callers (the shard coordinator's retry
+// loop) can distinguish a transiently unreachable node from a query
+// error without string matching.
+func TestTCPPoolDialFailureTyped(t *testing.T) {
+	if err := failpoint.Enable("parquery/worker/dial", "error(node unreachable)@2"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.DisableAll()
+	pool, err := NewTCPPool(3)
+	if err == nil {
+		pool.Close()
+		t.Fatal("pool construction succeeded despite injected dial failure")
+	}
+	if !errors.Is(err, wire.ErrDial) {
+		t.Errorf("error = %v, want errors.Is(err, wire.ErrDial)", err)
 	}
 }

@@ -1,0 +1,42 @@
+package parquery
+
+import (
+	"testing"
+
+	"perfbase/internal/shard"
+)
+
+// TestShardedStoreMatchesSequential stores the experiment on a
+// 4-shard cluster: the core store's DDL broadcasts, its inserts
+// hash-partition by first column, and the engine's source reads
+// scatter-gather through the coordinator. The Fig. 7 query must
+// produce exactly the single-node answer.
+func TestShardedStoreMatchesSequential(t *testing.T) {
+	c := shard.NewLocal(4)
+	defer c.Close()
+	e := seedOn(t, c)
+	ex := NewExecutor(e, nil)
+	res, err := ex.Run(parse(t, fig7Query))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFig7(t, res)
+}
+
+// TestShardedReadSourceWithWorkers combines both parallel layers:
+// worker servers run the operator tree (§4.3) while the coordinator
+// of a sharded primary serves the source reads via SetReadSource.
+func TestShardedReadSourceWithWorkers(t *testing.T) {
+	c := shard.NewLocal(2)
+	defer c.Close()
+	e := seedOn(t, c)
+	pool := NewLocalPool(2)
+	defer pool.Close()
+	ex := NewExecutor(e, pool)
+	ex.SetReadSource(c)
+	res, err := ex.Run(parse(t, fig7Query))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFig7(t, res)
+}

@@ -1,0 +1,217 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"perfbase/internal/failpoint"
+	"perfbase/internal/sqldb"
+	"perfbase/internal/value"
+)
+
+// The determinism battery re-runs the vectorized-execution test
+// shapes through the coordinator and demands byte-identical output
+// across shard counts 1, 2, 4 and 8 and across repeated runs. Only
+// shapes with a defined output order qualify: every projection
+// carries a total-order ORDER BY and every grouped query orders by
+// its keys (or by an aggregate alias with a key tiebreaker). Floats
+// are dyadic (multiples of 0.25) so partial sums merge exactly and
+// SUM/AVG do not depend on the order rows are folded in.
+var determinismQueries = []string{
+	"SELECT COUNT(*) FROM t",
+	"SELECT COUNT(*), SUM(i), MIN(i), MAX(i) FROM t",
+	"SELECT SUM(f), MIN(f), MAX(f), AVG(f) FROM t",
+	"SELECT COUNT(*) FROM t WHERE i > 0 AND b",
+	"SELECT COUNT(*), SUM(i) FROM t WHERE i BETWEEN -5 AND 5",
+	"SELECT COUNT(*) FROM t WHERE s LIKE 's0%'",
+	"SELECT COUNT(*) FROM t WHERE NOT b OR f IS NULL",
+	"SELECT s, COUNT(*) FROM t GROUP BY s ORDER BY s",
+	"SELECT s, COUNT(*) AS n, SUM(i) AS si FROM t GROUP BY s ORDER BY n DESC, s",
+	"SELECT s, b, COUNT(*), MIN(f), MAX(f) FROM t GROUP BY s, b ORDER BY s, b",
+	"SELECT s, AVG(f) AS af FROM t GROUP BY s HAVING COUNT(*) > 5 ORDER BY s",
+	"SELECT s, COUNT(*) AS n FROM t GROUP BY s ORDER BY n DESC, s LIMIT 5",
+	"SELECT s, COUNT(*) AS n FROM t GROUP BY s ORDER BY s LIMIT 4 OFFSET 3",
+	"SELECT COUNT(*), SUM(i), MIN(i), MAX(i) FROM t WHERE i > 1000",
+	"SELECT k, i, f, s FROM t WHERE i > 12 ORDER BY k",
+	"SELECT k, i FROM t WHERE i IN (3, 7, 11) ORDER BY k",
+	"SELECT DISTINCT s FROM t ORDER BY s",
+	"SELECT i, COUNT(*) FROM t WHERE s LIKE 's0%' GROUP BY i ORDER BY i",
+	"SELECT COUNT(DISTINCT s) FROM t",
+	"SELECT MEDIAN(i) FROM t",
+	"SELECT s, SUM(i + 1) FROM t GROUP BY s ORDER BY s",
+}
+
+// loadDeterminismData fills table t with the vector-test data shape:
+// small ints, dyadic floats (NULL every 7th row instead of NaN, so
+// MIN/MAX stay order-independent), a dozen strings, and a boolean.
+func loadDeterminismData(t *testing.T, c *Cluster) {
+	t.Helper()
+	mustExec(t, c, "CREATE TABLE t (k integer, i integer, f float, s string, b boolean)")
+	rng := rand.New(rand.NewSource(7))
+	const n = 400
+	rows := make([]sqldb.Row, 0, n)
+	for k := 0; k < n; k++ {
+		i := int64(rng.Intn(40) - 20)
+		f := value.NewFloat(float64(rng.Intn(64)) * 0.25)
+		if k%7 == 3 {
+			f = value.Null(value.Float)
+		}
+		rows = append(rows, sqldb.Row{
+			value.NewInt(int64(k)),
+			value.NewInt(i),
+			f,
+			value.NewString(fmt.Sprintf("s%02d", rng.Intn(12))),
+			value.NewBool(k%3 == 0),
+		})
+	}
+	if _, err := c.InsertRows("t", []string{"k", "i", "f", "s", "b"}, rows); err != nil {
+		t.Fatalf("InsertRows: %v", err)
+	}
+}
+
+func runBattery(t *testing.T, c *Cluster) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, q := range determinismQueries {
+		res, err := c.Exec(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		sb.WriteString("-- ")
+		sb.WriteString(q)
+		sb.WriteByte('\n')
+		sb.WriteString(dumpResult(res))
+	}
+	return sb.String()
+}
+
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  a: %q\n  b: %q", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(al), len(bl))
+}
+
+// TestShardDeterminismBattery: same data, same queries, shard counts
+// 1/2/4/8, two runs each — every dump must be byte-identical to the
+// single-node reference.
+func TestShardDeterminismBattery(t *testing.T) {
+	ref := NewLocal(1)
+	defer ref.Close()
+	loadDeterminismData(t, ref)
+	want := runBattery(t, ref)
+	if again := runBattery(t, ref); again != want {
+		t.Fatalf("1-shard battery not stable across runs: %s", firstDiff(want, again))
+	}
+	for _, n := range []int{2, 4, 8} {
+		c := NewLocal(n)
+		loadDeterminismData(t, c)
+		for run := 0; run < 2; run++ {
+			got := runBattery(t, c)
+			if got != want {
+				c.Close()
+				t.Fatalf("%d-shard run %d diverges from single node: %s", n, run, firstDiff(want, got))
+			}
+		}
+		c.Close()
+	}
+}
+
+// TestShardDeterminismUnderLatency injects sleep latency at the
+// scatter site so partial results arrive in a scrambled wall-clock
+// order; the merged output must not change, because merge order is
+// shard-index order, never arrival order.
+func TestShardDeterminismUnderLatency(t *testing.T) {
+	c := NewLocal(4)
+	defer c.Close()
+	loadDeterminismData(t, c)
+	want := runBattery(t, c)
+	if err := failpoint.Enable("shard/scatter", "sleep(2ms)"); err != nil {
+		t.Fatalf("enable failpoint: %v", err)
+	}
+	defer failpoint.DisableAll()
+	got := runBattery(t, c)
+	if got != want {
+		t.Fatalf("scatter latency changed query output: %s", firstDiff(want, got))
+	}
+}
+
+// TestShardConcurrentCommitters stresses the two-phase commit path
+// under the race detector: several goroutines commit cross-shard
+// transactions against the same table, retrying on the typed
+// conflict. Every committed transaction must land both its rows.
+func TestShardConcurrentCommitters(t *testing.T) {
+	c := NewLocal(4)
+	defer c.Close()
+	mustExec(t, c, "CREATE TABLE race (k integer, g integer, seq integer)")
+
+	const goroutines = 6
+	txns := 20
+	if testing.Short() {
+		txns = 8
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := c.NewSession()
+			defer s.Close()
+			for seq := 0; seq < txns; seq++ {
+				// Two inserts whose keys land on different shards
+				// (consecutive ints rarely hash together on all 4),
+				// so most commits take the 2PC path and contend on
+				// the marker table.
+				k1 := g*100000 + seq*2
+				k2 := k1 + 1
+				for {
+					if _, err := s.Exec("BEGIN"); err != nil {
+						t.Errorf("g%d BEGIN: %v", g, err)
+						return
+					}
+					_, err := s.Exec(fmt.Sprintf("INSERT INTO race VALUES (%d, %d, %d)", k1, g, seq))
+					if err == nil {
+						_, err = s.Exec(fmt.Sprintf("INSERT INTO race VALUES (%d, %d, %d)", k2, g, seq))
+					}
+					if err != nil {
+						s.Exec("ROLLBACK") //nolint:errcheck
+					} else {
+						_, err = s.Exec("COMMIT")
+						if err == nil {
+							break
+						}
+					}
+					if !errors.Is(err, sqldb.ErrTxnConflict) {
+						t.Errorf("g%d seq %d: unexpected error: %v", g, seq, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	res := mustExec(t, c, "SELECT COUNT(*) FROM race")
+	if got := dumpResult(res); !strings.Contains(got, fmt.Sprintf("%d", 2*goroutines*txns)) {
+		t.Fatalf("expected %d rows, got dump:\n%s", 2*goroutines*txns, got)
+	}
+	pairs := mustExec(t, c, "SELECT g, seq, COUNT(*) AS n FROM race GROUP BY g, seq ORDER BY g, seq")
+	if len(pairs.Rows) != goroutines*txns {
+		t.Fatalf("expected %d (g,seq) groups, got %d", goroutines*txns, len(pairs.Rows))
+	}
+	for _, row := range pairs.Rows {
+		if row[2].SQL() != "2" {
+			t.Fatalf("torn transaction: group %s,%s has %s rows", row[0].SQL(), row[1].SQL(), row[2].SQL())
+		}
+	}
+}

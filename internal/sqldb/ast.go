@@ -108,16 +108,34 @@ type CommitStmt struct{}
 // RollbackStmt aborts the open transaction.
 type RollbackStmt struct{}
 
-func (*CreateTableStmt) stmt() {}
-func (*DropTableStmt) stmt()   {}
-func (*CreateIndexStmt) stmt() {}
-func (*InsertStmt) stmt()      {}
-func (*UpdateStmt) stmt()      {}
-func (*DeleteStmt) stmt()      {}
-func (*SelectStmt) stmt()      {}
-func (*BeginStmt) stmt()       {}
-func (*CommitStmt) stmt()      {}
-func (*RollbackStmt) stmt()    {}
+// PrepareStmt is PREPARE TRANSACTION ['gid']: phase one of a two-phase
+// commit. The session's open transaction is validated and parked with
+// table intents installed, so a later COMMIT PREPARED cannot fail
+// validation. The optional gid is advisory (error messages only); a
+// session holds at most one prepared transaction.
+type PrepareStmt struct{ Gid string }
+
+// CommitPreparedStmt is COMMIT PREPARED: phase two, publishing the
+// session's prepared transaction.
+type CommitPreparedStmt struct{}
+
+// RollbackPreparedStmt is ROLLBACK PREPARED: aborts the session's
+// prepared transaction and releases its intents.
+type RollbackPreparedStmt struct{}
+
+func (*CreateTableStmt) stmt()      {}
+func (*DropTableStmt) stmt()        {}
+func (*CreateIndexStmt) stmt()      {}
+func (*InsertStmt) stmt()           {}
+func (*UpdateStmt) stmt()           {}
+func (*DeleteStmt) stmt()           {}
+func (*SelectStmt) stmt()           {}
+func (*BeginStmt) stmt()            {}
+func (*CommitStmt) stmt()           {}
+func (*RollbackStmt) stmt()         {}
+func (*PrepareStmt) stmt()          {}
+func (*CommitPreparedStmt) stmt()   {}
+func (*RollbackPreparedStmt) stmt() {}
 
 // ------------------------------------------------------- expressions
 

@@ -150,9 +150,9 @@ type blockChunkIdx struct {
 // structure exactly (Open records chunk lengths in the snapshot for
 // this purpose).
 type blockTableIdx struct {
-	Name  string
-	Names []string
-	Types []int
+	Name   string
+	Names  []string
+	Types  []int
 	Chunks []blockChunkIdx
 }
 

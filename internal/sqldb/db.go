@@ -28,6 +28,10 @@ type DB struct {
 	state atomic.Pointer[snapshot]
 	// wmu serializes writers (and transaction state below).
 	wmu sync.Mutex
+	// intents maps table keys pinned by prepared transactions (phase
+	// one of a two-phase commit) to the owning session. Guarded by wmu;
+	// see session.go's two-phase-commit section.
+	intents map[string]*Session
 
 	// plans caches parsed statements and compiled SELECT plans by raw
 	// SQL text. It has its own lock; see plancache.go.
@@ -195,6 +199,11 @@ func (db *DB) autocommit(st Statement, raw string) (*Result, error) {
 		db.wmu.Unlock()
 		return nil, err
 	}
+	if key, held := db.intentConflictLocked(ws.touched); held {
+		db.retireCommit()
+		db.wmu.Unlock()
+		return nil, intentConflictErr(key)
+	}
 	ws.publish()
 	seq := db.logMutation(st, raw, ws.dropTemp)
 	db.retireCommit()
@@ -203,6 +212,32 @@ func (db *DB) autocommit(st Statement, raw string) (*Result, error) {
 		return nil, err
 	}
 	return res, nil
+}
+
+// intentConflictLocked reports a table in keys pinned by a prepared
+// transaction's intent. Any intent blocks — even the caller's own:
+// publishing a write into a prepared transaction's footprint would
+// invalidate its PREPARE-time validation. The caller holds db.wmu.
+func (db *DB) intentConflictLocked(keys map[string]bool) (string, bool) {
+	if len(db.intents) == 0 {
+		return "", false
+	}
+	for k := range keys {
+		if _, held := db.intents[k]; held {
+			return k, true
+		}
+	}
+	return "", false
+}
+
+// releaseIntentsLocked drops the intents a session holds on keys. The
+// caller holds db.wmu.
+func (db *DB) releaseIntentsLocked(s *Session, keys []string) {
+	for _, k := range keys {
+		if db.intents[k] == s {
+			delete(db.intents, k)
+		}
+	}
 }
 
 // announceCommit and retireCommit bracket the window between a
@@ -527,6 +562,11 @@ func (db *DB) insertRowsAutocommit(tableName string, cols []string, rows []Row) 
 		db.retireCommit()
 		db.wmu.Unlock()
 		return 0, err
+	}
+	if key, held := db.intentConflictLocked(ws.touched); held {
+		db.retireCommit()
+		db.wmu.Unlock()
+		return 0, intentConflictErr(key)
 	}
 	ws.publish()
 	var seq uint64

@@ -82,6 +82,17 @@ func (p *sqlParser) ident() (string, error) {
 	return p.advance().text, nil
 }
 
+// acceptGid consumes an optional string-literal transaction id after
+// PREPARE TRANSACTION / COMMIT PREPARED / ROLLBACK PREPARED. The id is
+// advisory — a session holds at most one prepared transaction — so it
+// only decorates error messages and the coordinator's decision log.
+func (p *sqlParser) acceptGid() string {
+	if p.cur().kind == tkString {
+		return p.advance().text
+	}
+	return ""
+}
+
 func (p *sqlParser) parseStatement() (Statement, error) {
 	switch {
 	case p.cur().keyword("select"):
@@ -123,9 +134,22 @@ func (p *sqlParser) parseStatement() (Statement, error) {
 		p.acceptKw("transaction")
 		return &BeginStmt{}, nil
 	case p.acceptKw("commit"):
+		if p.acceptKw("prepared") {
+			p.acceptGid()
+			return &CommitPreparedStmt{}, nil
+		}
 		return &CommitStmt{}, nil
 	case p.acceptKw("rollback"):
+		if p.acceptKw("prepared") {
+			p.acceptGid()
+			return &RollbackPreparedStmt{}, nil
+		}
 		return &RollbackStmt{}, nil
+	case p.acceptKw("prepare"):
+		if err := p.expectKw("transaction"); err != nil {
+			return nil, err
+		}
+		return &PrepareStmt{Gid: p.acceptGid()}, nil
 	}
 	return nil, errorf("unsupported statement starting with %q in %q", p.cur().text, p.src)
 }

@@ -725,7 +725,8 @@ func (db *DB) logMutation(st Statement, raw string, dropTemp bool) uint64 {
 // target is already gone.
 func stmtSkipsLog(st Statement, isTemp func(string) bool, dropTemp bool) bool {
 	switch s := st.(type) {
-	case *SelectStmt, *ExplainStmt, *BeginStmt, *CommitStmt, *RollbackStmt:
+	case *SelectStmt, *ExplainStmt, *BeginStmt, *CommitStmt, *RollbackStmt,
+		*PrepareStmt, *CommitPreparedStmt, *RollbackPreparedStmt:
 		return true
 	case *CreateTableStmt:
 		return s.Temp

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -76,6 +77,19 @@ type Session struct {
 	// lock-free read path (DB.Exec SELECT routing) can peek at the
 	// default session's overlay without taking mu.
 	tx atomic.Pointer[sessionTxn]
+	// prep is the transaction parked by PREPARE TRANSACTION, nil
+	// outside a two-phase commit. Guarded by mu.
+	prep *preparedTxn
+}
+
+// preparedTxn is a validated transaction awaiting COMMIT PREPARED /
+// ROLLBACK PREPARED. While it exists, the database holds intents on
+// every table in its footprint (see prepareLocked), so its eventual
+// publication cannot be invalidated by other committers.
+type preparedTxn struct {
+	tx   *sessionTxn
+	gid  string
+	keys []string // lower-cased footprint tables with intents installed
 }
 
 // NewSession creates an independent transactional session with full
@@ -154,6 +168,12 @@ func (s *Session) Close() {
 	if tx := s.tx.Load(); tx != nil {
 		s.rollbackLocked(tx) //nolint:errcheck // rollback of a discarded session
 	}
+	if s.prep != nil {
+		// A dropped connection must not pin its intents forever; the
+		// coordinator's decision log redoes any committed transaction
+		// this abort loses (see internal/shard).
+		s.rollbackPreparedLocked() //nolint:errcheck
+	}
 }
 
 // execStmt executes a statement from a (shared) cache entry under the
@@ -168,9 +188,15 @@ func (s *Session) execStmt(cp *cachedPlan, raw string) (*Result, error) {
 	case *BeginStmt:
 		defer s.mu.Unlock()
 		return s.beginLocked()
-	case *CommitStmt, *RollbackStmt:
+	case *CommitStmt, *RollbackStmt, *PrepareStmt:
 		s.mu.Unlock()
 		return nil, errorf("no open transaction")
+	case *CommitPreparedStmt:
+		defer s.mu.Unlock()
+		return s.commitPreparedLocked()
+	case *RollbackPreparedStmt:
+		defer s.mu.Unlock()
+		return s.rollbackPreparedLocked()
 	case *SelectStmt, *ExplainStmt:
 		// Only reachable via ExecParsed-style callers; reads need no
 		// session state outside a transaction.
@@ -213,6 +239,10 @@ func (s *Session) execTxn(tx *sessionTxn, cp *cachedPlan, raw string) (*Result, 
 		return s.commitLocked(tx)
 	case *RollbackStmt:
 		return s.rollbackLocked(tx)
+	case *PrepareStmt:
+		return s.prepareLocked(tx, st.Gid)
+	case *CommitPreparedStmt, *RollbackPreparedStmt:
+		return nil, errorf("cannot resolve a prepared transaction while a transaction is open")
 	case *SelectStmt:
 		lcp := tx.localPlan(cp, raw)
 		tsn := tx.over.Load().withReads(tx.reads)
@@ -305,8 +335,14 @@ func (s *Session) commitLocked(tx *sessionTxn) (*Result, error) {
 		s.tx.Store(nil)
 		return nil, fmt.Errorf("%w: table %q changed since BEGIN", ErrTxnConflict, key)
 	}
+	if key, held := db.intentConflictLocked(tx.writes); held {
+		db.retireCommit()
+		db.wmu.Unlock()
+		s.tx.Store(nil)
+		return nil, intentConflictErr(key)
+	}
 	if len(tx.writes) > 0 {
-		_ = fpPublish.Inject()   // crash site shared with autocommit publish
+		_ = fpPublish.Inject()    // crash site shared with autocommit publish
 		_ = fpTxnPublish.Inject() // crash between validation and publish
 		db.state.Store(mergeCommit(db, cur, tx, over))
 		if len(tx.schema) > 0 {
@@ -346,29 +382,188 @@ func (s *Session) commitLocked(tx *sessionTxn) (*Result, error) {
 // table that existed only inside the aborted transaction can never be
 // mistaken for current. The caller holds s.mu.
 func (s *Session) rollbackLocked(tx *sessionTxn) (*Result, error) {
-	db := s.db
-	if s == db.def && len(tx.schema) > 0 {
-		over := tx.over.Load()
-		db.wmu.Lock()
-		cur := db.state.Load()
-		vers := make(map[string]int64, len(cur.vers)+len(tx.schema))
-		for k, v := range cur.vers {
-			vers[k] = v
-		}
-		for k := range tx.schema {
-			v := cur.vers[k]
-			if ov := over.vers[k]; ov > v {
-				v = ov
-			}
-			vers[k] = v + 1
-		}
-		db.state.Store(&snapshot{id: cur.id + 1, tables: cur.tables, vers: vers, env: db.env})
-		db.plans.invalidate(tx.schema)
-		db.env.cache.purge(tx.schema)
-		db.wmu.Unlock()
-	}
+	s.abortSchemaBump(tx)
 	s.tx.Store(nil)
 	return &Result{}, nil
+}
+
+// abortSchemaBump neutralizes shared-plan-cache pollution when the
+// default session aborts a schema-changing transaction; see
+// rollbackLocked.
+func (s *Session) abortSchemaBump(tx *sessionTxn) {
+	db := s.db
+	if s != db.def || len(tx.schema) == 0 {
+		return
+	}
+	over := tx.over.Load()
+	db.wmu.Lock()
+	cur := db.state.Load()
+	vers := make(map[string]int64, len(cur.vers)+len(tx.schema))
+	for k, v := range cur.vers {
+		vers[k] = v
+	}
+	for k := range tx.schema {
+		v := cur.vers[k]
+		if ov := over.vers[k]; ov > v {
+			v = ov
+		}
+		vers[k] = v + 1
+	}
+	db.state.Store(&snapshot{id: cur.id + 1, tables: cur.tables, vers: vers, env: db.env})
+	db.plans.invalidate(tx.schema)
+	db.env.cache.purge(tx.schema)
+	db.wmu.Unlock()
+}
+
+// ------------------------------------------------- two-phase commit
+//
+// PREPARE TRANSACTION is phase one of a cross-shard commit (see
+// internal/shard): it validates the open transaction exactly like
+// COMMIT would, then — instead of publishing — installs an intent on
+// every table in the transaction's footprint (its write set plus its
+// full- and point-read tables) and parks the transaction on the
+// session. While an intent is held, no other commit may publish a
+// write to that table: commitLocked, autocommit and the bulk path all
+// surface ErrTxnConflict instead. Readers are unaffected — a reader
+// that commits before the prepared transaction publishes simply
+// serializes before it.
+//
+// Because the footprint is frozen, COMMIT PREPARED publishes without
+// re-validating and therefore cannot fail: once every shard of a
+// distributed transaction has prepared, the coordinator's commit
+// decision is guaranteed to apply everywhere. Intents are in-memory
+// only — a crash loses the prepared transaction (nothing reached the
+// WAL), which reads as an abort; the coordinator's decision log plus
+// per-shard marker rows make committed transactions redo-able (see
+// internal/shard/txn.go).
+
+// prepareLocked runs phase one on the session's open transaction. The
+// caller holds s.mu.
+func (s *Session) prepareLocked(tx *sessionTxn, gid string) (*Result, error) {
+	if s.prep != nil {
+		return nil, errorf("session already holds a prepared transaction")
+	}
+	db := s.db
+	over := tx.over.Load()
+	db.wmu.Lock()
+	if err := fpTxnValidate.Inject(); err != nil {
+		db.wmu.Unlock()
+		s.tx.Store(nil)
+		return nil, err
+	}
+	cur := db.state.Load()
+	if key, ok := validateTxn(cur, tx, over); !ok {
+		db.wmu.Unlock()
+		s.tx.Store(nil)
+		return nil, fmt.Errorf("%w: table %q changed since BEGIN", ErrTxnConflict, key)
+	}
+	keys := txFootprint(tx)
+	for _, k := range keys {
+		if _, held := db.intents[k]; held {
+			db.wmu.Unlock()
+			s.tx.Store(nil)
+			return nil, intentConflictErr(k)
+		}
+	}
+	if db.intents == nil {
+		db.intents = make(map[string]*Session)
+	}
+	for _, k := range keys {
+		db.intents[k] = s
+	}
+	db.wmu.Unlock()
+	s.prep = &preparedTxn{tx: tx, gid: gid, keys: keys}
+	s.tx.Store(nil)
+	return &Result{}, nil
+}
+
+// commitPreparedLocked runs phase two: publish the parked transaction
+// and release its intents. The caller holds s.mu.
+func (s *Session) commitPreparedLocked() (*Result, error) {
+	p := s.prep
+	if p == nil {
+		return nil, errorf("no prepared transaction")
+	}
+	db := s.db
+	tx := p.tx
+	over := tx.over.Load()
+	db.announceCommit()
+	db.wmu.Lock()
+	cur := db.state.Load()
+	// No re-validation: the intents installed by PREPARE blocked every
+	// commit that could have changed this transaction's footprint.
+	if len(tx.writes) > 0 {
+		_ = fpPublish.Inject()
+		_ = fpTxnPublish.Inject()
+		db.state.Store(mergeCommit(db, cur, tx, over))
+		if len(tx.schema) > 0 {
+			db.plans.invalidate(tx.schema)
+			db.env.cache.purge(tx.schema)
+		}
+	}
+	var seq uint64
+	if len(tx.log) > 0 {
+		_ = fpTxnWAL.Inject()
+		seq = db.commitBatch(tx.log)
+	}
+	db.releaseIntentsLocked(s, p.keys)
+	db.retireCommit()
+	db.wmu.Unlock()
+	for sql, cp := range tx.plans {
+		db.plans.put(sql, cp)
+	}
+	s.prep = nil
+	if err := db.waitDurable(seq); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+// rollbackPreparedLocked aborts the parked transaction and releases
+// its intents. The caller holds s.mu.
+func (s *Session) rollbackPreparedLocked() (*Result, error) {
+	p := s.prep
+	if p == nil {
+		return nil, errorf("no prepared transaction")
+	}
+	db := s.db
+	db.wmu.Lock()
+	db.releaseIntentsLocked(s, p.keys)
+	db.wmu.Unlock()
+	s.abortSchemaBump(p.tx)
+	s.prep = nil
+	return &Result{}, nil
+}
+
+// txFootprint returns the sorted set of tables a transaction read or
+// wrote — the keys PREPARE must pin to keep its validation current.
+func txFootprint(tx *sessionTxn) []string {
+	seen := make(map[string]bool, len(tx.writes))
+	for k := range tx.writes {
+		seen[k] = true
+	}
+	if tx.reads != nil {
+		tx.reads.mu.Lock()
+		for k := range tx.reads.full {
+			seen[k] = true
+		}
+		for k := range tx.reads.points {
+			seen[k] = true
+		}
+		tx.reads.mu.Unlock()
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// intentConflictErr is the typed conflict a commit hits when its write
+// set overlaps a prepared transaction's footprint.
+func intentConflictErr(key string) error {
+	return fmt.Errorf("%w: table %q is locked by a prepared transaction", ErrTxnConflict, key)
 }
 
 // validateTxn decides whether the transaction may commit against cur,

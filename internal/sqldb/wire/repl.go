@@ -186,9 +186,9 @@ func (s *Server) status() Status {
 	if s.replState != nil {
 		st = s.replState.Status()
 	} else {
-		pos := s.db.Pos()
+		pos := s.backend.Pos()
 		st = Status{
-			Role:  s.db.Role(),
+			Role:  s.backend.Role(),
 			Epoch: pos.Epoch,
 			LSN:   pos.LSN,
 		}
@@ -196,8 +196,10 @@ func (s *Server) status() Status {
 	if st.Advertise == "" {
 		st.Advertise = s.advertise
 	}
-	st.SyncPolicy = s.db.WALPolicyName()
-	st.Recovery = s.db.Recovery()
+	if s.db != nil {
+		st.SyncPolicy = s.db.WALPolicyName()
+		st.Recovery = s.db.Recovery()
+	}
 	return st
 }
 
@@ -215,7 +217,7 @@ func (s *Server) waitApplied(want sqldb.ReplPos, waitMS int) error {
 	}
 	deadline := time.Now().Add(timeout)
 	for {
-		cur := s.db.Pos()
+		cur := s.backend.Pos()
 		if !cur.Before(want) {
 			return nil
 		}
@@ -281,7 +283,7 @@ func (s *Server) serveStream(conn net.Conn, enc *gob.Encoder, req *request) {
 				fr = f
 			}
 		case <-hb.C:
-			pos := s.db.Pos()
+			pos := s.backend.Pos()
 			fr = Frame{Epoch: pos.Epoch, LSN: pos.LSN, Heartbeat: true}
 		}
 		if fpSenderSend.Inject() != nil {

@@ -100,10 +100,37 @@ type response struct {
 	LSN    uint64
 }
 
-// Server serves a database to remote clients.
+// BackendSession is one connection's transactional execution context
+// on a Backend. *sqldb.Session satisfies it natively; a shard
+// coordinator's cluster session does too.
+type BackendSession interface {
+	Exec(sql string) (*sqldb.Result, error)
+	InsertRows(table string, cols []string, rows []sqldb.Row) (int, error)
+	Close()
+}
+
+// Backend is what a wire server serves: a local database or a shard
+// coordinator. Replication verbs (SUBSCRIBE/SNAPSHOT) additionally
+// need a *sqldb.DB and are refused on other backends.
+type Backend interface {
+	NewWireSession() BackendSession
+	Role() string
+	Pos() sqldb.ReplPos
+}
+
+// dbBackend adapts *sqldb.DB to Backend (NewSession's concrete return
+// type prevents *sqldb.DB satisfying it directly).
+type dbBackend struct{ db *sqldb.DB }
+
+func (b dbBackend) NewWireSession() BackendSession { return b.db.NewSession() }
+func (b dbBackend) Role() string                   { return b.db.Role() }
+func (b dbBackend) Pos() sqldb.ReplPos             { return b.db.Pos() }
+
+// Server serves a database (or any Backend) to remote clients.
 type Server struct {
-	db *sqldb.DB
-	ln net.Listener
+	db      *sqldb.DB // nil when serving a non-database Backend
+	backend Backend
+	ln      net.Listener
 
 	// Replication configuration (see repl.go): source streams WAL
 	// frames on SUBSCRIBE (primaries only); replState answers STATUS
@@ -123,7 +150,14 @@ type Server struct {
 
 // NewServer wraps db in an unstarted server.
 func NewServer(db *sqldb.DB) *Server {
-	return &Server{db: db, conns: make(map[net.Conn]struct{})}
+	return &Server{db: db, backend: dbBackend{db}, conns: make(map[net.Conn]struct{})}
+}
+
+// NewBackendServer wraps an arbitrary Backend — e.g. a shard
+// coordinator — in an unstarted server. SQL, bulk inserts, pipelines
+// and STATUS work; replication verbs answer with a typed error.
+func NewBackendServer(b Backend) *Server {
+	return &Server{backend: b, conns: make(map[net.Conn]struct{})}
 }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0").
@@ -200,7 +234,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		enc.Encode(&resp) //nolint:errcheck // closing anyway
 		return
 	}
-	ack := response{Hello: &HelloAck{Version: ProtocolVersion, Role: s.db.Role(), Advertise: s.advertise}}
+	ack := response{Hello: &HelloAck{Version: ProtocolVersion, Role: s.backend.Role(), Advertise: s.advertise}}
 	s.stampPos(&ack)
 	if err := enc.Encode(&ack); err != nil {
 		return
@@ -210,7 +244,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	// this connection only, and concurrent connections' transactions
 	// validate optimistically at COMMIT. Closing the session rolls
 	// back whatever a dropped connection left open.
-	sess := s.db.NewSession()
+	sess := s.backend.NewWireSession()
 	defer sess.Close()
 
 	for {
@@ -250,16 +284,16 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// stampPos records the database's replication position on a response.
+// stampPos records the backend's replication position on a response.
 func (s *Server) stampPos(resp *response) {
-	pos := s.db.Pos()
+	pos := s.backend.Pos()
 	resp.Epoch, resp.LSN = pos.Epoch, pos.LSN
 }
 
 // execOne runs a single (non-batch) request against the connection's
 // session. The named result matters: the deferred stamp must see the
 // post-commit position on the response actually returned.
-func (s *Server) execOne(sess *sqldb.Session, req *request) (resp response) {
+func (s *Server) execOne(sess BackendSession, req *request) (resp response) {
 	defer s.stampPos(&resp)
 	switch req.Verb {
 	case "":
@@ -268,6 +302,11 @@ func (s *Server) execOne(sess *sqldb.Session, req *request) (resp response) {
 		resp.Status = &st
 		return resp
 	case verbSnapshot:
+		if s.db == nil {
+			resp.Code = codeBadVerb
+			resp.Err = "wire: backend does not serve snapshots"
+			return resp
+		}
 		if err := fpSnapshotTransfer.Inject(); err != nil {
 			fail(&resp, err)
 			return resp
@@ -432,13 +471,20 @@ type Client struct {
 // non-speaking peer fails instead of hanging.
 const handshakeTimeout = 5 * time.Second
 
+// ErrDial is the typed, retryable class of connection-establishment
+// failures: the peer is unreachable or refused the connection. Callers
+// use errors.Is(err, ErrDial) to distinguish "server down — fail over
+// to a replica or retry" from a query error, which retrying cannot
+// fix. The parquery pool and the shard coordinator both route on it.
+var ErrDial = errors.New("wire: dial failed")
+
 // Dial connects to a server and performs the protocol handshake. A
 // peer that does not speak this protocol version yields a typed
-// ErrVersionMismatch.
+// ErrVersionMismatch; an unreachable peer yields a typed ErrDial.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+		return nil, fmt.Errorf("%w: %s: %v", ErrDial, addr, err)
 	}
 	c := &Client{
 		conn: conn,
