@@ -31,6 +31,13 @@
 # shards=4 txns/sec against shards=1, measuring WAL-stream overlap —
 # plus the scatter-gather group-by cost and the cross-shard two-phase
 # commit tax).
+# BENCH_PR9.json holds the continuous-benchmarking numbers (streaming
+# ingest through a 4-worker pool vs one-INSERT-per-row serial loading,
+# both durable with the sqldb/wal/append sleep failpoint modeling a
+# 1ms log device — the ≥2× criterion compares rows/sec of
+# ingest-workers=4 against serial-insert — plus materialized view
+# reads vs on-demand aggregate execution, where the ≥5× criterion
+# compares the on-demand ns/op against materialized).
 # Re-run after engine changes and compare the committed numbers in
 # CHANGES.md.
 set -eu
@@ -43,7 +50,8 @@ TMP5=$(mktemp)
 TMP6=$(mktemp)
 TMP7=$(mktemp)
 TMP8=$(mktemp)
-trap 'rm -f "$TMP1" "$TMP2" "$TMP4" "$TMP5" "$TMP6" "$TMP7" "$TMP8"' EXIT
+TMP9=$(mktemp)
+trap 'rm -f "$TMP1" "$TMP2" "$TMP4" "$TMP5" "$TMP6" "$TMP7" "$TMP8" "$TMP9"' EXIT
 
 go test -run '^$' -bench \
   'BenchmarkExprDerived$|BenchmarkFig3_ParallelSpeedupTCP$' \
@@ -132,6 +140,15 @@ go test -run '^$' -bench \
   'BenchmarkShardedIngest$|BenchmarkShardedGroupBy$|BenchmarkCrossShardCommit$' \
   -benchtime=1000x -count=1 ./internal/shard | tee -a "$TMP8"
 
+# PR9: continuous benchmarking. Streaming ingest (bulk per-file
+# statements, group-commit overlap across 4 workers) vs serial per-row
+# INSERTs on durable databases with the sqldb/wal/append latency
+# failpoint armed by the benchmark itself, then materialized view
+# reads vs on-demand aggregate execution.
+go test -run '^$' -bench \
+  'BenchmarkLiveIngest$|BenchmarkLiveViewRead$' \
+  -benchtime=1000x -count=1 ./internal/live | tee -a "$TMP9"
+
 to_json "$TMP1" BENCH_PR1.json
 to_json "$TMP2" BENCH_PR2.json
 to_json "$TMP4" BENCH_PR4.json
@@ -139,5 +156,6 @@ to_json "$TMP5" BENCH_PR5.json
 to_json "$TMP6" BENCH_PR6.json
 to_json "$TMP7" BENCH_PR7.json
 to_json "$TMP8" BENCH_PR8.json
+to_json "$TMP9" BENCH_PR9.json
 
-echo "wrote BENCH_PR1.json, BENCH_PR2.json, BENCH_PR4.json, BENCH_PR5.json, BENCH_PR6.json, BENCH_PR7.json and BENCH_PR8.json"
+echo "wrote BENCH_PR1.json, BENCH_PR2.json, BENCH_PR4.json, BENCH_PR5.json, BENCH_PR6.json, BENCH_PR7.json, BENCH_PR8.json and BENCH_PR9.json"

@@ -17,10 +17,17 @@
 // table's first column, queries scatter-gather, and cross-shard
 // statements commit through the coordinator's two-phase commit.
 //
+// With -live it additionally serves the continuous-benchmarking verbs
+// (INGEST / WATCH / VIEW): streaming ingest through a parallel worker
+// pool, materialized standard views, and push regression alerts tuned
+// by the -alert-* flags (defaults are the anomaly.Default* constants).
+// A replica can run -live too: it serves views and alerts from its
+// replicated data while ingest stays refused as read-only.
+//
 // Usage:
 //
-//	pbserver [-addr HOST:PORT] [-db DIR] [-mem]
-//	pbserver -replica-of HOST:PORT [-addr HOST:PORT] [-advertise HOST:PORT]
+//	pbserver [-addr HOST:PORT] [-db DIR] [-mem] [-live]
+//	pbserver -replica-of HOST:PORT [-addr HOST:PORT] [-advertise HOST:PORT] [-live]
 //	pbserver -shards N [-db DIR] [-mem]
 //	pbserver -shard-addrs "primary[,replica...];primary[,replica...]"
 //	pbserver -waldump DIR
@@ -36,7 +43,9 @@ import (
 	"strings"
 	"syscall"
 
+	"perfbase/internal/anomaly"
 	"perfbase/internal/failpoint"
+	"perfbase/internal/live"
 	"perfbase/internal/repl"
 	"perfbase/internal/shard"
 	"perfbase/internal/sqldb"
@@ -53,6 +62,12 @@ func main() {
 	shardAddrs := flag.String("shard-addrs", "", `run as a sharding coordinator over remote shards ("primary[,replica...];primary[,replica...]")`)
 	waldump := flag.String("waldump", "", "print the WAL v2 frames of a database directory and exit")
 	blockdump := flag.String("blockdump", "", "print the columnar block index of a database directory and exit")
+	liveOn := flag.Bool("live", false, "serve the continuous-benchmarking verbs (INGEST, WATCH, VIEW)")
+	liveWorkers := flag.Int("live-workers", 4, "ingest worker pool size (with -live)")
+	liveAtomic := flag.Bool("live-atomic", false, "load each ingested file as one optimistic transaction (with -live)")
+	alertK := flag.Float64("alert-k", anomaly.DefaultK, "outlier sigma threshold for alert analyses")
+	alertThreshold := flag.Float64("alert-threshold", anomaly.DefaultThresholdPct, "regression alert threshold in percent")
+	alertMinSamples := flag.Int("alert-min-samples", anomaly.DefaultMinSamples, "minimum group population for alert statistics")
 	flag.Parse()
 
 	if *waldump != "" {
@@ -70,6 +85,10 @@ func main() {
 	}
 
 	if *shards > 0 || *shardAddrs != "" {
+		if *liveOn {
+			fmt.Fprintln(os.Stderr, "pbserver: -live is not supported in coordinator mode")
+			os.Exit(1)
+		}
 		os.Exit(runCoordinator(*addr, *advertise, *dbDir, *mem, *shards, *shardAddrs))
 	}
 
@@ -101,6 +120,22 @@ func main() {
 		hub = repl.NewHub(db)
 		srv.SetReplSource(hub)
 	}
+	var liveSvc *live.Service
+	if *liveOn {
+		// On a replica the service maintains views and pushes alerts
+		// from the replicated commit stream; the wire layer keeps
+		// refusing INGEST as read-only.
+		liveSvc = live.New(db, live.Config{
+			Workers: *liveWorkers,
+			Atomic:  *liveAtomic,
+			Alerts: anomaly.Options{
+				K:            *alertK,
+				ThresholdPct: *alertThreshold,
+				MinSamples:   *alertMinSamples,
+			},
+		})
+		srv.SetLive(liveSvc)
+	}
 	if err := srv.Listen(*addr); err != nil {
 		fmt.Fprintln(os.Stderr, "pbserver:", err)
 		os.Exit(1)
@@ -110,10 +145,14 @@ func main() {
 	} else {
 		srv.SetAdvertise(srv.Addr())
 	}
+	mode := ""
+	if *liveOn {
+		mode = ", live"
+	}
 	if *replicaOf != "" {
-		fmt.Printf("pbserver: replica of %s serving on %s\n", *replicaOf, srv.Addr())
+		fmt.Printf("pbserver: replica of %s serving on %s%s\n", *replicaOf, srv.Addr(), mode)
 	} else {
-		fmt.Printf("pbserver: primary serving on %s (durable=%v)\n", srv.Addr(), db.Role() == "primary" && !*mem)
+		fmt.Printf("pbserver: primary serving on %s (durable=%v%s)\n", srv.Addr(), db.Role() == "primary" && !*mem, mode)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -124,6 +163,9 @@ func main() {
 		replica.Close()
 	}
 	srv.Close()
+	if liveSvc != nil {
+		liveSvc.Close()
+	}
 	if hub != nil {
 		hub.Close()
 	}

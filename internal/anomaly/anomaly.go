@@ -30,30 +30,50 @@ import (
 	"perfbase/internal/value"
 )
 
-// Options tunes the analyses.
+// The default tuning, defined once here: every consumer — the CLI,
+// pbserver's -alert-* flags, the live WATCH verb — renders and applies
+// these same values, so the documentation cannot drift from the code.
+const (
+	// DefaultK is the sigma threshold of Scan.
+	DefaultK = 3
+	// DefaultThresholdPct is the relative-change threshold of Latest,
+	// in percent.
+	DefaultThresholdPct = 20
+	// DefaultMinSamples is the minimum group population for statistics
+	// (Latest additionally needs at least 2 runs).
+	DefaultMinSamples = 4
+)
+
+// Options tunes the analyses. The zero value of each field selects the
+// Default* constant above; GroupBy empty selects every parameter
+// except timestamp-typed ones.
 type Options struct {
-	// K is the sigma threshold of Scan (default 3).
+	// K is the sigma threshold of Scan.
 	K float64
 	// ThresholdPct is the relative-change threshold of Latest in
-	// percent (default 20).
+	// percent.
 	ThresholdPct float64
-	// MinSamples is the minimum group population for statistics
-	// (default 4 for Scan, 2 runs for Latest).
+	// MinSamples is the minimum group population for statistics.
 	MinSamples int
-	// GroupBy names the parameters that define a group. Empty selects
-	// every parameter except timestamp-typed ones.
+	// GroupBy names the parameters that define a group.
 	GroupBy []string
 }
 
-func (o Options) withDefaults() Options {
+// DefaultOptions returns the documented default tuning.
+func DefaultOptions() Options {
+	return Options{K: DefaultK, ThresholdPct: DefaultThresholdPct, MinSamples: DefaultMinSamples}
+}
+
+// WithDefaults fills zero fields with the Default* constants.
+func (o Options) WithDefaults() Options {
 	if o.K == 0 {
-		o.K = 3
+		o.K = DefaultK
 	}
 	if o.ThresholdPct == 0 {
-		o.ThresholdPct = 20
+		o.ThresholdPct = DefaultThresholdPct
 	}
 	if o.MinSamples == 0 {
-		o.MinSamples = 4
+		o.MinSamples = DefaultMinSamples
 	}
 	return o
 }
@@ -214,7 +234,7 @@ func robustStats(ps []point) (center, spread float64) {
 // Scan flags observations more than K standard deviations from their
 // group mean. Findings are ordered by descending sigma.
 func Scan(exp *core.Experiment, variable string, opts Options) ([]Finding, error) {
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	groups, err := collect(exp, variable, opts)
 	if err != nil {
 		return nil, err
@@ -251,7 +271,7 @@ func Scan(exp *core.Experiment, variable string, opts Options) ([]Finding, error
 // runs, per group, and reports relative changes beyond the threshold.
 // Results are ordered by descending absolute change.
 func Latest(exp *core.Experiment, variable string, opts Options) ([]Regression, error) {
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	runs, err := exp.Runs()
 	if err != nil {
 		return nil, err

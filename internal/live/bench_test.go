@@ -1,0 +1,167 @@
+package live
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"perfbase/internal/failpoint"
+	"perfbase/internal/sqldb"
+	"perfbase/internal/sqldb/wire"
+)
+
+// benchFile renders one benchmark output file with rows tabular data
+// sets; the tag keeps every file's fingerprint unique.
+func benchFile(tag string, rows int) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "run %s\nhost: benchhost\nscore: 10\nnproc op bw\n", tag)
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&b, "%d read %g\n", i%8+1, 100+float64(i))
+	}
+	return []byte(b.String())
+}
+
+// BenchmarkLiveIngest compares streaming ingest through the worker
+// pool against the naive alternative it replaces: a single client
+// inserting benchmark rows one INSERT statement (= one autocommit
+// frame) at a time. Both run on a durable SyncAlways database with the
+// sqldb/wal/append sleep failpoint modeling a 1ms log device, as in
+// the PR5/PR8 benchmarks. The ingest path wins twice over: each file's
+// data sets land as one bulk INSERT, and concurrent workers overlap
+// their frames through group commit. The PR gate compares rows/sec of
+// ingest-workers=4 against serial-insert (criterion: ≥2×).
+func BenchmarkLiveIngest(b *testing.B) {
+	const rowsPerFile = 16
+
+	b.Run("serial-insert", func(b *testing.B) {
+		db, err := sqldb.OpenWithPolicy(b.TempDir(), sqldb.SyncAlways)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		if _, err := db.Exec("CREATE TABLE serial (nproc integer, op string, bw float)"); err != nil {
+			b.Fatal(err)
+		}
+		if err := failpoint.Enable("sqldb/wal/append", "sleep(1ms)"); err != nil {
+			b.Fatal(err)
+		}
+		defer failpoint.DisableAll()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Exec(fmt.Sprintf("INSERT INTO serial VALUES (%d, 'read', %g)", i%8+1, 100+float64(i))); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		failpoint.DisableAll()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rows/sec")
+	})
+
+	b.Run("ingest-workers=4", func(b *testing.B) {
+		db, err := sqldb.OpenWithPolicy(b.TempDir(), sqldb.SyncAlways)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		newBench(b, db)
+		svc := New(db, Config{Workers: 4})
+		defer svc.Close()
+		// b.N counts rows (matching serial-insert's per-row ns/op);
+		// the workload arrives as files of rowsPerFile data sets over
+		// four concurrent client streams.
+		files := (b.N + rowsPerFile - 1) / rowsPerFile
+		const clients = 4
+		quota := make([]int, clients)
+		for i := 0; i < files; i++ {
+			quota[i%clients]++
+		}
+		if err := failpoint.Enable("sqldb/wal/append", "sleep(1ms)"); err != nil {
+			b.Fatal(err)
+		}
+		defer failpoint.DisableAll()
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		b.ResetTimer()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; i < quota[c]; i++ {
+					n := next.Add(1)
+					req := wire.IngestRequest{
+						Experiment: "bench",
+						Desc:       []byte(descDoc),
+						Name:       fmt.Sprintf("out_f%d.txt", n),
+						Data:       benchFile(fmt.Sprintf("f%d", n), rowsPerFile),
+					}
+					if _, err := svc.IngestFile(req); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		b.StopTimer()
+		failpoint.DisableAll()
+		b.ReportMetric(float64(files*rowsPerFile)/b.Elapsed().Seconds(), "rows/sec")
+	})
+}
+
+// BenchmarkLiveViewRead compares reading a maintained materialized
+// view (an atomic pointer load behind ViewResult) against executing
+// its aggregate SQL on demand for every read — the dashboard-refresh
+// pattern the view registry exists for. The PR gate compares ns/op of
+// on-demand against materialized (criterion: ≥5×).
+func BenchmarkLiveViewRead(b *testing.B) {
+	db := sqldb.NewMemory()
+	defer db.Close()
+	newBench(b, db)
+	svc := New(db, Config{Workers: 4})
+	defer svc.Close()
+	for i := 0; i < 50; i++ {
+		req := wire.IngestRequest{
+			Experiment: "bench",
+			Desc:       []byte(descDoc),
+			Name:       fmt.Sprintf("out_v%d.txt", i),
+			Data:       benchFile(fmt.Sprintf("v%d", i), 16),
+		}
+		if _, err := svc.IngestFile(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := svc.Views().WaitPos(db.Pos(), 10*time.Second); err != nil {
+		b.Fatal(err)
+	}
+	const view = "bench/score"
+	sql := standardViewSQL[view]
+
+	b.Run("materialized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, _, err := svc.ViewResult(view)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Rows) != 1 {
+				b.Fatalf("rows = %d", len(res.Rows))
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reads/sec")
+	})
+
+	b.Run("on-demand", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := db.Exec(sql)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Rows) != 1 {
+				b.Fatalf("rows = %d", len(res.Rows))
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reads/sec")
+	})
+}

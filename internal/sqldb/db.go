@@ -62,8 +62,16 @@ type DB struct {
 	// position (epoch + frames committed within it), written under wmu
 	// and read lock-free; commitHook observes committed frames for the
 	// streaming hub; role is a display label ("primary"/"replica").
+	// extraHooks holds additional AddCommitHook registrations (the
+	// materialized-view and alert pipelines), fired after commitHook;
+	// hooksMu serializes registration, hookGoid marks the goroutine
+	// currently inside a hook so call-backs into the database fail
+	// typed instead of deadlocking on wmu (see ErrHookReentrant).
 	pos        atomic.Pointer[ReplPos]
 	commitHook atomic.Pointer[CommitHook]
+	extraHooks atomic.Pointer[[]*hookEntry]
+	hooksMu    sync.Mutex
+	hookGoid   atomic.Int64
 	role       atomic.Pointer[string]
 
 	// env is the execution environment shared by every snapshot this
@@ -120,6 +128,9 @@ func (db *DB) sharedPlan(sql string) (*cachedPlan, error) {
 // plancache.go for the invalidation rules). Transaction control
 // statements operate on the default session.
 func (db *DB) Exec(sql string) (*Result, error) {
+	if err := db.hookReentry(); err != nil {
+		return nil, err
+	}
 	cp, err := db.sharedPlan(sql)
 	if err != nil {
 		return nil, err
@@ -544,6 +555,9 @@ type BulkInserter interface {
 // SQL entirely. While the default session has a transaction open, the
 // rows join it, as any DB.Exec mutation would.
 func (db *DB) InsertRows(tableName string, cols []string, rows []Row) (int, error) {
+	if err := db.hookReentry(); err != nil {
+		return 0, err
+	}
 	if len(rows) == 0 {
 		return 0, nil
 	}

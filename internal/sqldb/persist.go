@@ -896,9 +896,7 @@ func (db *DB) Checkpoint() error {
 	// stream hub: subscribers behind the rotation need a snapshot.
 	pos := ReplPos{Epoch: snap.Epoch}
 	db.setPos(pos)
-	if h := db.hook(); h != nil {
-		h(pos, nil)
-	}
+	db.fireHooks(pos, nil)
 	return nil
 }
 

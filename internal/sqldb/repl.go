@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -56,11 +57,33 @@ func (p ReplPos) String() string {
 // in commit order with strictly increasing positions. stmts holds the
 // frame's statements; a nil stmts signals a WAL rotation (checkpoint):
 // pos is then the fresh epoch at LSN 0 and all earlier frames are
-// folded into the snapshot. The hook must not block and must not call
-// back into the database.
+// folded into the snapshot.
+//
+// THE HOOK CONTRACT: a hook runs on the committer's goroutine with the
+// writer latch (wmu) held. It must not block — every committer in the
+// system is serialized behind it — and it MUST NOT call back into the
+// database: a mutation would self-deadlock on the (non-reentrant)
+// writer latch, and even a read inside the hook would observe a
+// position the rest of the pipeline has not seen yet. The engine
+// enforces the no-call-back half of the contract: Exec/InsertRows
+// invoked from the hook's goroutine while a hook is running fail fast
+// with a typed ErrHookReentrant instead of hanging. Consumers that
+// need to query (view recomputation, anomaly analysis) must hand the
+// frame to an asynchronous worker — see ViewRegistry (matview.go) and
+// internal/live for the canonical shape.
 type CommitHook func(pos ReplPos, stmts []string)
 
-// SetCommitHook installs (or, with nil, removes) the commit hook.
+// ErrHookReentrant is returned when a commit hook calls back into the
+// database. Hooks run under the writer latch in commit order; a
+// call-back would deadlock (mutations) or read an inconsistent
+// pipeline position (queries), so it is refused fast and typed rather
+// than left to hang. Move the work to an async worker fed from the
+// hook instead.
+var ErrHookReentrant = errors.New("sqldb: commit hook called back into the database (hooks run under the writer latch; queue the work to an async worker instead)")
+
+// SetCommitHook installs (or, with nil, removes) the primary commit
+// hook — the replication hub's slot, kept as a single-slot API for
+// compatibility. Additional consumers use AddCommitHook.
 func (db *DB) SetCommitHook(h CommitHook) {
 	if h == nil {
 		db.commitHook.Store(nil)
@@ -69,11 +92,97 @@ func (db *DB) SetCommitHook(h CommitHook) {
 	db.commitHook.Store(&h)
 }
 
+// hookEntry wraps one AddCommitHook registration; removal filters by
+// entry identity, so removing one hook never disturbs the others.
+type hookEntry struct{ fn CommitHook }
+
+// AddCommitHook registers an additional commit hook and returns its
+// removal function. Hooks are invoked in registration order after the
+// SetCommitHook hook, under the same contract (see CommitHook). The
+// materialized-view registry and the live alert pipeline each hold one
+// registration, so replication, view maintenance and alerting can
+// observe the same commit stream independently.
+func (db *DB) AddCommitHook(h CommitHook) (remove func()) {
+	e := &hookEntry{fn: h}
+	db.hooksMu.Lock()
+	var list []*hookEntry
+	if old := db.extraHooks.Load(); old != nil {
+		list = append(list, *old...)
+	}
+	list = append(list, e)
+	db.extraHooks.Store(&list)
+	db.hooksMu.Unlock()
+	return func() {
+		db.hooksMu.Lock()
+		defer db.hooksMu.Unlock()
+		old := db.extraHooks.Load()
+		if old == nil {
+			return
+		}
+		kept := make([]*hookEntry, 0, len(*old))
+		for _, oe := range *old {
+			if oe != e {
+				kept = append(kept, oe)
+			}
+		}
+		db.extraHooks.Store(&kept)
+	}
+}
+
 func (db *DB) hook() CommitHook {
 	if p := db.commitHook.Load(); p != nil {
 		return *p
 	}
 	return nil
+}
+
+// fireHooks invokes the primary hook and every AddCommitHook
+// registration for one committed frame. The caller holds db.wmu.
+// While hooks run, the goroutine is marked so any call back into the
+// database fails with ErrHookReentrant instead of deadlocking.
+func (db *DB) fireHooks(pos ReplPos, stmts []string) {
+	h := db.hook()
+	extras := db.extraHooks.Load()
+	if h == nil && (extras == nil || len(*extras) == 0) {
+		return
+	}
+	db.hookGoid.Store(goid())
+	defer db.hookGoid.Store(0)
+	if h != nil {
+		h(pos, stmts)
+	}
+	if extras != nil {
+		for _, e := range *extras {
+			e.fn(pos, stmts)
+		}
+	}
+}
+
+// hookReentry reports whether the calling goroutine is currently
+// executing a commit hook. The armed check is one atomic load; the
+// goroutine id is computed only while a hook is actually mid-flight.
+func (db *DB) hookReentry() error {
+	if g := db.hookGoid.Load(); g != 0 && g == goid() {
+		return ErrHookReentrant
+	}
+	return nil
+}
+
+// goid extracts the current goroutine's id from the runtime stack
+// header ("goroutine N [..."). Only evaluated while a commit hook is
+// executing, so the stack capture is off every normal path.
+func goid() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	const prefix = "goroutine "
+	var id int64
+	for _, c := range buf[len(prefix):n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + int64(c-'0')
+	}
+	return id
 }
 
 // Pos returns the current replication position: the WAL epoch and the
@@ -142,9 +251,7 @@ func (db *DB) commitBatch(stmts []string) uint64 {
 	}
 	pos := ReplPos{Epoch: db.walEpoch, LSN: db.Pos().LSN + 1}
 	db.setPos(pos)
-	if h := db.hook(); h != nil {
-		h(pos, stmts)
-	}
+	db.fireHooks(pos, stmts)
 	if db.wal != nil {
 		return db.wal.enqueue(stmts...)
 	}
@@ -156,7 +263,11 @@ func (db *DB) commitBatch(stmts []string) uint64 {
 // hook is attached. Pure worker databases (temp-table scratch space)
 // skip the whole path.
 func (db *DB) replicates() bool {
-	return db.wal != nil || db.commitHook.Load() != nil
+	if db.wal != nil || db.commitHook.Load() != nil {
+		return true
+	}
+	extras := db.extraHooks.Load()
+	return extras != nil && len(*extras) > 0
 }
 
 // EncodeFramePayload encodes a statement batch in the WAL v2 frame

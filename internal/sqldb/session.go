@@ -128,6 +128,9 @@ func (s *Session) InTxn() bool { return s.tx.Load() != nil }
 // Exec parses and executes one SQL statement in this session,
 // honouring the session's open transaction if any.
 func (s *Session) Exec(sql string) (*Result, error) {
+	if err := s.db.hookReentry(); err != nil {
+		return nil, err
+	}
 	cp, err := s.db.sharedPlan(sql)
 	if err != nil {
 		return nil, err
@@ -667,6 +670,9 @@ func (tx *sessionTxn) localPlan(cp *cachedPlan, raw string) *cachedPlan {
 // transaction the rows join the overlay (and the commit frame), else
 // this is the plain autocommit bulk path.
 func (s *Session) InsertRows(tableName string, cols []string, rows []Row) (int, error) {
+	if err := s.db.hookReentry(); err != nil {
+		return 0, err
+	}
 	if len(rows) == 0 {
 		return 0, nil
 	}

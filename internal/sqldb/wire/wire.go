@@ -75,6 +75,12 @@ type request struct {
 	WaitEpoch uint64
 	WaitLSN   uint64
 	WaitMS    int
+
+	// Live verbs (see live.go): INGEST payload, WATCH subscription
+	// spec, VIEW name.
+	Ingest *IngestRequest
+	Watch  *WatchSpec
+	View   string
 }
 
 // response carries the result (or error text) of one statement. Code
@@ -98,6 +104,14 @@ type response struct {
 	State  *sqldb.StateExport
 	Epoch  uint64
 	LSN    uint64
+
+	// Live answers (see live.go): ingest outcome, view listing, and
+	// the position a VIEW result reflects (Epoch/LSN above always hold
+	// the server's own position).
+	Ingest    *IngestResult
+	Views     []string
+	ViewEpoch uint64
+	ViewLSN   uint64
 }
 
 // BackendSession is one connection's transactional execution context
@@ -139,6 +153,7 @@ type Server struct {
 	// STATUS for client-side routing.
 	source    ReplSource
 	replState ReplState
+	live      LiveBackend
 	readOnly  bool
 	advertise string
 
@@ -261,6 +276,11 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.serveStream(conn, enc, &req)
 			return
 		}
+		if req.Verb == verbWatch {
+			// Likewise one-way: the connection becomes an alert stream.
+			s.serveWatch(conn, enc, &req)
+			return
+		}
 		var resp response
 		if len(req.Batch) > 0 {
 			resp.Batch = make([]response, 0, len(req.Batch))
@@ -313,6 +333,8 @@ func (s *Server) execOne(sess BackendSession, req *request) (resp response) {
 		}
 		resp.State = s.db.ExportState()
 		return resp
+	case verbIngest, verbView, verbViews:
+		return s.execLive(req)
 	default:
 		resp.Code = codeBadVerb
 		resp.Err = fmt.Sprintf("wire: unknown verb %q", req.Verb)
