@@ -260,7 +260,7 @@ func (w *worker) run(req wire.IngestRequest) jobResult {
 	var lastErr error
 	freshened := false
 	for attempt := 0; attempt < 16; attempt++ {
-		res, err := w.load(req)
+		res, retryable, err := w.load(req)
 		if err == nil {
 			return jobResult{res: res}
 		}
@@ -272,9 +272,11 @@ func (w *worker) run(req wire.IngestRequest) jobResult {
 			time.Sleep(time.Duration(rand.Intn(200*(attempt+1))) * time.Microsecond)
 			continue
 		}
-		if !freshened {
-			// Any other failure may be a stale cached experiment (the
-			// schema changed under us): drop the caches and retry once.
+		if retryable && !freshened {
+			// The failure may be a stale cached experiment (the schema
+			// changed under us): drop the caches and retry once. Only
+			// when no statement can have committed — re-running the file
+			// after a partial autocommit load would duplicate its rows.
 			freshened = true
 			w.exps = map[string]*core.Experiment{}
 			w.importers = map[string]*input.Importer{}
@@ -285,26 +287,32 @@ func (w *worker) run(req wire.IngestRequest) jobResult {
 	return jobResult{err: lastErr}
 }
 
-func (w *worker) load(req wire.IngestRequest) (wire.IngestResult, error) {
+// load runs one ingest attempt. retryable reports that the database is
+// known clean of this file's rows — the error predates any write, or
+// Atomic mode rolled the transaction back — so the caller may safely
+// run the whole file again.
+func (w *worker) load(req wire.IngestRequest) (wire.IngestResult, bool, error) {
 	im, exp, err := w.importer(req)
 	if err != nil {
-		return wire.IngestResult{}, err
+		return wire.IngestResult{}, true, err
 	}
 	var ids []int64
 	if w.svc.cfg.Atomic {
 		if _, err := w.sess.Exec("BEGIN"); err != nil {
-			return wire.IngestResult{}, err
+			return wire.IngestResult{}, true, err
 		}
 		ids, err = im.ImportBytes(req.Name, req.Data)
 		if err != nil {
 			w.sess.Exec("ROLLBACK") //nolint:errcheck // already failing
-			return wire.IngestResult{}, err
+			return wire.IngestResult{}, true, err
 		}
 		if _, err := w.sess.Exec("COMMIT"); err != nil {
-			return wire.IngestResult{}, err
+			return wire.IngestResult{}, true, err
 		}
 	} else if ids, err = im.ImportBytes(req.Name, req.Data); err != nil {
-		return wire.IngestResult{}, err
+		// Autocommit may already have committed a prefix of the file;
+		// a retry would duplicate those rows, so the error is final.
+		return wire.IngestResult{}, false, err
 	}
 	if !w.svc.cfg.NoStandardViews {
 		w.svc.ensureStandardViews(exp)
@@ -320,7 +328,7 @@ func (w *worker) load(req wire.IngestRequest) (wire.IngestResult, error) {
 			res.Rows += info.DataSets
 		}
 	}
-	return res, nil
+	return res, false, nil
 }
 
 // importer returns the cached Importer for (experiment, description),
@@ -381,7 +389,7 @@ func (s *Service) ensureStandardViews(exp *core.Experiment) {
 func (s *Service) onCommit(pos sqldb.ReplPos, stmts []string) {
 	touched := false
 	for _, st := range stmts {
-		if strings.Contains(st, "pb_runs") || strings.Contains(st, "PB_RUNS") {
+		if strings.Contains(strings.ToLower(st), "pb_runs") {
 			touched = true
 			break
 		}

@@ -79,6 +79,7 @@ type matView struct {
 
 	pos     ReplPos // state reflects commits up to and including pos
 	pending bool    // registered, awaiting first rebuild
+	lastErr error   // set by fail; the view is unbuilt (plan == nil)
 
 	out atomic.Pointer[ViewResult]
 }
@@ -273,18 +274,20 @@ func (r *ViewRegistry) run() {
 		}
 		r.mu.Unlock()
 
-		if err := fpViewApply.Inject(); err != nil {
-			// An injected error skips the apply (the crash/panic specs
-			// never return); the next rebuild resynchronizes.
-			continue
-		}
-
 		if ev.rebuild != nil {
+			// Registration rebuilds bypass the failpoint: an injected
+			// error must not leave the view pending forever (Register
+			// blocks until pending clears).
 			r.rebuild(ev.rebuild)
 			r.mu.Lock()
 			ev.rebuild.pending = false
 			r.appliedCond.Broadcast()
 			r.mu.Unlock()
+			continue
+		}
+		if err := fpViewApply.Inject(); err != nil {
+			// An injected error skips the apply (the crash/panic specs
+			// never return); the next rebuild resynchronizes.
 			continue
 		}
 		for _, v := range views {
@@ -313,7 +316,7 @@ func (r *ViewRegistry) applyEvent(v *matView, ev viewEvent) {
 	}
 	if !v.incremental {
 		for _, s := range ev.stmts {
-			if t, _ := stmtTarget(s); t != "" && v.refs[t] {
+			if t, _ := stmtTarget(s); t == "*" || (t != "" && v.refs[t]) {
 				r.rebuild(v)
 				return
 			}
@@ -326,6 +329,11 @@ func (r *ViewRegistry) applyEvent(v *matView, ev viewEvent) {
 	// else that touches it forces a rebuild.
 	for _, s := range ev.stmts {
 		target, st := stmtTarget(s)
+		if target == "*" {
+			// Wildcard: the statement could mutate any table.
+			r.rebuild(v)
+			return
+		}
 		if target != v.baseKey {
 			continue
 		}
@@ -363,6 +371,13 @@ func stmtTarget(sql string) (string, Statement) {
 		return lower(s.Name), st
 	case *DropTableStmt:
 		return lower(s.Name), st
+	case *AlterTableStmt:
+		if s.Rename != "" {
+			// A rename touches two names (old and new); any view whose
+			// base resolves to either must rebuild.
+			return "*", st
+		}
+		return lower(s.Table), st
 	case *CreateIndexStmt:
 		return "", st // no row changes
 	default:
@@ -430,6 +445,7 @@ func (v *matView) resetState() {
 
 // fail publishes an error state, keeping the last good result visible.
 func (v *matView) fail(err error) {
+	v.lastErr = err
 	var last *Result
 	if prev := v.out.Load(); prev != nil {
 		last = prev.Res
@@ -611,6 +627,13 @@ func (v *matView) accumulate(row Row) error {
 // projection / DISTINCT / ORDER BY / LIMIT tail of runSelect — and
 // swaps it in behind the atomic pointer.
 func (v *matView) publish() {
+	if v.plan == nil {
+		// The last rebuild failed before planning (e.g. the base table
+		// is gone); there is nothing to render. Republish the error at
+		// the current position instead of dereferencing a nil plan.
+		v.fail(v.lastErr)
+		return
+	}
 	res, err := v.render()
 	if err != nil {
 		v.fail(err)

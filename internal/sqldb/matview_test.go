@@ -132,6 +132,63 @@ func TestMatViewRecomputeFallback(t *testing.T) {
 	checkView(t, db, r, "sums", sql)
 }
 
+// TestMatViewAlterTableRebuilds is a regression test: ALTER TABLE on a
+// view's base table (ADD/DROP COLUMN, RENAME) must force a rebuild —
+// an earlier version classified ALTER under the wildcard target that
+// no view matched, so views kept folding inserts through a stale
+// schema.
+func TestMatViewAlterTableRebuilds(t *testing.T) {
+	db := NewMemory()
+	defer db.Close()
+	mustExec(t, db, "CREATE TABLE t (k STRING, n INTEGER)")
+	mustExec(t, db, "CREATE TABLE u (k STRING, m INTEGER)")
+	r := NewViewRegistry(db)
+	defer r.Close()
+	const incSQL = "SELECT k, SUM(n) FROM t GROUP BY k ORDER BY k"
+	const joinSQL = "SELECT t.k, SUM(u.m) FROM t JOIN u ON t.k = u.k GROUP BY t.k ORDER BY t.k"
+	if err := r.Register("inc", incSQL); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("joined", joinSQL); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "INSERT INTO t VALUES ('a', 1), ('b', 2)")
+	mustExec(t, db, "INSERT INTO u VALUES ('a', 10), ('b', 20)")
+	checkView(t, db, r, "inc", incSQL)
+	checkView(t, db, r, "joined", joinSQL)
+
+	// ADD COLUMN widens the base schema; later inserts carry the new
+	// column and must not be folded through the captured old schema.
+	mustExec(t, db, "ALTER TABLE t ADD COLUMN extra FLOAT")
+	mustExec(t, db, "INSERT INTO t VALUES ('a', 3, 1.5), ('c', 4, 2.5)")
+	checkView(t, db, r, "inc", incSQL)
+	checkView(t, db, r, "joined", joinSQL)
+
+	// DROP COLUMN narrows it again.
+	mustExec(t, db, "ALTER TABLE t DROP COLUMN extra")
+	mustExec(t, db, "INSERT INTO t VALUES ('b', 5)")
+	checkView(t, db, r, "inc", incSQL)
+	checkView(t, db, r, "joined", joinSQL)
+
+	// RENAME away: the view's base table is gone; materialized and
+	// on-demand execution must fail alike.
+	mustExec(t, db, "ALTER TABLE u RENAME TO u2")
+	if err := r.WaitPos(db.Pos(), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Get("joined"); err == nil {
+		t.Fatal("view over renamed-away table should be in error state")
+	}
+	if _, err := db.Exec(joinSQL); err == nil {
+		t.Fatal("on-demand over renamed-away table should fail")
+	}
+	// RENAME back: the next touch of the base restores the view.
+	mustExec(t, db, "ALTER TABLE u2 RENAME TO u")
+	mustExec(t, db, "INSERT INTO u VALUES ('c', 30)")
+	checkView(t, db, r, "inc", incSQL)
+	checkView(t, db, r, "joined", joinSQL)
+}
+
 func TestMatViewJoinRebuilds(t *testing.T) {
 	db := NewMemory()
 	defer db.Close()
@@ -161,6 +218,16 @@ func TestMatViewErrorState(t *testing.T) {
 	}
 	if _, _, err := r.Get("bad"); err == nil {
 		t.Fatal("Get on a view over a missing table should fail")
+	}
+	// Commits on unrelated tables while the view is in its error state
+	// must republish the error, not crash the worker on the nil plan.
+	mustExec(t, db, "CREATE TABLE other (x INTEGER)")
+	mustExec(t, db, "INSERT INTO other VALUES (1)")
+	if err := r.WaitPos(db.Pos(), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Get("bad"); err == nil {
+		t.Fatal("error state should persist across unrelated commits")
 	}
 	// The view heals when the table appears.
 	mustExec(t, db, "CREATE TABLE missing (x INTEGER)")
