@@ -38,6 +38,14 @@
 # ingest-workers=4 against serial-insert — plus materialized view
 # reads vs on-demand aggregate execution, where the ≥5× criterion
 # compares the on-demand ns/op against materialized).
+# BENCH_PR10.json holds the vectorized hash-join numbers (row engine
+# vs vec join on a 1M-probe/100k-build grouped equi-join at
+# GOMAXPROCS=1 — the ≥2× criterion compares row against vec ns/op —
+# plus the materializing join variant, morsel worker scaling on the
+# probe side with the sqldb/vector/morsel latency failpoint, and the
+# cold-probe Bloom+zone-map pushdown, where skipped/op and scanned/op
+# report BlockStats deltas and the ≥50% criterion is
+# skipped/(scanned+skipped) on the zone-enabled run).
 # Re-run after engine changes and compare the committed numbers in
 # CHANGES.md.
 set -eu
@@ -51,7 +59,8 @@ TMP6=$(mktemp)
 TMP7=$(mktemp)
 TMP8=$(mktemp)
 TMP9=$(mktemp)
-trap 'rm -f "$TMP1" "$TMP2" "$TMP4" "$TMP5" "$TMP6" "$TMP7" "$TMP8" "$TMP9"' EXIT
+TMP10=$(mktemp)
+trap 'rm -f "$TMP1" "$TMP2" "$TMP4" "$TMP5" "$TMP6" "$TMP7" "$TMP8" "$TMP9" "$TMP10"' EXIT
 
 go test -run '^$' -bench \
   'BenchmarkExprDerived$|BenchmarkFig3_ParallelSpeedupTCP$' \
@@ -149,6 +158,19 @@ go test -run '^$' -bench \
   'BenchmarkLiveIngest$|BenchmarkLiveViewRead$' \
   -benchtime=1000x -count=1 ./internal/live | tee -a "$TMP9"
 
+# PR10: vectorized hash joins. Row engine vs vec join pinned to one
+# core (fused aggregate shape and materializing shape), probe-side
+# morsel worker scaling with the sqldb/vector/morsel latency failpoint
+# armed by the benchmark itself, then the cold-probe Bloom+zone-map
+# block pushdown vs SetZoneMaps(false).
+GOMAXPROCS=1 go test -run '^$' -bench \
+  'BenchmarkVectorHashJoin$|BenchmarkVectorHashJoinMaterialize$' \
+  -benchmem -count=1 ./internal/sqldb | tee -a "$TMP10"
+GOMAXPROCS=4 go test -run '^$' -bench 'BenchmarkVectorHashJoinMorsels$' \
+  -benchmem -count=1 ./internal/sqldb | tee -a "$TMP10"
+go test -run '^$' -bench 'BenchmarkColdJoinProbe$' \
+  -benchmem -count=1 ./internal/sqldb | tee -a "$TMP10"
+
 to_json "$TMP1" BENCH_PR1.json
 to_json "$TMP2" BENCH_PR2.json
 to_json "$TMP4" BENCH_PR4.json
@@ -157,5 +179,6 @@ to_json "$TMP6" BENCH_PR6.json
 to_json "$TMP7" BENCH_PR7.json
 to_json "$TMP8" BENCH_PR8.json
 to_json "$TMP9" BENCH_PR9.json
+to_json "$TMP10" BENCH_PR10.json
 
-echo "wrote BENCH_PR1.json, BENCH_PR2.json, BENCH_PR4.json, BENCH_PR5.json, BENCH_PR6.json, BENCH_PR7.json, BENCH_PR8.json and BENCH_PR9.json"
+echo "wrote BENCH_PR1.json, BENCH_PR2.json, BENCH_PR4.json, BENCH_PR5.json, BENCH_PR6.json, BENCH_PR7.json, BENCH_PR8.json, BENCH_PR9.json and BENCH_PR10.json"

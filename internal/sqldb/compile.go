@@ -573,6 +573,11 @@ type compiledSelect struct {
 	// qualifies (see planVec in vector.go); nil means the row engine
 	// runs the scan. Cached and invalidated together with the plan.
 	vec *vecPlan
+
+	// vecJoin is the vectorized form of a single equi-join (see
+	// planVecJoin in vecjoin.go); nil means the row engine joins.
+	// Mutually exclusive with vec, which declines joined sources.
+	vecJoin *vecJoinPlan
 }
 
 // planSelect compiles st against the snapshot's catalog. Snapshots
@@ -643,6 +648,7 @@ func (sn *snapshot) planSelect(st *SelectStmt) (*compiledSelect, error) {
 		}
 	}
 	p.vec = sn.planVec(st, p)
+	p.vecJoin = sn.planVecJoin(st, p)
 	return p, nil
 }
 

@@ -46,6 +46,16 @@ type mrow struct {
 	v   int64
 }
 
+// jrow models the join table j (jk integer, tag string, ord integer):
+// jk is the equi-join key (nullable — NULL never joins), ord is unique
+// and increasing so ORDER BY (m.k, j.ord) totally orders join output.
+type jrow struct {
+	null bool
+	jk   int64
+	tag  string
+	ord  int64
+}
+
 // diffState threads the generator through one fuzz input.
 type diffState struct {
 	t     *testing.T
@@ -55,8 +65,12 @@ type diffState struct {
 	wc    *wire.Client // oracle 3: same statements over TCP
 	model []mrow       // oracle 2: naive reference
 	saved []mrow       // model backup for ROLLBACK
-	inTxn bool
-	nextK int64
+	// join-table mirror; mutated only outside transactions so ROLLBACK
+	// never needs to restore it.
+	jmodel  []jrow
+	inTxn   bool
+	nextK   int64
+	nextOrd int64
 	muts  int // mutations since open, drives bdb checkpoints
 	// pending statements not yet applied to the wire mirror; flushed
 	// alternately via ExecPipeline and via per-statement Exec so both
@@ -311,6 +325,152 @@ func (s *diffState) checkTopK(n int64) {
 	}
 }
 
+// joinMatches returns the j rows matching v, in ord (insertion) order —
+// the bucket order the engine's hash join preserves.
+func (s *diffState) joinMatches(v int64) []jrow {
+	var out []jrow
+	for _, j := range s.jmodel {
+		if !j.null && j.jk == v {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// checkJoinCount: COUNT(*) over an INNER or LEFT equi-join, optionally
+// with a probe-side filter (which the vectorized path pushes below the
+// join), with both ON operand orders exercised.
+func (s *diffState) checkJoinCount(left, swapped bool, filter *int64) {
+	kind, on := "JOIN", "m.v = j.jk"
+	if left {
+		kind = "LEFT JOIN"
+	}
+	if swapped {
+		on = "j.jk = m.v"
+	}
+	where := ""
+	if filter != nil {
+		where = fmt.Sprintf(" WHERE m.v >= %d", *filter)
+	}
+	sql := fmt.Sprintf("SELECT COUNT(*) FROM m %s j ON %s%s", kind, on, where)
+	res := s.query(sql)
+	var want int64
+	for _, r := range s.model {
+		if filter != nil && r.v < *filter {
+			continue
+		}
+		n := int64(len(s.joinMatches(r.v)))
+		if n == 0 && left {
+			n = 1
+		}
+		want += n
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != want {
+		s.fail(sql, res, "COUNT = %v, want %d (jmodel: %+v)", res.Rows[0][0], want, s.jmodel)
+	}
+}
+
+// checkJoinRows: full join output ordered by the total (m.k, j.ord)
+// key. LEFT pads carry NULL ord — the pad is the only row for its k,
+// so the order stays total.
+func (s *diffState) checkJoinRows(left bool) {
+	kind := "JOIN"
+	if left {
+		kind = "LEFT JOIN"
+	}
+	sql := fmt.Sprintf("SELECT m.k, j.ord FROM m %s j ON m.v = j.jk ORDER BY m.k, j.ord", kind)
+	res := s.query(sql)
+	type pair struct {
+		k   int64
+		pad bool
+		ord int64
+	}
+	var want []pair
+	for _, r := range s.modelRows() {
+		ms := s.joinMatches(r.v)
+		if len(ms) == 0 {
+			if left {
+				want = append(want, pair{k: r.k, pad: true})
+			}
+			continue
+		}
+		for _, j := range ms {
+			want = append(want, pair{k: r.k, ord: j.ord})
+		}
+	}
+	if len(res.Rows) != len(want) {
+		s.fail(sql, res, "row count %d, want %d (jmodel: %+v)", len(res.Rows), len(want), s.jmodel)
+	}
+	for i, w := range want {
+		r := res.Rows[i]
+		if r[0].Int() != w.k || r[1].IsNull() != w.pad || (!w.pad && r[1].Int() != w.ord) {
+			s.fail(sql, res, "row %d = %v, want %+v", i, r, w)
+		}
+	}
+}
+
+// checkJoinGroupBy: join + GROUP BY on the build side's tag with
+// COUNT/SUM kernels (the fused vec-join aggregation path).
+func (s *diffState) checkJoinGroupBy() {
+	const sql = "SELECT j.tag, COUNT(*), SUM(m.v) FROM m JOIN j ON m.v = j.jk GROUP BY j.tag ORDER BY j.tag"
+	res := s.query(sql)
+	type agg struct{ n, sum int64 }
+	groups := map[string]*agg{}
+	for _, r := range s.model {
+		for _, j := range s.joinMatches(r.v) {
+			a, ok := groups[j.tag]
+			if !ok {
+				a = &agg{}
+				groups[j.tag] = a
+			}
+			a.n++
+			a.sum += r.v
+		}
+	}
+	names := make([]string, 0, len(groups))
+	for g := range groups {
+		names = append(names, g)
+	}
+	sort.Strings(names)
+	if len(res.Rows) != len(names) {
+		s.fail(sql, res, "group count %d, want %d (jmodel: %+v)", len(res.Rows), len(names), s.jmodel)
+	}
+	for i, g := range names {
+		r, a := res.Rows[i], groups[g]
+		if r[0].Str() != g || r[1].Int() != a.n || r[2].Int() != a.sum {
+			s.fail(sql, res, "group %q = %v, want %+v", g, r, *a)
+		}
+	}
+}
+
+// checkJoinTopK: join + ORDER BY/LIMIT over the total (m.k, j.ord) key.
+func (s *diffState) checkJoinTopK(n int64) {
+	if n < 0 {
+		n = -n
+	}
+	n %= 7
+	sql := fmt.Sprintf("SELECT m.k, j.ord FROM m JOIN j ON m.v = j.jk ORDER BY m.k, j.ord LIMIT %d", n)
+	res := s.query(sql)
+	type pair struct{ k, ord int64 }
+	var want []pair
+	for _, r := range s.modelRows() {
+		for _, j := range s.joinMatches(r.v) {
+			want = append(want, pair{r.k, j.ord})
+		}
+	}
+	if int64(len(want)) > n {
+		want = want[:n]
+	}
+	if len(res.Rows) != len(want) {
+		s.fail(sql, res, "row count %d, want %d", len(res.Rows), len(want))
+	}
+	for i, w := range want {
+		if res.Rows[i][0].Int() != w.k || res.Rows[i][1].Int() != w.ord {
+			s.fail(sql, res, "row %d = %v, want %+v", i, res.Rows[i], w)
+		}
+	}
+}
+
 // FuzzSQLDifferential interprets the fuzz input as a program over the
 // fixed schema and cross-checks every query against all four oracles.
 func FuzzSQLDifferential(f *testing.F) {
@@ -341,6 +501,7 @@ func FuzzSQLDifferential(f *testing.F) {
 		bdb.ColumnCacheLimit(0) // every vector hydration decodes from disk
 		s := &diffState{t: t, db: db, rdb: rdb, bdb: bdb, wc: wc}
 		s.exec("CREATE TABLE m (k integer, grp string, v integer)")
+		s.exec("CREATE TABLE j (jk integer, tag string, ord integer)")
 
 		// Each opcode consumes one selector byte plus up to two operand
 		// bytes. 64 ops keeps a single input fast while still producing
@@ -354,7 +515,7 @@ func FuzzSQLDifferential(f *testing.F) {
 		pos := 0
 		next := func() byte { b := byteAt(pos); pos++; return b }
 		for ops := 0; pos < len(data) && ops < 64; ops++ {
-			switch next() % 8 {
+			switch next() % 10 {
 			case 0, 1: // single-row INSERT
 				grp := fmt.Sprintf("g%d", next()%4)
 				v := int64(int8(next()))
@@ -416,6 +577,40 @@ func FuzzSQLDifferential(f *testing.F) {
 				case 4:
 					s.checkTopK(int64(int8(next())))
 				}
+			case 8: // INSERT into the join table (NULL keys included).
+				// Outside transactions only, so ROLLBACK never has to
+				// restore the join-table mirror.
+				if s.inTxn {
+					continue
+				}
+				b := next()
+				ord := s.nextOrd
+				s.nextOrd++
+				tag := fmt.Sprintf("t%d", next()%3)
+				if b%5 == 0 {
+					s.exec(fmt.Sprintf("INSERT INTO j VALUES (NULL, '%s', %d)", tag, ord))
+					s.jmodel = append(s.jmodel, jrow{null: true, tag: tag, ord: ord})
+				} else {
+					jk := int64(int8(b))
+					s.exec(fmt.Sprintf("INSERT INTO j VALUES (%d, '%s', %d)", jk, tag, ord))
+					s.jmodel = append(s.jmodel, jrow{jk: jk, tag: tag, ord: ord})
+				}
+			case 9: // cross-checked two-table equi-join SELECT
+				switch next() % 6 {
+				case 0:
+					s.checkJoinCount(false, false, nil)
+				case 1:
+					s.checkJoinCount(true, false, nil)
+				case 2:
+					c := int64(int8(next()))
+					s.checkJoinCount(next()%2 == 0, true, &c)
+				case 3:
+					s.checkJoinRows(next()%2 == 0)
+				case 4:
+					s.checkJoinGroupBy()
+				case 5:
+					s.checkJoinTopK(int64(int8(next())))
+				}
 			}
 		}
 		// Final full comparison regardless of what the input generated.
@@ -423,5 +618,8 @@ func FuzzSQLDifferential(f *testing.F) {
 		s.checkGroupBy()
 		s.checkCountAvg()
 		s.checkTopK(5)
+		s.checkJoinCount(false, false, nil)
+		s.checkJoinRows(true)
+		s.checkJoinGroupBy()
 	})
 }

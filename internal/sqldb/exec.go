@@ -131,18 +131,23 @@ func join(a, b *relation, on sqlExpr, left bool) (*relation, error) {
 		ht := make(map[string][]Row, b.nrows)
 		for _, cb := range b.chunks {
 			for _, rb := range cb {
+				if rb[ri].IsNull() {
+					continue // NULL never equi-joins; don't carry dead buckets
+				}
 				k := indexKey(rb[ri])
 				ht[k] = append(ht[k], rb)
 			}
 		}
+		width := len(schema)
+		rows = make([]Row, 0, a.nrows)
 		for _, ca := range a.chunks {
 			for _, ra := range ca {
-				matches := ht[indexKey(ra[li])]
-				if ra[li].IsNull() {
-					matches = nil // NULL never equi-joins
+				var matches []Row
+				if !ra[li].IsNull() {
+					matches = ht[indexKey(ra[li])]
 				}
 				if len(matches) == 0 && left {
-					row := make(Row, 0, len(schema))
+					row := make(Row, 0, width)
 					row = append(row, ra...)
 					for _, c := range b.schema {
 						row = append(row, value.Null(c.Type))
@@ -151,7 +156,7 @@ func join(a, b *relation, on sqlExpr, left bool) (*relation, error) {
 					continue
 				}
 				for _, rb := range matches {
-					row := make(Row, 0, len(schema))
+					row := make(Row, 0, width)
 					row = append(row, ra...)
 					row = append(row, rb...)
 					rows = append(rows, row)
@@ -363,9 +368,34 @@ func (sn *snapshot) runSelect(st *SelectStmt, p *compiledSelect) (*Result, error
 			return res, err
 		}
 	}
-	rel, err := sn.sourceRelation(st)
-	if err != nil {
-		return nil, err
+	var joinRel *relation
+	if p.vecJoin != nil {
+		if sn.reads != nil {
+			for _, fi := range st.From {
+				sn.reads.addFull(lower(fi.Table))
+			}
+			for _, jc := range st.Joins {
+				sn.reads.addFull(lower(jc.Right.Table))
+			}
+		}
+		res, rel, ok, err := sn.runVecJoin(st, p)
+		if err != nil {
+			return nil, err
+		}
+		if ok && res != nil {
+			return res, nil // fused join+aggregate path completed
+		}
+		if ok {
+			joinRel = rel // join done columnar; row loops finish the query
+		}
+	}
+	rel := joinRel
+	if rel == nil {
+		var err error
+		rel, err = sn.sourceRelation(st)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	ctx := &execCtx{}

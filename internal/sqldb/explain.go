@@ -78,6 +78,12 @@ func (db *DB) execExplain(sn *snapshot, st *ExplainStmt) (*Result, error) {
 		if len(q.From) > 1 {
 			add("cross join of %d tables", len(q.From))
 		}
+		// Same rule as the single-table branch: the plan carries the
+		// vec-join decision, so EXPLAIN reports it rather than guessing.
+		var jp *vecJoinPlan
+		if p, err := sn.planSelect(q); err == nil && p.vecJoin != nil && db.env != nil && !db.env.vecDisabled.Load() {
+			jp = p.vecJoin
+		}
 		for _, jc := range q.Joins {
 			rs, err := sn.scanSchema(jc.Right)
 			if err != nil {
@@ -87,10 +93,19 @@ func (db *DB) execExplain(sn *snapshot, st *ExplainStmt) (*Result, error) {
 			if jc.Left {
 				kind = "left outer"
 			}
-			if _, _, ok := hashJoinCols(jc.On, acc, rs); ok {
-				add("%s hash join with %s", kind, jc.Right.Table)
-			} else {
+			if _, _, ok := hashJoinCols(jc.On, acc, rs); !ok {
 				add("%s nested-loop join with %s", kind, jc.Right.Table)
+			} else if jp != nil {
+				lt, lok := sn.table(jp.leftKey)
+				rt, rok := sn.table(jp.rightKey)
+				skip := 0
+				if lok && rok {
+					skip, _ = db.vecJoinBlockSkips(sn, jp, lt, rt)
+				}
+				add("%s hash join with %s [vec-join build=%d probe=%d bloom-skip=%d]",
+					kind, jc.Right.Table, rt.nrows, lt.nrows, skip)
+			} else {
+				add("%s hash join with %s", kind, jc.Right.Table)
 			}
 			acc = append(acc, rs...)
 		}

@@ -1,0 +1,1177 @@
+package sqldb
+
+// Vectorized hash-join execution path.
+//
+// When a SELECT is a single equi-join over two base tables — the shape
+// hashJoinCols recognizes — the planner attaches a vecJoinPlan and
+// runSelect executes the join columnar instead of row-at-a-time: the
+// build side (the joined table) is ingested from typed column-cache
+// vectors into a compact open-addressing hash table keyed on int64
+// bits / canonicalized float bits / string datums (no per-row indexKey
+// strings, no []Row buckets), and the probe side runs morsel-parallel
+// over the probe table's vectors, producing (probe row, build ordinal)
+// selection-vector pairs. Payload columns are materialized late: only
+// the key and any pushed-filter columns are decoded during the probe,
+// and the pairs either feed aggregate kernels directly (fused mode,
+// no joined rows ever built) or materialize output rows afterwards.
+//
+// On top of the table the build phase derives a semi-join filter — a
+// two-probe Bloom filter plus the build keys' min/max — and pushes it
+// into the probe scan at two granularities: per probe row (range test
+// + Bloom test before the hash probe) and per compressed block, where
+// it composes with the PR 6 zone maps so a cold block whose key range
+// cannot intersect the build side is skipped before decompression.
+//
+// Semantics are the row engine's exactly: NULL keys never join (on
+// either side), float keys match by display equality (all NaNs join
+// each other — canonicalized to one bit pattern here — while -0.0 and
+// 0.0 stay distinct), and output order is probe scan order crossed
+// with ascending build-side ordinals per key (the insertion order the
+// row engine's map buckets preserve). Partials merge in morsel index
+// order, so results are byte-identical at any worker count — PR 5's
+// determinism contract. The row path remains the fallback and the
+// semantic reference; the differential fuzzer holds the two equal.
+
+import (
+	"hash/maphash"
+	"math"
+	"sort"
+
+	"perfbase/internal/value"
+)
+
+// joinBloomRangeProbe caps the width of an integer key block's
+// [min, max] range below which every candidate value is tested against
+// the Bloom filter: a block whose narrow range overlaps the build
+// min/max can still be skipped when none of its possible keys is in
+// the build set.
+const joinBloomRangeProbe = 256
+
+// vecJoinPlan is the vectorized form of a qualifying single equi-join,
+// attached to its compiledSelect and cached/invalidated with it. It
+// holds only shape (table keys, column offsets, compiled predicates);
+// the hash table and Bloom filter are data-dependent and built per
+// execution.
+type vecJoinPlan struct {
+	leftKey, rightKey string // lower-cased table names (probe, build)
+	li                int    // key column in the left (probe) scan schema
+	ri                int    // key column in the right (build) table schema
+	nLeft             int    // width of the left scan schema
+	keyType           value.Type
+	leftOuter         bool
+
+	// pred is the WHERE clause pushed below the join: compiled against
+	// the joined schema but reading only probe-side columns, which makes
+	// pre-join filtering equivalent to post-join filtering for both
+	// INNER and LEFT (a pad row carries its probe row's values). nil
+	// when there is no WHERE clause or it is not pushable; the row
+	// loops downstream still apply the full clause either way, so a
+	// pushed predicate is merely applied twice (idempotently).
+	pred     vecPredFn
+	hasWhere bool
+	zone     zoneFn // zone-map form of pred; nil when not derivable
+
+	needL []int // probe-side columns hydrated during the scan
+
+	// Fused aggregation: when the query is grouped with at most one
+	// plain-column group key and kernelizable aggregates, the probe
+	// pairs feed aggregate kernels directly and no joined row is ever
+	// materialized. gvp carries the group/agg shapes (columns in joined
+	// schema coordinates) for the vecPartial machinery; nil means the
+	// join materializes a relation and the row loops finish the query.
+	gvp   *vecPlan
+	needR []int // build-side columns needed as table-flat vectors
+	// fusedLeft is true when fused aggregation reads probe-side column
+	// vectors (a probe-side group key or aggregate argument); the
+	// LEFT-join pad-without-decoding fast path is then unavailable,
+	// since pad rows still feed those kernels.
+	fusedLeft bool
+}
+
+// padAllOK reports whether a probe block whose keys provably miss the
+// build side can emit LEFT pads without decoding: no pushed filter to
+// evaluate and no fused kernel reading probe-side vectors.
+func (jp *vecJoinPlan) padAllOK() bool {
+	return jp.pred == nil && !jp.fusedLeft
+}
+
+// planVecJoin decides whether st is a vectorizable equi-join and
+// compiles the plan if so. Returns nil — meaning "row-engine join" —
+// for any shape outside the supported set; qualification errs on the
+// side of declining, never on the side of changing results.
+func (sn *snapshot) planVecJoin(st *SelectStmt, p *compiledSelect) *vecJoinPlan {
+	if len(st.From) != 1 || len(st.Joins) != 1 {
+		return nil
+	}
+	jc := st.Joins[0]
+	ls, err := sn.scanSchema(st.From[0])
+	if err != nil {
+		return nil
+	}
+	rs, err := sn.scanSchema(jc.Right)
+	if err != nil {
+		return nil
+	}
+	li, ri, ok := hashJoinCols(jc.On, ls, rs)
+	if !ok {
+		return nil
+	}
+	// The row engine joins on display-string equality, so an int 5 and
+	// a float 5.0 match across columns of different types. The kernels
+	// compare typed datums; decline any cross-class key pair, and the
+	// types whose display form is not datum equality (Version compares
+	// component-wise, Timestamp datums are pointers).
+	kt := ls[li].Type
+	if kt != rs[ri].Type {
+		return nil
+	}
+	switch kt {
+	case value.Integer, value.Float, value.Boolean, value.String:
+	default:
+		return nil
+	}
+	jp := &vecJoinPlan{
+		leftKey:  lower(st.From[0].Table),
+		rightKey: lower(jc.Right.Table),
+		li:       li, ri: ri, nLeft: len(ls),
+		keyType:   kt,
+		leftOuter: jc.Left,
+	}
+	// The pushdown predicate compiles against the JOINED schema so name
+	// resolution (including ambiguity errors) matches the row engine;
+	// it is pushed only when every column it reads is probe-side.
+	ec := newEvalCtx(p.srcSchema)
+	need := map[int]bool{li: true}
+	if st.Where != nil {
+		jp.hasWhere = true
+		pneed := map[int]bool{}
+		pred := compileVecPred(st.Where, ec, p.srcSchema, pneed)
+		leftOnly := pred != nil
+		for ci := range pneed {
+			if ci >= jp.nLeft {
+				leftOnly = false
+			}
+		}
+		if leftOnly {
+			jp.pred = pred
+			jp.zone = compileZonePred(st.Where, ec, p.srcSchema)
+			for ci := range pneed {
+				need[ci] = true
+			}
+		}
+	}
+	jp.planFused(st, p, ec, need)
+	for ci := range need {
+		if ci < jp.nLeft {
+			jp.needL = append(jp.needL, ci)
+		}
+	}
+	sort.Ints(jp.needL)
+	sort.Ints(jp.needR)
+	return jp
+}
+
+// planFused qualifies the fused-aggregation mode: grouped query, WHERE
+// absent or pushed, at most one plain-column group key (any type but
+// Timestamp), and the same kernelizable aggregates planVec accepts.
+// Declining only costs fusion — the join still runs vectorized and
+// materializes a relation for the row loops.
+func (jp *vecJoinPlan) planFused(st *SelectStmt, p *compiledSelect, ec *evalCtx, need map[int]bool) {
+	if !p.grouped || (jp.hasWhere && jp.pred == nil) || len(st.GroupBy) > 1 {
+		return
+	}
+	gvp := &vecPlan{grouped: true}
+	var addL, addR []int
+	record := func(ci int) {
+		if ci < jp.nLeft {
+			addL = append(addL, ci)
+		} else {
+			addR = append(addR, ci)
+		}
+	}
+	if len(st.GroupBy) == 1 {
+		ce, isCol := st.GroupBy[0].(*colExpr)
+		if !isCol {
+			return
+		}
+		ci, err := ec.lookup(ce.Table, ce.Name)
+		if err != nil {
+			return
+		}
+		typ := p.srcSchema[ci].Type
+		if typ == value.Timestamp {
+			return
+		}
+		gvp.groupCols = []int{ci}
+		gvp.groupTypes = []value.Type{typ}
+		if typ == value.String || typ == value.Version {
+			gvp.singleStr = true
+		} else {
+			gvp.singleNum = true
+		}
+		record(ci)
+	}
+	for i, a := range p.aggs {
+		if a.Distinct {
+			return
+		}
+		op, known := aggOps[a.Name]
+		if !known {
+			return
+		}
+		if a.Star {
+			if op != opCount {
+				return
+			}
+			gvp.aggs = append(gvp.aggs, vecAgg{op: opCount, col: -1})
+			continue
+		}
+		ci := p.aggCols[i]
+		if ci < 0 {
+			return // argument is an expression, not a column
+		}
+		typ := p.srcSchema[ci].Type
+		switch op {
+		case opCount:
+			if typ == value.Timestamp {
+				return
+			}
+		case opSum, opAvg:
+			if typ != value.Integer && typ != value.Float {
+				return
+			}
+		case opMin, opMax:
+			if typ != value.Integer && typ != value.Float && typ != value.String {
+				return
+			}
+		default:
+			return
+		}
+		record(ci)
+		gvp.aggs = append(gvp.aggs, vecAgg{op: op, col: ci, typ: typ})
+	}
+	for _, ci := range addL {
+		need[ci] = true
+	}
+	jp.needR = addR
+	jp.fusedLeft = len(addL) > 0
+	jp.gvp = gvp
+}
+
+// ------------------------------------------------------ build side
+
+// joinHash is the build-side structure: an open-addressing hash table
+// whose buckets are counting-sorted ranges of build-row ordinals, plus
+// the semi-join filter (Bloom bits and key min/max). Slot i is empty
+// when counts[i] == 0; a bucket's ordinals sit at rows[starts[i] :
+// starts[i]+counts[i]] in build scan order, which reproduces the
+// insertion order of the row engine's map buckets.
+type joinHash struct {
+	mask   uint64
+	keysI  []int64 // Integer/Boolean datums, or canonicalized Float bits
+	keysS  []string
+	full   []bool // slot occupancy; counts alone can lag a claim
+	counts []int32
+	starts []int32
+	rows   []int32
+
+	bloomMask uint64
+	bloom     []uint64
+
+	n          int // non-NULL build keys
+	hasMM      bool
+	minI, maxI int64
+	minF, maxF float64
+	minS, maxS string
+	hasNaN     bool
+
+	seed maphash.Seed
+}
+
+// canonNaN collapses every NaN bit pattern to one: the row engine keys
+// floats by their display form, under which all NaNs are "NaN".
+func canonNaN(f float64) uint64 {
+	if math.IsNaN(f) {
+		return math.Float64bits(math.NaN())
+	}
+	return math.Float64bits(f)
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func (h *joinHash) hashStr(s string) uint64 { return maphash.String(h.seed, s) }
+
+func (h *joinHash) bloomSet(hv uint64) {
+	b1 := hv & h.bloomMask
+	b2 := (hv>>17 | hv<<47) & h.bloomMask
+	h.bloom[b1>>6] |= 1 << (b1 & 63)
+	h.bloom[b2>>6] |= 1 << (b2 & 63)
+}
+
+func (h *joinHash) bloomHas(hv uint64) bool {
+	b1 := hv & h.bloomMask
+	b2 := (hv>>17 | hv<<47) & h.bloomMask
+	return h.bloom[b1>>6]&(1<<(b1&63)) != 0 && h.bloom[b2>>6]&(1<<(b2&63)) != 0
+}
+
+// slotI finds the slot of an int64-classed key, claiming an empty slot
+// when insert is true; fresh reports a new claim. Returns slot -1 for
+// a probe miss.
+func (h *joinHash) slotI(k int64, insert bool) (slot int, fresh bool) {
+	i := mix64(uint64(k)) & h.mask
+	for {
+		if !h.full[i] {
+			if !insert {
+				return -1, false
+			}
+			h.full[i] = true
+			h.keysI[i] = k
+			return int(i), true
+		}
+		if h.keysI[i] == k {
+			return int(i), false
+		}
+		i = (i + 1) & h.mask
+	}
+}
+
+func (h *joinHash) slotS(k string, insert bool) (slot int, fresh bool) {
+	i := h.hashStr(k) & h.mask
+	for {
+		if !h.full[i] {
+			if !insert {
+				return -1, false
+			}
+			h.full[i] = true
+			h.keysS[i] = k
+			return int(i), true
+		}
+		if h.keysS[i] == k {
+			return int(i), false
+		}
+		i = (i + 1) & h.mask
+	}
+}
+
+// intKeyAt converts build key vector row i into its int64-classed
+// datum (Integer/Boolean value, or canonicalized Float bits).
+func intKeyAt(v *colVec, i int, kt value.Type) int64 {
+	if kt == value.Float {
+		return int64(canonNaN(v.floats[i]))
+	}
+	return v.ints[i]
+}
+
+// buildJoinHash ingests the build table's key column — from its typed
+// column-cache vectors, chunk by chunk — into the hash table and
+// semi-join filter. NULL keys are skipped outright (they can never
+// match). Returns nil when a key vector cannot be built, which sends
+// the query to the row engine.
+func buildJoinHash(env *execEnv, jp *vecJoinPlan, rt *table) *joinHash {
+	kvs := make([]*colVec, 0, len(rt.chunks))
+	for _, ch := range rt.chunks {
+		if len(ch) == 0 {
+			kvs = append(kvs, nil)
+			continue
+		}
+		v := env.cache.colFor(jp.rightKey, ch, jp.ri, jp.keyType)
+		if v == nil {
+			return nil
+		}
+		kvs = append(kvs, v)
+	}
+	h := &joinHash{seed: maphash.MakeSeed(), minF: math.NaN(), maxF: math.NaN()}
+	slots := nextPow2(max(4, 2*rt.nrows))
+	h.mask = uint64(slots - 1)
+	h.full = make([]bool, slots)
+	h.counts = make([]int32, slots)
+	if jp.keyType == value.String {
+		h.keysS = make([]string, slots)
+	} else {
+		h.keysI = make([]int64, slots)
+	}
+	bloomBits := nextPow2(max(64, 10*rt.nrows))
+	h.bloomMask = uint64(bloomBits - 1)
+	h.bloom = make([]uint64, bloomBits/64)
+
+	// Pass 1: claim slots, count duplicates, set Bloom bits, track the
+	// key min/max. String chunks with a dictionary hash each distinct
+	// value once instead of once per row.
+	for ci, ch := range rt.chunks {
+		kv := kvs[ci]
+		if kv == nil {
+			continue
+		}
+		if jp.keyType == value.String {
+			if codes, vals := kv.dict(); codes != nil {
+				slotOf := make([]int32, len(vals))
+				for c, s := range vals {
+					slot, fresh := h.slotS(s, true)
+					if fresh {
+						h.bloomSet(h.hashStr(s))
+						h.noteStr(s)
+					}
+					slotOf[c] = int32(slot)
+				}
+				for i := range ch {
+					c := codes[i]
+					if c < 0 {
+						continue
+					}
+					h.counts[slotOf[c]]++
+					h.n++
+				}
+				continue
+			}
+			for i := range ch {
+				if kv.null(i) {
+					continue
+				}
+				s := kv.strs[i]
+				slot, fresh := h.slotS(s, true)
+				if fresh {
+					h.bloomSet(h.hashStr(s))
+					h.noteStr(s)
+				}
+				h.counts[slot]++
+				h.n++
+			}
+			continue
+		}
+		for i := range ch {
+			if kv.null(i) {
+				continue
+			}
+			k := intKeyAt(kv, i, jp.keyType)
+			slot, fresh := h.slotI(k, true)
+			if fresh {
+				h.bloomSet(mix64(uint64(k)))
+				if jp.keyType == value.Float {
+					h.noteFloat(kv.floats[i])
+				} else {
+					h.noteInt(k)
+				}
+			}
+			h.counts[slot]++
+			h.n++
+		}
+	}
+
+	// Prefix-sum the bucket starts, then fill rows in build scan order:
+	// every bucket's ordinals come out ascending, matching the append
+	// order of the row engine's map buckets.
+	h.starts = make([]int32, slots)
+	run := int32(0)
+	for i, c := range h.counts {
+		h.starts[i] = run
+		run += c
+	}
+	h.rows = make([]int32, run)
+	next := append([]int32(nil), h.starts...)
+	g := int32(0)
+	for ci, ch := range rt.chunks {
+		kv := kvs[ci]
+		if kv == nil {
+			continue
+		}
+		for i := range ch {
+			if kv.null(i) {
+				g++
+				continue
+			}
+			var slot int
+			if jp.keyType == value.String {
+				slot, _ = h.slotS(kv.strs[i], false)
+			} else {
+				slot, _ = h.slotI(intKeyAt(kv, i, jp.keyType), false)
+			}
+			h.rows[next[slot]] = g
+			next[slot]++
+			g++
+		}
+	}
+	return h
+}
+
+func (h *joinHash) noteInt(k int64) {
+	if !h.hasMM {
+		h.hasMM, h.minI, h.maxI = true, k, k
+		return
+	}
+	if k < h.minI {
+		h.minI = k
+	}
+	if k > h.maxI {
+		h.maxI = k
+	}
+}
+
+func (h *joinHash) noteFloat(f float64) {
+	if math.IsNaN(f) {
+		h.hasNaN = true
+		return
+	}
+	if !h.hasMM {
+		h.hasMM, h.minF, h.maxF = true, f, f
+		return
+	}
+	if f < h.minF {
+		h.minF = f
+	}
+	if f > h.maxF {
+		h.maxF = f
+	}
+}
+
+func (h *joinHash) noteStr(s string) {
+	if !h.hasMM {
+		h.hasMM, h.minS, h.maxS = true, s, s
+		return
+	}
+	if s < h.minS {
+		h.minS = s
+	}
+	if s > h.maxS {
+		h.maxS = s
+	}
+}
+
+// lookupI returns the bucket range for an int64-classed probe key,
+// with the min/max and Bloom semi-join tests applied first.
+func (h *joinHash) lookupI(k int64, kt value.Type) (int32, int32) {
+	if kt == value.Float {
+		f := math.Float64frombits(uint64(k))
+		if math.IsNaN(f) {
+			if !h.hasNaN {
+				return 0, 0
+			}
+		} else if !h.hasMM || f < h.minF || f > h.maxF {
+			return 0, 0
+		}
+	} else if !h.hasMM || k < h.minI || k > h.maxI {
+		return 0, 0
+	}
+	if !h.bloomHas(mix64(uint64(k))) {
+		return 0, 0
+	}
+	slot, _ := h.slotI(k, false)
+	if slot < 0 {
+		return 0, 0
+	}
+	return h.starts[slot], h.starts[slot] + h.counts[slot]
+}
+
+func (h *joinHash) lookupS(k string) (int32, int32) {
+	if !h.hasMM || k < h.minS || k > h.maxS {
+		return 0, 0
+	}
+	if !h.bloomHas(h.hashStr(k)) {
+		return 0, 0
+	}
+	slot, _ := h.slotS(k, false)
+	if slot < 0 {
+		return 0, 0
+	}
+	return h.starts[slot], h.starts[slot] + h.counts[slot]
+}
+
+// keyZoneMiss reports whether a probe block's key zone map proves no
+// row of the block can find a build match: every key NULL, the block
+// range disjoint from the build min/max, or — for a narrow integer
+// range — no candidate value present in the Bloom filter. Exact in one
+// direction only: false never means "will match".
+func (h *joinHash) keyZoneMiss(km *blockMeta, kt value.Type) bool {
+	if km == nil {
+		return false
+	}
+	if kt == value.Float && km.HasNaN && h.hasNaN {
+		return false // a NaN probe row joins the build side's NaNs
+	}
+	if !km.HasMM {
+		return true // every key NULL (or NaN, handled above)
+	}
+	if h.n == 0 {
+		return true
+	}
+	switch kt {
+	case value.Integer, value.Boolean:
+		if !h.hasMM || km.MaxI < h.minI || km.MinI > h.maxI {
+			return true
+		}
+		if kt == value.Integer {
+			if w := km.MaxI - km.MinI; w >= 0 && w < joinBloomRangeProbe {
+				for v := km.MinI; v <= km.MaxI; v++ {
+					if h.bloomHas(mix64(uint64(v))) {
+						return false
+					}
+				}
+				return true
+			}
+		}
+	case value.Float:
+		if !h.hasMM || km.MaxF < h.minF || km.MinF > h.maxF {
+			return true
+		}
+	case value.String:
+		if !h.hasMM || km.MaxS < h.minS || km.MinS > h.maxS {
+			return true
+		}
+	}
+	return false
+}
+
+// ------------------------------------------------------ probe side
+
+// joinPairs is one probe morsel's output in materialize mode: pl[j] is
+// a row index into rows, pr[j] a build-table ordinal (-1 for a LEFT
+// pad). Pairs are emitted in probe order with ascending build ordinals
+// per probe row, so concatenating partials in morsel index order
+// reproduces the row engine's output order exactly.
+type joinPairs struct {
+	rows   []Row
+	pl, pr []int32
+}
+
+// runVecJoin executes a planned equi-join through the vectorized path.
+// Three outcomes: (res, nil) — fused aggregation produced the full
+// result; (nil, rel) — the join materialized the source relation and
+// the caller's row loops finish the query; ok == false — the path
+// declines at runtime (environment missing, vectorization disabled,
+// vector build failed) and the row engine must run the join itself.
+func (sn *snapshot) runVecJoin(st *SelectStmt, p *compiledSelect) (*Result, *relation, bool, error) {
+	jp := p.vecJoin
+	env := sn.env
+	if env == nil || env.vecDisabled.Load() {
+		return nil, nil, false, nil
+	}
+	lt, ok := sn.table(jp.leftKey)
+	if !ok {
+		return nil, nil, false, nil
+	}
+	rt, ok := sn.table(jp.rightKey)
+	if !ok {
+		return nil, nil, false, nil
+	}
+	h := buildJoinHash(env, jp, rt)
+	if h == nil {
+		return nil, nil, false, nil
+	}
+	rtRows := rt.flat()
+
+	// Build-side payload vectors for fused aggregation: one table-flat
+	// vector per needed column, indexed by build ordinal.
+	var rflat []*colVec
+	if jp.gvp != nil && len(jp.needR) > 0 {
+		rflat = make([]*colVec, len(p.srcSchema))
+		for _, ci := range jp.needR {
+			v := buildColVec(rtRows, ci-jp.nLeft, p.srcSchema[ci].Type)
+			if v == nil {
+				return nil, nil, false, nil
+			}
+			rflat[ci] = v
+		}
+	}
+
+	// Cut the probe table into morsels, mirroring runVecSelect:
+	// block-resident chunks defer hydration (and their semi-join/zone
+	// check) to the worker; row-resident chunks hydrate whole-chunk
+	// vectors up front.
+	store := env.blocks.Load()
+	zoneOn := !env.zoneOff.Load()
+	var chunks []chunkVecs
+	var morsels []vecMorsel
+	total := 0
+	for _, ch := range lt.chunks {
+		if len(ch) == 0 {
+			continue
+		}
+		if sc := store.chunkFor(ch); sc != nil {
+			for lo := 0; lo < len(ch); lo += vecMorselRows {
+				hi := min(lo+vecMorselRows, len(ch))
+				morsels = append(morsels, vecMorsel{
+					chunk: -1, lo: lo, hi: hi,
+					rows: ch[lo:hi], sc: sc, bi: lo / vecMorselRows,
+				})
+			}
+			total += len(ch)
+			continue
+		}
+		cvs := make([]*colVec, len(p.srcSchema))
+		for _, ci := range jp.needL {
+			v := env.cache.colFor(jp.leftKey, ch, ci, p.srcSchema[ci].Type)
+			if v == nil {
+				return nil, nil, false, nil
+			}
+			cvs[ci] = v
+		}
+		idx := len(chunks)
+		chunks = append(chunks, chunkVecs{rows: ch, cv: cvs})
+		for lo := 0; lo < len(ch); lo += vecMorselRows {
+			hi := min(lo+vecMorselRows, len(ch))
+			morsels = append(morsels, vecMorsel{chunk: idx, lo: lo, hi: hi})
+		}
+		total += len(ch)
+	}
+
+	// hydrate resolves one morsel, applying the block-level skip first:
+	// the WHERE zone predicate (pushed below the join, so valid for
+	// INNER and LEFT alike), then the key-range/Bloom semi-join check.
+	// skip: the block contributes nothing and stays compressed.
+	// padAll: LEFT join, keys provably unmatched, no pushed filter —
+	// every row emits a pad, also without decoding.
+	hydrate := func(m *vecMorsel) (ch chunkVecs, lo, hi int, skip, padAll bool) {
+		if m.sc == nil {
+			return chunks[m.chunk], m.lo, m.hi, false, false
+		}
+		if zoneOn {
+			meta := func(ci int) *blockMeta {
+				if ci >= jp.nLeft || ci >= len(m.sc.cols) || m.bi >= len(m.sc.cols[ci].Blocks) {
+					return nil
+				}
+				b := &m.sc.cols[ci].Blocks[m.bi]
+				if b.Rows != len(m.rows) {
+					return nil
+				}
+				return b
+			}
+			if jp.zone != nil && jp.zone(meta) {
+				env.blkSkipped.Add(1)
+				return chunkVecs{}, 0, 0, true, false
+			}
+			if h.keyZoneMiss(meta(jp.li), jp.keyType) {
+				if !jp.leftOuter {
+					env.blkSkipped.Add(1)
+					return chunkVecs{}, 0, 0, true, false
+				}
+				if jp.padAllOK() {
+					env.blkSkipped.Add(1)
+					return chunkVecs{rows: m.rows}, 0, len(m.rows), false, true
+				}
+			}
+		}
+		env.blkScanned.Add(1)
+		cvs := make([]*colVec, len(p.srcSchema))
+		for _, ci := range jp.needL {
+			cvs[ci] = env.blockVec(jp.leftKey, m.rows, ci, p.srcSchema[ci].Type, store, m.sc, m.bi)
+		}
+		return chunkVecs{rows: m.rows, cv: cvs}, 0, len(m.rows), false, false
+	}
+
+	// probeMorsel produces the morsel's pair lists. lo is the window
+	// base within ch (chunk-absolute for row-resident morsels, 0 for
+	// block morsels); pl entries are indexes into ch.rows.
+	probeMorsel := func(ch *chunkVecs, lo, hi int, padAll bool) ([]int32, []int32) {
+		n := hi - lo
+		var pl, pr []int32
+		if padAll {
+			pl = make([]int32, n)
+			pr = make([]int32, n)
+			for i := 0; i < n; i++ {
+				pl[i] = int32(lo + i)
+				pr[i] = -1
+			}
+			return pl, pr
+		}
+		var mask []bool
+		if jp.pred != nil {
+			mask = make([]bool, n)
+			jp.pred(ch.cv, lo, mask)
+		}
+		pl = make([]int32, 0, n)
+		pr = make([]int32, 0, n)
+		emit := func(i int, blo, bhi int32) {
+			if blo == bhi {
+				if jp.leftOuter {
+					pl = append(pl, int32(i))
+					pr = append(pr, -1)
+				}
+				return
+			}
+			for r := blo; r < bhi; r++ {
+				pl = append(pl, int32(i))
+				pr = append(pr, h.rows[r])
+			}
+		}
+		kv := ch.cv[jp.li]
+		switch jp.keyType {
+		case value.String:
+			if codes, vals := kv.dict(); codes != nil {
+				// Dictionary probe: one hash lookup per distinct value,
+				// then an array read per row.
+				type rng struct{ lo, hi int32 }
+				lut := make([]rng, len(vals))
+				for c, s := range vals {
+					blo, bhi := h.lookupS(s)
+					lut[c] = rng{blo, bhi}
+				}
+				for i := lo; i < hi; i++ {
+					if mask != nil && !mask[i-lo] {
+						continue
+					}
+					c := codes[i]
+					if c < 0 {
+						emit(i, 0, 0) // NULL never joins; LEFT pads
+						continue
+					}
+					emit(i, lut[c].lo, lut[c].hi)
+				}
+				return pl, pr
+			}
+			for i := lo; i < hi; i++ {
+				if mask != nil && !mask[i-lo] {
+					continue
+				}
+				if kv.null(i) {
+					emit(i, 0, 0)
+					continue
+				}
+				blo, bhi := h.lookupS(kv.strs[i])
+				emit(i, blo, bhi)
+			}
+		case value.Float:
+			for i := lo; i < hi; i++ {
+				if mask != nil && !mask[i-lo] {
+					continue
+				}
+				if kv.null(i) {
+					emit(i, 0, 0)
+					continue
+				}
+				blo, bhi := h.lookupI(int64(canonNaN(kv.floats[i])), value.Float)
+				emit(i, blo, bhi)
+			}
+		default: // Integer, Boolean
+			for i := lo; i < hi; i++ {
+				if mask != nil && !mask[i-lo] {
+					continue
+				}
+				if kv.null(i) {
+					emit(i, 0, 0)
+					continue
+				}
+				blo, bhi := h.lookupI(kv.ints[i], jp.keyType)
+				emit(i, blo, bhi)
+			}
+		}
+		return pl, pr
+	}
+
+	if jp.gvp != nil {
+		return sn.runVecJoinFused(st, p, jp, rtRows, rflat, morsels, total, env, hydrate, probeMorsel)
+	}
+
+	// Materialize mode: collect pairs per morsel, then build the joined
+	// relation in morsel index order — late materialization touches the
+	// payload rows only for surviving pairs.
+	parts := make([]*joinPairs, len(morsels))
+	err := runMorsels(env, len(morsels), total, func(mi int) error {
+		_ = fpMorsel.Inject() // latency-model site
+		ch, lo, hi, skip, padAll := hydrate(&morsels[mi])
+		if skip {
+			return nil
+		}
+		pl, pr := probeMorsel(&ch, lo, hi, padAll)
+		if len(pl) > 0 {
+			parts[mi] = &joinPairs{rows: ch.rows, pl: pl, pr: pr}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, true, err
+	}
+	npairs := 0
+	for _, part := range parts {
+		if part != nil {
+			npairs += len(part.pl)
+		}
+	}
+	width := len(p.srcSchema)
+	padRight := make(Row, width-jp.nLeft)
+	for i := range padRight {
+		padRight[i] = value.Null(p.srcSchema[jp.nLeft+i].Type)
+	}
+	out := make([]Row, 0, npairs)
+	for _, part := range parts {
+		if part == nil {
+			continue
+		}
+		for j, liIdx := range part.pl {
+			row := make(Row, 0, width)
+			row = append(row, part.rows[liIdx]...)
+			if r := part.pr[j]; r >= 0 {
+				row = append(row, rtRows[r]...)
+			} else {
+				row = append(row, padRight...)
+			}
+			out = append(out, row)
+		}
+	}
+	return nil, &relation{schema: p.srcSchema, chunks: [][]Row{out}, nrows: len(out)}, true, nil
+}
+
+// runVecJoinFused aggregates straight from the probe pairs: each
+// morsel's pairs are grouped and fed to the aggregate kernels without
+// materializing a single joined row, partials merge in morsel index
+// order, and the representative row each group needs for projection is
+// built once per distinct group.
+func (sn *snapshot) runVecJoinFused(
+	st *SelectStmt, p *compiledSelect, jp *vecJoinPlan,
+	rtRows []Row, rflat []*colVec, morsels []vecMorsel, total int, env *execEnv,
+	hydrate func(*vecMorsel) (chunkVecs, int, int, bool, bool),
+	probeMorsel func(*chunkVecs, int, int, bool) ([]int32, []int32),
+) (*Result, *relation, bool, error) {
+	gvp := jp.gvp
+	width := len(p.srcSchema)
+	padRight := make(Row, width-jp.nLeft)
+	for i := range padRight {
+		padRight[i] = value.Null(p.srcSchema[jp.nLeft+i].Type)
+	}
+	joinedRow := func(rows []Row, liIdx, r int32) Row {
+		row := make(Row, 0, width)
+		row = append(row, rows[liIdx]...)
+		if r >= 0 {
+			row = append(row, rtRows[r]...)
+		} else {
+			row = append(row, padRight...)
+		}
+		return row
+	}
+
+	parts := make([]*vecPartial, len(morsels))
+	err := runMorsels(env, len(morsels), total, func(mi int) error {
+		_ = fpMorsel.Inject()
+		ch, lo, hi, skip, padAll := hydrate(&morsels[mi])
+		if skip {
+			return nil
+		}
+		pl, pr := probeMorsel(&ch, lo, hi, padAll)
+		if len(pl) == 0 {
+			return nil
+		}
+		parts[mi] = jp.processJoinMorsel(&ch, pl, pr, rflat, joinedRow)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, true, err
+	}
+	merged := gvp.mergePartials(parts)
+	buckets := merged.groups
+	if len(buckets) == 0 && len(st.GroupBy) == 0 {
+		rep := make(Row, len(p.srcSchema))
+		for i := range rep {
+			rep[i] = value.Null(p.srcSchema[i].Type)
+		}
+		buckets = []*vecGroup{{rep: rep, st: make([]vecAcc, len(gvp.aggs))}}
+	}
+	needReps := len(st.OrderBy) > 0 && !st.Distinct
+	var outRows, reps []Row
+	var aggVs []map[*aggExpr]value.Value
+	ctx := &execCtx{}
+	for _, g := range buckets {
+		aggV := make(map[*aggExpr]value.Value, len(p.aggs))
+		for i, a := range p.aggs {
+			if a.Star {
+				aggV[a] = value.NewInt(g.n)
+			} else {
+				aggV[a] = gvp.aggs[i].result(&g.st[i])
+			}
+		}
+		ctx.row, ctx.aggs = g.rep, aggV
+		if p.having != nil {
+			v, err := p.having(ctx)
+			if err != nil {
+				return nil, nil, true, err
+			}
+			if !boolTrue(v) {
+				continue
+			}
+		}
+		row, err := p.projectRow(ctx, g.rep)
+		if err != nil {
+			return nil, nil, true, err
+		}
+		outRows = append(outRows, row)
+		if needReps {
+			reps = append(reps, g.rep)
+			aggVs = append(aggVs, aggV)
+		}
+	}
+	res, err := p.finish(st, outRows, reps, aggVs)
+	return res, nil, true, err
+}
+
+// processJoinMorsel groups one morsel's pairs and runs the aggregate
+// kernels. Probe-side columns are read through the morsel's vectors at
+// pl positions; build-side columns through the table-flat vectors at
+// pr ordinals, with LEFT pads (pr < 0) contributing NULL — i.e. they
+// are skipped for build-side aggregates and land in the NULL group
+// when the group key is build-side.
+func (jp *vecJoinPlan) processJoinMorsel(
+	ch *chunkVecs, pl, pr []int32, rflat []*colVec,
+	joinedRow func([]Row, int32, int32) Row,
+) *vecPartial {
+	gvp := jp.gvp
+	part := gvp.newPartial()
+	stride := len(gvp.aggs)
+	newGroup := func(j int) *vecGroup {
+		g := &vecGroup{rep: joinedRow(ch.rows, pl[j], pr[j]), idx: int32(len(part.groups))}
+		part.groups = append(part.groups, g)
+		for i := 0; i < stride; i++ {
+			part.accs = append(part.accs, vecAcc{})
+		}
+		return g
+	}
+	gids := make([]int32, len(pl))
+	switch {
+	case len(gvp.groupCols) == 0:
+		g := newGroup(0)
+		g.n = int64(len(pl))
+		// gids are zero-initialized; nothing to assign.
+	default:
+		gc := gvp.groupCols[0]
+		onLeft := gc < jp.nLeft
+		var kv *colVec
+		if onLeft {
+			kv = ch.cv[gc]
+		} else {
+			kv = rflat[gc]
+		}
+		isFloat := gvp.groupTypes[0] == value.Float
+		for j := range pl {
+			// Resolve the key position: probe row index, or build
+			// ordinal (-1 ⇒ the pad's NULL group).
+			ki := int(pl[j])
+			if !onLeft {
+				ki = int(pr[j])
+			}
+			var g *vecGroup
+			if ki < 0 || kv.null(ki) {
+				if part.nullG == nil {
+					part.nullG = newGroup(j)
+					part.nullG.isNull = true
+				}
+				g = part.nullG
+			} else if gvp.singleNum {
+				var k uint64
+				if isFloat {
+					k = math.Float64bits(kv.floats[ki])
+				} else {
+					k = uint64(kv.ints[ki])
+				}
+				var ok bool
+				g, ok = part.num[k]
+				if !ok {
+					g = newGroup(j)
+					g.knum = k
+					part.num[k] = g
+				}
+			} else {
+				k := kv.strs[ki]
+				var ok bool
+				g, ok = part.str[k]
+				if !ok {
+					g = newGroup(j)
+					g.kstr = k
+					part.str[k] = g
+				}
+			}
+			g.n++
+			gids[j] = g.idx
+		}
+	}
+	// Build-side kernels cannot index a pad (-1); filter those pairs
+	// once if any aggregate needs the build side.
+	var prSel, prGids []int32
+	rightSel := func() ([]int32, []int32) {
+		if prSel != nil || !jp.leftOuter {
+			if prSel == nil {
+				prSel, prGids = pr, gids
+			}
+			return prSel, prGids
+		}
+		prSel = make([]int32, 0, len(pr))
+		prGids = make([]int32, 0, len(pr))
+		for j, r := range pr {
+			if r >= 0 {
+				prSel = append(prSel, r)
+				prGids = append(prGids, gids[j])
+			}
+		}
+		return prSel, prGids
+	}
+	for k := range gvp.aggs {
+		a := &gvp.aggs[k]
+		if a.col < 0 {
+			continue // COUNT(*): served by group row counts
+		}
+		if a.col < jp.nLeft {
+			runAggKernel(a, ch.cv[a.col], pl, gids, part.accs, stride, k)
+		} else {
+			sel, sgids := rightSel()
+			runAggKernel(a, rflat[a.col], sel, sgids, part.accs, stride, k)
+		}
+	}
+	for i, g := range part.groups {
+		g.st = part.accs[i*stride : (i+1)*stride : (i+1)*stride]
+	}
+	return part
+}
+
+// vecJoinBlockSkips statically counts how many of the probe table's
+// compressed blocks the semi-join filter and zone maps would skip —
+// the same decision hydrate makes at runtime, evaluated against the
+// block index only. EXPLAIN reports it as bloom-skip.
+func (db *DB) vecJoinBlockSkips(sn *snapshot, jp *vecJoinPlan, lt, rt *table) (skipped, totalBlocks int) {
+	store := db.env.blocks.Load()
+	if store == nil || db.env.zoneOff.Load() {
+		return 0, 0
+	}
+	h := buildJoinHash(db.env, jp, rt)
+	if h == nil {
+		return 0, 0
+	}
+	for _, ch := range lt.chunks {
+		sc := store.chunkFor(ch)
+		if sc == nil {
+			continue
+		}
+		for lo := 0; lo < len(ch); lo += vecMorselRows {
+			bi := lo / vecMorselRows
+			nrows := min(lo+vecMorselRows, len(ch)) - lo
+			totalBlocks++
+			meta := func(ci int) *blockMeta {
+				if ci >= jp.nLeft || ci >= len(sc.cols) || bi >= len(sc.cols[ci].Blocks) {
+					return nil
+				}
+				b := &sc.cols[ci].Blocks[bi]
+				if b.Rows != nrows {
+					return nil
+				}
+				return b
+			}
+			if jp.zone != nil && jp.zone(meta) {
+				skipped++
+				continue
+			}
+			if h.keyZoneMiss(meta(jp.li), jp.keyType) && (!jp.leftOuter || jp.padAllOK()) {
+				skipped++
+			}
+		}
+	}
+	return skipped, totalBlocks
+}
